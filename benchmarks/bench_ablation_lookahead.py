@@ -1,0 +1,56 @@
+"""Ablation: the lookahead pipeline window (Section II-F).
+
+SuperLU_DIST uses a fixed window of 8-20 supernodes to overlap panel
+communication with Schur updates. We sweep the window on the planar proxy
+at a communication-bound configuration and check:
+
+* any window > 0 beats the synchronous schedule;
+* returns diminish (the paper's reason for capping the window);
+* communication *volume* is invariant — pipelining only reorders it;
+* peak buffer memory grows with the window (the paper's stated cost).
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis.report import format_table
+from repro.experiments.harness import PreparedMatrix, run_configuration
+from repro.experiments.matrices import paper_suite
+from repro.lu2d import FactorOptions
+
+WINDOWS = (0, 2, 8, 32)
+
+
+def test_lookahead_ablation(benchmark):
+    def run():
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        pm = PreparedMatrix(suite["K2D5pt4096"])
+        out = []
+        for w in WINDOWS:
+            rec = run_configuration(pm, P=96, pz=1,
+                                    options=FactorOptions(lookahead=w))
+            m = rec.metrics
+            out.append((w, m.makespan, m.w_fact_max, m.mem_peak_max,
+                        m.t_comm))
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["window", "T[s]", "W_fact", "peak mem", "T_comm[s]"],
+        [list(r) for r in results],
+        title="Ablation — lookahead window on K2D5pt proxy, 96 ranks (2D)"))
+
+    t = {w: tt for w, tt, *_ in results}
+    vol = {w: v for w, _, v, *_ in results}
+    mem = {w: m for w, _, _, m, _ in results}
+
+    assert t[8] < t[0], "lookahead=8 should beat synchronous"
+    assert t[2] < t[0]
+    # Diminishing returns: 8 -> 32 helps far less than 0 -> 8.
+    gain_0_8 = t[0] - t[8]
+    gain_8_32 = t[8] - t[32]
+    assert gain_8_32 < 0.5 * gain_0_8, "expected diminishing returns"
+    # Volume invariant under pipelining.
+    assert all(abs(vol[w] - vol[0]) / vol[0] < 1e-9 for w in WINDOWS)
+    # Buffer cost grows with the window.
+    assert mem[32] >= mem[8] >= mem[0]
+    assert mem[32] > mem[0]

@@ -1,0 +1,86 @@
+"""Ablation: greedy load-balance partition vs naive ND split (Fig. 8).
+
+Section III-C's greedy heuristic exists because the plain nested-
+dissection split can leave the two child forests badly unbalanced. Two
+checks:
+
+* on the (balanced) model problems the greedy result never loses to the
+  naive split, for any Pz;
+* on a cost-skewed tree — the same dissection structure but with one
+  subtree 20x heavier, emulating a matrix with a much denser corner
+  region (Fig. 8's scenario) — the greedy partition's critical path is
+  strictly shorter;
+* end-to-end, the greedy strategy's modeled makespan never exceeds the
+  naive one on the real suite.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis.report import format_table
+from repro.experiments.harness import PreparedMatrix, run_configuration
+from repro.experiments.matrices import paper_suite
+from repro.tree import critical_path_cost, greedy_partition, naive_partition
+
+
+def test_partition_ablation(benchmark):
+    def run():
+        rows = []
+        # Balanced suite: greedy never loses (by construction of the
+        # improvement loop, but this is the regression guard).
+        for tm in paper_suite(scale())[:4]:
+            pm = PreparedMatrix(tm)
+            w = pm.sf.costs.node_flops
+            for pz in (4, 8):
+                cg = critical_path_cost(pm.partition(pz, "greedy"), w)
+                cn = critical_path_cost(pm.partition(pz, "naive"), w)
+                rows.append([tm.name, pz, cg, cn, cn / cg])
+
+        # Skewed case: same planar dissection tree, but leaf-dominated
+        # costs with one top-level subtree's leaves 20x heavier — a matrix
+        # whose corner region needs far more elimination work while its
+        # separators stay cheap, which is exactly where the naive ND split
+        # cannot rebalance and Fig. 8's heuristic pays off.
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        pm = PreparedMatrix(suite["K2D5pt4096"])
+        sf = pm.sf
+        is_leaf = np.array([sf.tree.nodes[k].is_leaf for k in range(sf.nb)])
+        w_skew = np.where(is_leaf, 100.0, 1.0)
+        # Descend the root's supernode chain to the first real branching
+        # node; one of its two region subtrees becomes the heavy corner.
+        branch = sf.tree.root
+        while len(sf.tree.children_of(branch)) == 1:
+            branch = sf.tree.children_of(branch)[0]
+        heavy_child = sf.tree.children_of(branch)[0]
+        heavy = np.zeros(sf.nb, dtype=bool)
+        heavy[sf.tree.subtree_of(heavy_child)] = True
+        w_skew[heavy & is_leaf] *= 20.0
+        for pz in (2, 4, 8):
+            cg = critical_path_cost(greedy_partition(sf, pz, weights=w_skew),
+                                    w_skew)
+            cn = critical_path_cost(naive_partition(sf, pz, weights=w_skew),
+                                    w_skew)
+            rows.append(["K2D5pt-skewed", pz, cg, cn, cn / cg])
+
+        # End-to-end makespans on a real non-planar matrix.
+        pm2 = PreparedMatrix(suite["Serena"])
+        t = {}
+        for strat in ("greedy", "naive"):
+            rec = run_configuration(pm2, P=96, pz=8, strategy=strat)
+            t[strat] = rec.metrics.makespan
+        return rows, t
+
+    rows, makespans = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["matrix", "Pz", "CP greedy", "CP naive", "naive/greedy"], rows,
+        title="Ablation — greedy vs naive etree partition (critical-path cost)"))
+    print(f"Serena end-to-end makespan: greedy={makespans['greedy']:.4f}s "
+          f"naive={makespans['naive']:.4f}s")
+
+    for name, pz, cg, cn, ratio in rows:
+        assert cg <= cn * (1 + 1e-9), f"{name} pz={pz}: greedy worse than naive"
+    skew = [r for r in rows if r[0] == "K2D5pt-skewed"]
+    assert any(r[4] > 1.10 for r in skew), \
+        "greedy should strictly beat naive on the skewed tree"
+    assert makespans["greedy"] <= makespans["naive"] * 1.05

@@ -1,0 +1,79 @@
+"""Ablation: flat row/column broadcasts vs sparsity-pruned BC trees.
+
+Section IV's model charges every panel broadcast to the full process
+row/column; the real SuperLU_DIST builds its broadcast trees only over
+ranks that own an update target. The option `FactorOptions(sparse_bcast)`
+switches between the two. Checks:
+
+* pruning reduces total and per-rank factorization volume on every
+  matrix class, without changing a single flop;
+* the saving is larger for matrices with *sparser* panels (planar) than
+  for ones whose panels already touch most of the grid (non-planar top
+  separators) — pruning has less to remove there;
+* the paper-model conclusions (Fig. 9 shape) are unchanged: the sweep's
+  Pz ordering is identical under both settings.
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import FactorizationMetrics, format_table
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.experiments.harness import PreparedMatrix
+from repro.experiments.matrices import paper_suite
+from repro.lu2d import FactorOptions
+from repro.lu3d import factor_3d
+
+P = 96
+
+
+def _run(pm, pz, sparse_bcast):
+    grid3 = ProcessGrid3D.from_total(P, pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    factor_3d(pm.sf, pm.partition(pz), grid3, sim, numeric=False,
+              options=FactorOptions(sparse_bcast=sparse_bcast))
+    return FactorizationMetrics.from_simulator(sim)
+
+
+def test_sparse_bcast_ablation(benchmark):
+    def run():
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        out = {}
+        for name in ("K2D5pt4096", "Serena"):
+            pm = PreparedMatrix(suite[name])
+            out[name] = {(pz, sb): _run(pm, pz, sb)
+                         for pz in (1, 4, 16) for sb in (False, True)}
+        return out
+
+    data = run_once(benchmark, run)
+
+    rows = []
+    for name, grid in data.items():
+        for pz in (1, 4, 16):
+            flat, pruned = grid[(pz, False)], grid[(pz, True)]
+            rows.append([name, pz, flat.w_fact_max, pruned.w_fact_max,
+                         flat.w_fact_max / pruned.w_fact_max,
+                         flat.makespan * 1e3, pruned.makespan * 1e3])
+    print()
+    print(format_table(
+        ["matrix", "Pz", "W flat", "W pruned", "reduction",
+         "T flat [ms]", "T pruned [ms]"], rows,
+        title=f"Ablation — flat vs sparsity-pruned broadcasts, P={P}"))
+
+    for name, grid in data.items():
+        for pz in (1, 4, 16):
+            flat, pruned = grid[(pz, False)], grid[(pz, True)]
+            assert pruned.w_fact_max < flat.w_fact_max, \
+                f"{name} Pz={pz}: pruning saved nothing"
+            assert pruned.total_flops == flat.total_flops
+
+    # Pruning saves relatively more on the planar matrix at Pz=1.
+    red = {name: data[name][(1, False)].w_fact_max
+           / data[name][(1, True)].w_fact_max for name in data}
+    assert red["K2D5pt4096"] > red["Serena"]
+
+    # Fig. 9 shape invariance: the Pz preference ordering is unchanged.
+    for name, grid in data.items():
+        order_flat = sorted((1, 4, 16),
+                            key=lambda pz: grid[(pz, False)].makespan)
+        order_pruned = sorted((1, 4, 16),
+                              key=lambda pz: grid[(pz, True)].makespan)
+        assert order_flat == order_pruned

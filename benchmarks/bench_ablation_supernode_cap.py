@@ -1,0 +1,51 @@
+"""Ablation: the supernode size cap (max_block, SuperLU's maxsup analogue).
+
+DESIGN.md design decision 1: separators are split into chains of blocks
+of at most ``max_block`` columns. Without a cap, a top separator is one
+giant block whose diagonal factorization serializes on a single rank and
+whose panels distribute lumpily; with too small a cap, per-message and
+per-block overheads (the latency term) dominate. The sweep shows the
+U-shape and checks that moderate caps beat both extremes on the
+non-planar proxy, where separators are largest.
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis.report import format_table
+from repro.experiments.harness import PreparedMatrix, run_configuration
+from repro.experiments.matrices import paper_suite
+
+CAPS = (16, 64, 128, 100000)  # 100000 = effectively uncapped
+
+
+def test_supernode_cap_ablation(benchmark):
+    def run():
+        base = {tm.name: tm for tm in paper_suite(scale())}["Serena"]
+        out = []
+        for cap in CAPS:
+            tm = type(base)(**{**base.__dict__, "max_block": cap})
+            pm = PreparedMatrix(tm)
+            rec = run_configuration(pm, P=96, pz=4)
+            m = rec.metrics
+            out.append((cap, pm.sf.nb, m.makespan, m.t_scu, m.msgs_max))
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["max_block", "#blocks", "T[s]", "T_scu[s]", "max msgs/rank"],
+        [list(r) for r in results],
+        title="Ablation — supernode cap on Serena proxy, 96 ranks, Pz=4"))
+
+    t = {cap: tt for cap, _, tt, _, _ in results}
+    msgs = {cap: mm for cap, *_, mm in results}
+
+    # Moderate caps beat the uncapped giant-separator configuration (whose
+    # top-block diagonal factorization serializes on one rank).
+    assert min(t[64], t[128]) < t[100000], \
+        "capping supernodes should beat monolithic separators"
+    # ...and they beat the tiny-cap configuration too: the U-shape.
+    assert min(t[64], t[128]) < t[16], \
+        "moderate caps should beat the latency-bound tiny cap"
+    # Tiny caps explode the per-rank message count (the latency term).
+    assert msgs[16] > 2 * msgs[128]
+    assert msgs[16] > 2 * msgs[100000]

@@ -1,0 +1,88 @@
+"""Extension bench: 3D Cholesky (paper Section VII's proposed variant).
+
+The paper closes by asserting its replication + tree-forest principles
+"could be applied to other variants of sparse factorization, such as
+Cholesky". This bench substantiates that: on the SPD members of the test
+suite, the Cholesky engine plugged into the *same* Algorithm 1 schedule
+
+* shows the same normalized-time shape across Pz as LU (planar matrices
+  keep gaining, the non-planar brick saturates),
+* at half the flops, ~half the factor storage and half the ancestor-
+  reduction traffic of LU on identical structure.
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import FactorizationMetrics, format_table
+from repro.cholesky import cholesky_node_blocks, factor_chol_3d, \
+    factor_nodes_chol_2d
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.experiments.harness import PreparedMatrix
+from repro.experiments.matrices import paper_suite
+from repro.lu3d import factor_3d
+
+PZ_VALUES = (1, 2, 4, 8, 16)
+P = 96
+SPD_PROXIES = ("K2D5pt4096", "Serena")  # grid Laplacians: SPD by construction
+
+
+def _run(pm: PreparedMatrix, pz: int, engine: str) -> FactorizationMetrics:
+    grid3 = ProcessGrid3D.from_total(P, pz)
+    tf = pm.partition(pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    if engine == "cholesky":
+        factor_chol_3d(pm.sf, tf, grid3, sim, numeric=False)
+    else:
+        factor_3d(pm.sf, tf, grid3, sim, numeric=False)
+    return FactorizationMetrics.from_simulator(sim)
+
+
+def test_cholesky_extension(benchmark):
+    def run():
+        out = {}
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        for name in SPD_PROXIES:
+            pm = PreparedMatrix(suite[name])
+            out[name] = {
+                eng: [_run(pm, pz, eng) for pz in PZ_VALUES]
+                for eng in ("lu", "cholesky")
+            }
+        return out
+
+    data = run_once(benchmark, run)
+
+    rows = []
+    for name, engines in data.items():
+        for eng, ms in engines.items():
+            base = ms[0].makespan
+            for pz, m in zip(PZ_VALUES, ms):
+                rows.append([name, eng, pz, m.makespan / base,
+                             m.total_flops, m.w_red_max,
+                             m.mem_resident_total])
+    print()
+    print(format_table(
+        ["matrix", "engine", "Pz", "T/T2D", "flops", "W_red", "mem"],
+        rows, title=f"Extension — 3D Cholesky vs 3D LU, P={P} ranks"))
+
+    for name, engines in data.items():
+        lu, ch = engines["lu"], engines["cholesky"]
+        # Half the arithmetic, ~half the storage, ~half the reduction, at
+        # every Pz.
+        for m_lu, m_ch in zip(lu, ch):
+            assert m_ch.total_flops < 0.6 * m_lu.total_flops
+            assert m_ch.mem_resident_total < 0.65 * m_lu.mem_resident_total
+        # Aggregate reduction traffic halves (the max-rank value can tie
+        # when a single L-panel block — identical in both variants — sets
+        # the critical rank at small Pz).
+        for m_lu, m_ch in zip(lu[1:], ch[1:]):
+            assert m_ch.w_red_mean < 0.7 * m_lu.w_red_mean
+
+        # Same 3D-speedup shape: the Pz ranking of Cholesky matches LU's
+        # direction — best Pz > 1, and planar keeps improving to Pz=16.
+        t_lu = [m.makespan for m in lu]
+        t_ch = [m.makespan for m in ch]
+        assert min(t_ch) < t_ch[0], f"{name}: Cholesky gains nothing from 3D"
+        best_lu = PZ_VALUES[t_lu.index(min(t_lu))]
+        best_ch = PZ_VALUES[t_ch.index(min(t_ch))]
+        assert (best_ch >= best_lu / 2) and (best_ch <= best_lu * 2), (
+            f"{name}: optimal Pz diverges between variants "
+            f"(LU {best_lu}, Cholesky {best_ch})")

@@ -1,0 +1,91 @@
+"""Extension bench: HALO accelerator offload, alone and combined with 3D.
+
+Section VII positions HALO (the authors' GPU/Phi offload algorithm) as
+complementary to 3D: "HALO works much better for matrices that have large
+dense blocks; while 3D sparse LU factorization performs better for
+sparser matrices with small dense separators. We plan to add HALO to the
+3D algorithm … by combining the two, we can potentially improve
+performance across a wider spectrum of matrices."
+
+We model HALO as threshold-based Schur-GEMM offload to per-rank
+accelerators and run the 2x2 design {2D, 3D} x {host, +accel} on a
+sparse planar matrix and a dense-blocked non-planar one:
+
+* accelerators help the dense-blocked matrix much more than the sparse
+  one (the paper's first claim);
+* the 3D algorithm helps the sparse matrix much more than accelerators
+  do (the second claim);
+* the combination is at least as good as either technique alone on both
+  matrices (the "wider spectrum" claim).
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import FactorizationMetrics, format_table
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.comm.accelerator import Accelerator
+from repro.experiments.harness import PreparedMatrix
+from repro.experiments.matrices import paper_suite
+from repro.lu3d import factor_3d
+
+P = 96
+PZ_3D = 8
+SPARSE, DENSE = "Ecology1", "Serena"
+
+
+def _run(pm, pz, accel):
+    grid3 = ProcessGrid3D.from_total(P, pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    if accel:
+        sim.attach_accelerator(Accelerator())
+    factor_3d(pm.sf, pm.partition(pz), grid3, sim, numeric=False)
+    offloaded = int(sim.offloaded_updates.sum()) if accel else 0
+    return FactorizationMetrics.from_simulator(sim), offloaded
+
+
+def test_halo_extension(benchmark):
+    def run():
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        out = {}
+        for name in (SPARSE, DENSE):
+            pm = PreparedMatrix(suite[name])
+            out[name] = {(pz, accel): _run(pm, pz, accel)
+                         for pz in (1, PZ_3D) for accel in (False, True)}
+        return out
+
+    data = run_once(benchmark, run)
+
+    rows = []
+    for name, grid in data.items():
+        base = grid[(1, False)][0].makespan
+        for (pz, accel), (m, noff) in sorted(grid.items()):
+            rows.append([name, pz, "yes" if accel else "no",
+                         m.makespan * 1e3, base / m.makespan, noff])
+    print()
+    print(format_table(
+        ["matrix", "Pz", "accel", "T [ms]", "speedup vs 2D-host",
+         "#offloaded"], rows,
+        title=f"Extension — HALO offload x 3D algorithm, P={P} ranks"))
+
+    def t(name, pz, accel):
+        return data[name][(pz, accel)][0].makespan
+
+    # Claim 1: accelerators pay off on dense-blocked matrices, not sparse.
+    halo_gain_sparse = t(SPARSE, 1, False) / t(SPARSE, 1, True)
+    halo_gain_dense = t(DENSE, 1, False) / t(DENSE, 1, True)
+    assert halo_gain_dense > halo_gain_sparse
+    assert halo_gain_sparse < 1.05  # nothing above threshold to offload
+    noff_sparse = data[SPARSE][(1, True)][1]
+    noff_dense = data[DENSE][(1, True)][1]
+    assert noff_dense > 10 * max(noff_sparse, 1)
+
+    # Claim 2: the 3D algorithm pays off most on the sparse matrix.
+    td_gain_sparse = t(SPARSE, 1, False) / t(SPARSE, PZ_3D, False)
+    td_gain_dense = t(DENSE, 1, False) / t(DENSE, PZ_3D, False)
+    assert td_gain_sparse > td_gain_dense
+    assert td_gain_sparse > halo_gain_sparse
+
+    # Claim 3: combination at least matches the best single technique.
+    for name in (SPARSE, DENSE):
+        best_single = min(t(name, PZ_3D, False), t(name, 1, True))
+        assert t(name, PZ_3D, True) <= best_single * 1.02, \
+            f"{name}: 3D+HALO should not lose to the best single technique"

@@ -1,0 +1,96 @@
+"""Extension bench: merged-grid ancestor factorization (Section VII).
+
+The paper's closing idea: at ancestor levels, merge the idle 2D grids of
+each forest's range into one larger grid instead of factoring on the home
+grid alone. The predicted payoff is precisely where the standard 3D
+algorithm retreats — strongly non-planar matrices at large Pz, whose
+T_scu inflates when the 2D grid shrinks (Fig. 9's Serena/nlpkkt80).
+
+Checks:
+
+* for the non-planar proxies at Pz in {8, 16}, the merged schedule cuts
+  T_scu substantially and the total modeled time meaningfully;
+* for the planar proxy the two schedules are within a few percent (small
+  separators: nothing to merge for);
+* merging removes (most of) the non-planar Pz=16 retreat: merged
+  T(Pz=16) <= merged T(Pz=8) * 1.1;
+* arithmetic is identical — merging only re-partitions ownership.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import FactorizationMetrics, format_table
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.experiments.harness import PreparedMatrix
+from repro.experiments.matrices import paper_suite
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+
+P = 96
+PZ_VALUES = (4, 8, 16)
+NAMES = ("K2D5pt4096", "Serena", "nlpkkt80")
+
+
+def _run(pm, pz, merged):
+    grid3 = ProcessGrid3D.from_total(P, pz)
+    tf = pm.partition(pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    if merged:
+        factor_3d_merged(pm.sf, tf, grid3, sim)
+    else:
+        factor_3d(pm.sf, tf, grid3, sim, numeric=False)
+    return FactorizationMetrics.from_simulator(sim)
+
+
+def test_merged_grids_extension(benchmark):
+    def run():
+        suite = {tm.name: tm for tm in paper_suite(scale())}
+        return {name: {(pz, merged): _run(PreparedMatrix(suite[name]), pz,
+                                          merged)
+                       for pz in PZ_VALUES for merged in (False, True)}
+                for name in NAMES}
+
+    data = run_once(benchmark, run)
+
+    rows = []
+    for name, grid in data.items():
+        for pz in PZ_VALUES:
+            std, mrg = grid[(pz, False)], grid[(pz, True)]
+            rows.append([name, pz, std.makespan * 1e3, mrg.makespan * 1e3,
+                         std.makespan / mrg.makespan,
+                         std.t_scu * 1e3, mrg.t_scu * 1e3])
+    print()
+    print(format_table(
+        ["matrix", "Pz", "T std [ms]", "T merged [ms]", "gain",
+         "Tscu std", "Tscu merged"], rows,
+        title=f"Extension — merged-grid ancestors, P={P} ranks"))
+
+    for name, grid in data.items():
+        for pz in PZ_VALUES:
+            std, mrg = grid[(pz, False)], grid[(pz, True)]
+            # Identical arithmetic.
+            assert np.isclose(std.total_flops, mrg.total_flops)
+
+    # Non-planar at large Pz: merging wins clearly.
+    for name in ("Serena", "nlpkkt80"):
+        std16 = data[name][(16, False)]
+        mrg16 = data[name][(16, True)]
+        assert std16.makespan / mrg16.makespan > 1.2, \
+            f"{name}: merged grids should pay off at Pz=16"
+        assert mrg16.t_scu < 0.75 * std16.t_scu
+
+        # The Pz=8 -> 16 retreat shrinks or disappears.
+        std8 = data[name][(8, False)]
+        mrg8 = data[name][(8, True)]
+        std_retreat = std16.makespan / std8.makespan
+        mrg_retreat = mrg16.makespan / mrg8.makespan
+        assert mrg_retreat < std_retreat
+        assert mrg_retreat < 1.10, \
+            f"{name}: merged Pz=16 should not retreat ({mrg_retreat:.2f})"
+
+    # Planar: merging is at worst a small perturbation.
+    for pz in PZ_VALUES:
+        std = data["K2D5pt4096"][(pz, False)]
+        mrg = data["K2D5pt4096"][(pz, True)]
+        assert abs(std.makespan - mrg.makespan) < 0.15 * std.makespan

@@ -1,0 +1,72 @@
+"""Fig. 10: per-process communication volume, W_fact vs W_red.
+
+Planar (K2D5pt proxy) and non-planar (nlpkkt80 proxy) on 96 and 384
+ranks. Reproduced claims:
+
+* W_fact decreases monotonically with Pz on both problems;
+* W_red grows ~linearly with Pz and is far smaller for the planar matrix
+  (small separators) than for nlpkkt80;
+* the 3D algorithm reduces total per-process volume by ~3-4.7x (planar)
+  and ~2.5-3.7x (non-planar) at its best Pz;
+* for nlpkkt80 on 96 ranks, W_red's growth erodes the total-volume gain
+  between Pz=8 and Pz=16 (the paper's crossover remark).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.experiments.fig10 import fig10_text, run_fig10
+
+
+def test_fig10_comm_volume(benchmark):
+    series = run_once(benchmark, lambda: run_fig10(scale=scale()))
+    print()
+    print(fig10_text(series))
+
+    by = {(s.matrix, s.P): s for s in series}
+
+    for s in series:
+        # W_fact monotonically decreasing in Pz.
+        assert all(a >= b for a, b in zip(s.w_fact_bytes, s.w_fact_bytes[1:])), \
+            f"{s.matrix} P={s.P}: W_fact not decreasing"
+        # W_red grows with Pz.
+        assert all(a <= b for a, b in zip(s.w_red_bytes, s.w_red_bytes[1:])), \
+            f"{s.matrix} P={s.P}: W_red not growing"
+        # Total volume reduced at the best Pz by at least 2x.
+        best = min(s.w_total_bytes)
+        assert s.w_total_bytes[0] / best > 2.0, \
+            f"{s.matrix} P={s.P}: total volume reduction too small"
+
+    # Planar reduction factor exceeds non-planar at each P (paper: 3-4.7x
+    # vs 2.5-3.7x).
+    for P in (96, 384):
+        planar = by[("K2D5pt4096", P)]
+        nonpl = by[("nlpkkt80", P)]
+        planar_red = planar.w_total_bytes[0] / min(planar.w_total_bytes)
+        nonpl_red = nonpl.w_total_bytes[0] / min(nonpl.w_total_bytes)
+        assert planar_red > nonpl_red
+
+    # Reduction traffic is a much larger share of the total for nlpkkt80
+    # than for the planar matrix at Pz=16.
+    for P in (96, 384):
+        planar = by[("K2D5pt4096", P)]
+        nonpl = by[("nlpkkt80", P)]
+        planar_share = planar.w_red_bytes[-1] / planar.w_total_bytes[-1]
+        nonpl_share = nonpl.w_red_bytes[-1] / nonpl.w_total_bytes[-1]
+        assert nonpl_share > planar_share
+
+    # nlpkkt80 on 96 ranks: diminishing returns from Pz=8 to Pz=16 — the
+    # W_red increase eats most of the W_fact decrease.
+    s = by[("nlpkkt80", 96)]
+    gain_8 = s.w_total_bytes[0] / s.w_total_bytes[3]
+    gain_16 = s.w_total_bytes[0] / s.w_total_bytes[4]
+    assert gain_16 < 1.25 * gain_8, "expected W_total flattening at Pz=16"
+
+    # W_red scales "almost linearly" in Pz (the paper's words); Eq. (10)
+    # is Pz*log(Pz), whose fitted slope over Pz=2..16 is ~1.67, so accept
+    # slopes in [0.6, 2.1].
+    for s in series:
+        pz = np.array(s.pz[1:], dtype=float)
+        red = np.array(s.w_red_bytes[1:], dtype=float)
+        slope = np.polyfit(np.log(pz), np.log(red), 1)[0]
+        assert 0.6 < slope < 2.1, f"{s.matrix} P={s.P}: W_red slope {slope}"

@@ -1,0 +1,53 @@
+"""Fig. 11: relative memory overhead of 3D over 2D (percent).
+
+Reproduced claims:
+
+* overhead grows with Pz for every matrix (replicating more ancestors);
+* planar matrices stay cheap (paper: ~30% for K2D5pt4096 at Pz=16) —
+  small separators replicate little;
+* nlpkkt80 is the extreme (paper: ~200% at Pz=16): no good separators;
+* across the suite the Pz=16 overhead spans a wide range (paper: 18-245%).
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.experiments.fig11 import fig11_text, run_fig11
+
+P = 96
+
+
+def test_fig11_memory_overhead(benchmark):
+    series = run_once(benchmark, lambda: run_fig11(P=P, scale=scale()))
+    print()
+    print(fig11_text(series, P))
+
+    by = {s.matrix: s for s in series}
+
+    # Overhead grows with Pz for every matrix.
+    for s in series:
+        assert all(a <= b + 1e-9 for a, b in
+                   zip(s.overhead_pct, s.overhead_pct[1:])), \
+            f"{s.matrix}: overhead not increasing with Pz"
+        assert s.overhead_pct[0] >= 0.0
+
+    # Planar << non-planar extreme at Pz=16.
+    # Paper: ~30% for K2D5pt4096, ~200% for nlpkkt80 at Pz=16. Our KKT
+    # proxy's separators are slightly better than the real nlpkkt80's, so
+    # its overhead lands lower in absolute terms; the planar-vs-KKT gap is
+    # the reproducible content.
+    k2d = by["K2D5pt4096"].overhead_at_max_pz
+    nlp = by["nlpkkt80"].overhead_at_max_pz
+    assert k2d < 80.0, f"K2D5pt overhead too high: {k2d:.0f}%"
+    assert nlp > 60.0, f"nlpkkt80 overhead too low: {nlp:.0f}%"
+    assert nlp > 2 * k2d
+
+    # nlpkkt80 is (near-)worst across the suite, planar matrices cheapest.
+    worst = max(series, key=lambda s: s.overhead_at_max_pz)
+    assert not worst.planar
+    planar_max = max(s.overhead_at_max_pz for s in series if s.planar)
+    nonplanar_max = max(s.overhead_at_max_pz for s in series if not s.planar)
+    assert planar_max < nonplanar_max
+
+    # Suite-wide spread at Pz=16 is wide (paper: 18% to 245%).
+    lo = min(s.overhead_at_max_pz for s in series)
+    hi = max(s.overhead_at_max_pz for s in series)
+    assert hi / max(lo, 1.0) > 3.0, f"spread too narrow: {lo:.0f}%..{hi:.0f}%"

@@ -1,0 +1,75 @@
+"""Fig. 12 + Section V-F: performance heatmap over PXY x Pz.
+
+For the planar K2D5pt proxy and the non-planar nlpkkt80 proxy, sweep all
+(PXY, Pz) combinations and report achieved GFLOP/s (baseline flop count /
+modeled time — the paper's normalization). Reproduced claims:
+
+* the best configuration of every matrix has Pz > 1 (3D beats 2D);
+* the planar matrix reaches its best performance at a small-to-moderate
+  PXY and large Pz (the paper's constant-PXY ridge), so for fixed total P
+  it prefers depth over area;
+* the non-planar matrix wants *both*: its best configuration uses a
+  larger PXY than the planar one at the same total P (the diagonal ridge);
+* best-3D over best-2D speedup is large for planar, moderate (paper:
+  2.1-3.3x) for non-planar.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.experiments.fig12 import fig12_text, run_fig12
+
+
+def test_fig12_heatmap(benchmark):
+    heatmaps = run_once(benchmark, lambda: run_fig12(scale=scale()))
+    print()
+    print(fig12_text(heatmaps))
+
+    by = {hm.matrix: hm for hm in heatmaps}
+    k2d = by["K2D5pt4096"]
+    nlp = by["nlpkkt80"]
+
+    # 3D beats 2D for both matrices; planar gains more (V-F: 5-27.4x vs
+    # 2.1-3.3x).
+    assert k2d.best_case_speedup > 2.0
+    assert nlp.best_case_speedup > 1.2
+    assert k2d.best_case_speedup > nlp.best_case_speedup
+
+    # Best configurations use Pz > 1.
+    assert k2d.best_config()[1] > 1
+    assert nlp.best_config()[1] > 1
+
+    # Ridge shapes at fixed total P: among configurations with the same
+    # P = PXY*Pz budget, the planar matrix prefers at least as much depth
+    # (Pz) as the non-planar one.
+    def best_pz_at_total(hm, total):
+        best, arg = -1.0, None
+        for i, pxy in enumerate(hm.pxy):
+            for j, pz in enumerate(hm.pz):
+                if pxy * pz == total and hm.gflops[i, j] > best:
+                    best, arg = hm.gflops[i, j], pz
+        return arg
+
+    for total in (96, 192, 384):
+        pz_planar = best_pz_at_total(k2d, total)
+        pz_nonpl = best_pz_at_total(nlp, total)
+        assert pz_planar is not None and pz_nonpl is not None
+        assert pz_planar >= pz_nonpl, (
+            f"P={total}: planar best Pz {pz_planar} < non-planar {pz_nonpl}")
+
+    # Performance grows with total ranks along each matrix's ridge — the
+    # strong-scaling headroom claim ("up to 16x more processors with
+    # continued time reduction").
+    for hm in heatmaps:
+        best_per_total = {}
+        for i, pxy in enumerate(hm.pxy):
+            for j, pz in enumerate(hm.pz):
+                t = pxy * pz
+                best_per_total[t] = max(best_per_total.get(t, 0.0),
+                                        hm.gflops[i, j])
+        totals = sorted(best_per_total)
+        gains = [best_per_total[b] / best_per_total[a]
+                 for a, b in zip(totals, totals[1:])]
+        # At least the first few doublings keep improving performance.
+        assert all(g > 1.0 for g in gains[:3]), \
+            f"{hm.matrix}: no strong-scaling headroom ({gains})"

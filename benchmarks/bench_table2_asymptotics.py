@@ -1,0 +1,44 @@
+"""Table II: asymptotic M / W / L scaling of the 2D and 3D algorithms.
+
+Regenerates the paper's asymptotic claims by sweeping n on the planar and
+non-planar model problems and fitting log-log exponents of the measured
+per-process quantities against the closed-form models.
+
+Pass criterion: every fitted exponent within 0.25 of its model exponent
+(the model curves carry log-factors, so exact power-law agreement is not
+expected even in theory).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2 import run_table2, table2_text
+
+
+def test_table2_asymptotics(benchmark):
+    rows = run_once(benchmark, run_table2)
+    print()
+    print(table2_text(rows))
+
+    for r in rows:
+        assert r.exponent_error < 0.25, (
+            f"{r.problem} {r.algorithm} {r.quantity}: measured exponent "
+            f"{r.measured_exponent:.2f} vs model {r.model_exponent:.2f}")
+
+    by = {(r.problem, r.algorithm, r.quantity): r for r in rows}
+    # Latency: the 3D algorithm must cut the per-process message count —
+    # the paper's O(log n) planar / O(n^{1/3}) non-planar factors show up
+    # as a lower measured curve, not just a lower exponent.
+    for problem in ("planar", "non-planar"):
+        l2 = by[(problem, "2D", "L")].measured
+        l3 = by[(problem, "3D", "L")].measured
+        assert l3[-1] < l2[-1], f"{problem}: 3D latency not reduced"
+    # Communication: 3D (Pz=4) must move fewer words per process at the
+    # largest size on both problems.
+    for problem in ("planar", "non-planar"):
+        w2 = by[(problem, "2D", "W")].measured
+        w3 = by[(problem, "3D", "W")].measured
+        assert w3[-1] < w2[-1], f"{problem}: 3D volume not reduced"
+    # Memory: the 3D overhead is a constant factor, not a different power.
+    for problem in ("planar", "non-planar"):
+        m2 = by[(problem, "2D", "M")]
+        m3 = by[(problem, "3D", "M")]
+        assert abs(m2.measured_exponent - m3.measured_exponent) < 0.2

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints its paper-comparison table to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
+qualitative claims — who wins, by roughly what factor, where crossovers
+fall. Set ``REPRO_SCALE=tiny|small|medium`` to trade fidelity for speed
+(default: small, minutes for the full suite).
+"""
+
+import os
+
+import pytest
+
+
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def repro_scale() -> str:
+    return scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic simulations — repeating them adds
+    information about *harness* speed only, so one round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

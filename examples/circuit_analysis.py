@@ -1,0 +1,62 @@
+"""DC operating-point analysis of a power-distribution network.
+
+The paper's suite includes G3_circuit and ecology1 — planar-ish,
+very sparse matrices from circuit and lattice models, the class where the
+3D algorithm shines (Section V-B). This example builds a jittered
+power-grid conductance matrix, solves for node voltages under several
+current-injection patterns reusing one factorization, and shows the
+2D-vs-3D communication ledger for this matrix class.
+
+Run:  python examples/circuit_analysis.py
+"""
+
+import numpy as np
+
+from repro import SparseLU3D, circuit_like
+
+
+def main() -> None:
+    # A 64 x 64 power grid with random vias (n = 4096, nnz/n ~ 5).
+    G, geometry = circuit_like(64, seed=3)
+    n = G.shape[0]
+    print(f"conductance matrix: n={n}, nnz/n={G.nnz / n:.1f}")
+
+    solver = SparseLU3D(G, geometry=geometry, px=2, py=2, pz=4, leaf_size=64)
+    solver.factorize()
+
+    rng = np.random.default_rng(0)
+    scenarios = {
+        "single load":   _inject(n, rng, loads=1),
+        "clustered":     _inject(n, rng, loads=8),
+        "distributed":   _inject(n, rng, loads=64),
+    }
+    for name, i_inj in scenarios.items():
+        v = solver.solve(i_inj)
+        res = np.linalg.norm(G @ v - i_inj) / np.linalg.norm(i_inj)
+        print(f"{name:12s}: |v| range [{v.min():+.3e}, {v.max():+.3e}]  "
+              f"residual {res:.1e}")
+        assert res < 1e-10
+
+    # The communication story for this matrix class: compare with a pure
+    # 2D run of the same total rank count.
+    flat = SparseLU3D(G, geometry=geometry, px=4, py=4, pz=1, leaf_size=64)
+    flat.factorize()
+    w3d = solver.comm_volume().max()
+    w2d = flat.comm_volume().max()
+    print(f"\nper-rank comm volume, 16 ranks: 2D(4x4x1) {w2d:.3g} words vs "
+          f"3D(2x2x4) {w3d:.3g} words -> {w2d / w3d:.2f}x reduction")
+    print(f"modeled factor time: 2D {flat.makespan * 1e3:.2f} ms vs "
+          f"3D {solver.makespan * 1e3:.2f} ms")
+
+
+def _inject(n: int, rng, loads: int) -> np.ndarray:
+    """Current injections: `loads` sinks balanced by one source."""
+    i = np.zeros(n)
+    sinks = rng.choice(n - 1, size=loads, replace=False) + 1
+    i[sinks] = -1.0 / loads
+    i[0] = 1.0
+    return i
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Implicit heat-equation time stepping: factor once, solve every step.
+
+The workload sparse direct solvers are built for (and the paper's intro
+motivates): an implicit time integrator solves the *same* linear system
+``(I + dt*L) u_{k+1} = u_k`` at every step, so one factorization is
+amortized over many triangular solves. This example integrates the 2D
+heat equation with backward Euler on a 48 x 48 grid, using the 3D
+factorization on a 2 x 2 x 2 simulated grid, and reports both the physics
+(heat diffusing from a hot spot) and the amortization economics.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import SparseLU3D, grid2d_5pt
+
+
+def main() -> None:
+    nx = 48
+    n = nx * nx
+    dt = 0.1
+
+    # grid2d_5pt returns the (positive definite) 5-point Laplacian with
+    # diagonal 4; I + dt*L is the backward-Euler operator.
+    L, geometry = grid2d_5pt(nx)
+    A = (sp.identity(n) + dt * L).tocsr()
+
+    solver = SparseLU3D(A, geometry=geometry, px=2, py=2, pz=2, leaf_size=48)
+    solver.factorize()
+    factor_time = solver.makespan
+    print(f"factorization: modeled {factor_time * 1e3:.2f} ms on "
+          f"{solver.grid.size} ranks ({solver.grid!r})")
+
+    # Initial condition: a hot square in the center.
+    u = np.zeros((nx, nx))
+    u[20:28, 20:28] = 100.0
+    u = u.ravel()
+    total_heat = []
+
+    solve_clock_start = solver.sim.makespan
+    nsteps = 20
+    for _ in range(nsteps):
+        u = solver.solve(u, refine=False)
+        total_heat.append(u.sum())
+    solve_time = (solver.sim.makespan - solve_clock_start) / nsteps
+
+    print(f"{nsteps} backward-Euler steps, modeled {solve_time * 1e3:.3f} ms "
+          f"per solve ({factor_time / solve_time:.1f} solves amortize one "
+          f"factorization)")
+
+    # Physics sanity: diffusion conserves heat (up to boundary losses) and
+    # flattens the peak.
+    u_grid = u.reshape(nx, nx)
+    print(f"peak temperature: 100.0 -> {u_grid.max():.2f}")
+    print(f"heat at t0 {total_heat[0]:.4f} -> t_end {total_heat[-1]:.4f} "
+          "(boundary absorbs the rest)")
+    assert u_grid.max() < 100.0
+    assert total_heat[-1] < total_heat[0]
+    center = u_grid[24, 24]
+    corner = u_grid[0, 0]
+    assert center > corner, "heat should still be centered"
+    print("OK: diffusion behaves physically")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so `pip install -e .` works in offline environments whose pip cannot
+bootstrap PEP 517/660 builds (no `wheel` package, no network). All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

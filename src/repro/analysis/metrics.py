@@ -1,0 +1,99 @@
+"""Condensed per-run metrics, aligned with the paper's reported quantities.
+
+Conventions (documented once, used by every benchmark):
+
+* **Critical path** quantities come from the rank with the maximum clock.
+* ``t_scu`` is the Schur-complement-update compute time booked on that rank
+  (what Fig. 9 stacks as ``T_scu``); ``t_comm`` is everything on its clock
+  that is not booked compute — non-overlapped communication and
+  synchronization (Fig. 9's ``T_comm``).
+* **Per-process communication volume** is the *maximum over ranks* of
+  words sent + received (Fig. 10 reports the critical-path process),
+  split by phase into factorization (``w_fact``) and ancestor-reduction
+  (``w_red``) traffic.
+* **Memory** is the maximum per-rank peak in words (Fig. 11 reports the
+  relative overhead of this quantity vs the 2D baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.simulator import Simulator
+
+__all__ = ["FactorizationMetrics"]
+
+
+@dataclass(frozen=True)
+class FactorizationMetrics:
+    """Immutable summary of one factorization simulation."""
+
+    nranks: int
+    makespan: float            # seconds, critical path
+    t_scu: float               # Schur-update time on the critical rank
+    t_panel: float             # diag+panel compute time on the critical rank
+    t_comm: float              # non-overlapped comm+sync on the critical rank
+    w_fact_max: float          # max per-rank factorization words
+    w_red_max: float           # max per-rank reduction words
+    w_fact_mean: float
+    w_red_mean: float
+    msgs_max: int              # max per-rank message count (latency proxy)
+    mem_peak_max: float        # max per-rank peak memory (words)
+    mem_peak_total: float      # aggregate peak memory (words)
+    mem_resident_total: float  # aggregate post-run resident memory (words):
+                               # static factor + replica storage, transient
+                               # buffers freed
+    total_flops: float
+
+    @classmethod
+    def from_simulator(cls, sim: Simulator) -> "FactorizationMetrics":
+        r = sim.critical_rank
+        t_scu = float(sim.t_compute["schur"][r] + sim.t_compute["reduce_add"][r])
+        t_panel = float(sim.t_compute["diag"][r] + sim.t_compute["panel"][r]
+                        + sim.t_compute["solve"][r])
+        w_fact = sim.words_per_rank("fact")
+        w_red = sim.words_per_rank("red")
+        return cls(
+            nranks=sim.nranks,
+            makespan=sim.makespan,
+            t_scu=t_scu,
+            t_panel=t_panel,
+            t_comm=sim.makespan - t_scu - t_panel,
+            w_fact_max=float(w_fact.max()),
+            w_red_max=float(w_red.max()),
+            w_fact_mean=float(w_fact.mean()),
+            w_red_mean=float(w_red.mean()),
+            msgs_max=int(sim.msgs_per_rank().max()),
+            mem_peak_max=float(sim.mem_peak.max()),
+            mem_peak_total=float(sim.mem_peak.sum()),
+            mem_resident_total=float(sim.mem_current.sum()),
+            total_flops=float(sum(f.sum() for f in sim.flops.values())),
+        )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def w_total_max(self) -> float:
+        """Fig. 10's W_total: critical-path per-process volume."""
+        return self.w_fact_max + self.w_red_max
+
+    @property
+    def flop_rate(self) -> float:
+        """Aggregate achieved flop/s over the critical path (Fig. 12)."""
+        return self.total_flops / self.makespan if self.makespan > 0 else 0.0
+
+    def speedup_over(self, baseline: "FactorizationMetrics") -> float:
+        return baseline.makespan / self.makespan
+
+    def memory_overhead_over(self, baseline: "FactorizationMetrics") -> float:
+        """Fig. 11's relative overhead, in percent."""
+        if baseline.mem_peak_max == 0:
+            raise ValueError("baseline has zero memory")
+        return 100.0 * (self.mem_peak_max / baseline.mem_peak_max - 1.0)
+
+    def comm_reduction_over(self, baseline: "FactorizationMetrics") -> float:
+        if self.w_total_max == 0:
+            return np.inf
+        return baseline.w_total_max / self.w_total_max

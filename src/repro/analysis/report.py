@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The benches print paper-style tables to stdout (pytest-benchmark captures
+and shows them with ``-s``); this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_si"]
+
+
+def format_si(x: float, digits: int = 3) -> str:
+    """Engineering-notation formatting: 1.23e+04 -> '12.3K'."""
+    if x == 0:
+        return "0"
+    units = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]
+    ax = abs(x)
+    for scale, suffix in units:
+        if ax >= scale:
+            return f"{x / scale:.{digits}g}{suffix}"
+    return f"{x:.{digits}g}"
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 floatfmt: str = ".3g") -> str:
+    """Render an aligned ASCII table.
+
+    Cells may be any type; floats are formatted with ``floatfmt``.
+    """
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:{floatfmt}}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,52 @@
+"""Dense kernels for the Cholesky variant.
+
+``potrf_shifted`` is the SPD analogue of GESP: if the diagonal block is
+not numerically positive definite (which can only happen through
+accumulated roundoff or a mildly indefinite input), a diagonal shift of
+``eps * ||A_kk||`` is added and the factorization retried — the standard
+shifted-Cholesky fallback. The shift count is reported so callers can warn
+and iterative refinement can clean up, mirroring static pivoting's
+perturbation accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+__all__ = ["potrf_shifted", "chol_panel_solve"]
+
+
+def potrf_shifted(A: np.ndarray, eps: float = 1e-10,
+                  max_shifts: int = 30) -> tuple[np.ndarray, int]:
+    """Lower Cholesky factor of ``A`` with diagonal-shift fallback.
+
+    Returns ``(L, nshifts)``; ``nshifts`` is how many times the shift was
+    doubled before the factorization succeeded.
+    """
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError("diagonal block must be square")
+    norm = np.abs(A).max()
+    shift = eps * norm if norm > 0 else eps
+    nshifts = 0
+    M = A
+    while True:
+        try:
+            return la.cholesky(M, lower=True), nshifts
+        except la.LinAlgError:
+            nshifts += 1
+            if nshifts > max_shifts:
+                raise la.LinAlgError(
+                    "diagonal block is not positive definite even after "
+                    f"{max_shifts} shifts — is the matrix SPD?") from None
+            M = A + shift * np.eye(n)
+            shift *= 2.0
+
+
+def chol_panel_solve(L_kk: np.ndarray, A_ik: np.ndarray) -> np.ndarray:
+    """Panel solve ``L_ik = A_ik L_kk^{-T}``.
+
+    ``X L^T = B  <=>  L X^T = B^T`` with ``L`` lower triangular (non-unit).
+    """
+    return la.solve_triangular(L_kk, A_ik.T, lower=True).T

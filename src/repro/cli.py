@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  write a synthetic test matrix (Matrix Market format);
+``solve``     factor a matrix and solve against a right-hand side;
+``sweep``     run the Fig. 9-style Pz sweep and print the trade-off table;
+``suggest``   auto-tune the process-grid shape for a matrix;
+``report``    regenerate every paper table/figure (EXPERIMENTS.md data).
+
+Matrices read from ``.mtx`` files have no lattice geometry attached, so
+ordering falls back to general-graph nested dissection unless ``--grid``
+re-supplies the lattice shape ("64", "64,48" or "16,16,8").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import FactorizationMetrics, format_table
+from repro.comm import Machine
+from repro.sparse import (
+    GridGeometry,
+    circuit_like,
+    grid2d_5pt,
+    grid2d_9pt,
+    grid3d_7pt,
+    grid3d_27pt,
+    kkt_like,
+    read_matrix_market,
+    thin_slab_7pt,
+    write_matrix_market,
+)
+
+GENERATORS = {
+    "grid2d_5pt": grid2d_5pt,
+    "grid2d_9pt": grid2d_9pt,
+    "grid3d_7pt": grid3d_7pt,
+    "grid3d_27pt": grid3d_27pt,
+    "thin_slab_7pt": thin_slab_7pt,
+    "circuit": circuit_like,
+    "kkt": kkt_like,
+}
+
+__all__ = ["main"]
+
+
+def _parse_grid(spec: str | None, n: int) -> GridGeometry | None:
+    if spec is None:
+        return None
+    dims = tuple(int(t) for t in spec.split(","))
+    geom = GridGeometry(dims, "cli")
+    if n % geom.nvertices != 0:
+        raise SystemExit(f"--grid {spec} does not match matrix size {n}")
+    return geom
+
+
+def _load(args) -> tuple:
+    A = read_matrix_market(args.matrix)
+    return A, _parse_grid(args.grid, A.shape[0])
+
+
+def cmd_generate(args) -> int:
+    gen = GENERATORS[args.kind]
+    sizes = [int(t) for t in args.size.split(",")]
+    A, geom = gen(*sizes)
+    write_matrix_market(args.out, A)
+    print(f"wrote {args.out}: n={A.shape[0]}, nnz={A.nnz}, "
+          f"lattice {'x'.join(map(str, geom.shape))}")
+    print(f"(pass --grid {','.join(map(str, geom.shape))} to later commands "
+          "to re-enable geometric ordering)")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    A, geom = _load(args)
+    if args.cholesky:
+        from repro.cholesky import SparseCholesky3D as Solver
+    else:
+        from repro.solve import SparseLU3D as Solver
+    solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
+                    leaf_size=args.leaf_size, machine=Machine.edison_like())
+    solver.factorize()
+    n = A.shape[0]
+    rng = np.random.default_rng(0)
+    b = np.ones(n) if args.rhs == "ones" else rng.standard_normal(n)
+    x = solver.solve(b)
+    res = float(np.linalg.norm(A @ x - b) / np.linalg.norm(b))
+    m = FactorizationMetrics.from_simulator(solver.sim)
+    print(f"n={n}  grid {args.px}x{args.py}x{args.pz}  "
+          f"algorithm={'Cholesky' if args.cholesky else 'LU'}")
+    print(f"relative residual   : {res:.3e}")
+    print(f"modeled factor time : {m.makespan * 1e3:.3f} ms "
+          f"(T_scu {m.t_scu * 1e3:.3f}, T_comm {m.t_comm * 1e3:.3f})")
+    print(f"per-rank comm volume: {m.w_total_max:.4g} words "
+          f"(fact {m.w_fact_max:.4g}, red {m.w_red_max:.4g})")
+    print(f"per-rank peak memory: {m.mem_peak_max:.4g} words")
+    if args.x_out:
+        np.savetxt(args.x_out, x)
+        print(f"solution written to {args.x_out}")
+    return 0 if res < args.tol else 1
+
+
+def cmd_sweep(args) -> int:
+    A, geom = _load(args)
+    from repro.experiments.harness import PreparedMatrix, pz_sweep
+    from repro.experiments.matrices import TestMatrix
+    tm = TestMatrix("cli", A, geom, True, args.leaf_size, 0, 0, 0, 0)
+    pm = PreparedMatrix(tm)
+    pz_values = tuple(int(t) for t in args.pz.split(","))
+    recs = pz_sweep(pm, args.P, pz_values)
+    if not recs:
+        raise SystemExit(f"no pz in {pz_values} divides P={args.P}")
+    base = recs[0].metrics
+    rows = [[r.label, r.metrics.makespan * 1e3,
+             base.makespan / r.metrics.makespan,
+             r.metrics.w_total_max,
+             r.metrics.mem_peak_total / base.mem_peak_total]
+            for r in recs]
+    print(format_table(
+        ["grid", "T [ms]", "speedup", "W/rank", "mem x"], rows,
+        title=f"Pz sweep, P={args.P} simulated ranks"))
+    return 0
+
+
+def cmd_suggest(args) -> int:
+    A, geom = _load(args)
+    from repro.tune import suggest_grid
+    s = suggest_grid(A, args.P, geometry=geom, leaf_size=args.leaf_size)
+    print(f"matrix class : {s.classification} (sigma={s.sigma:.3f})")
+    print(f"suggested    : {s.px} x {s.py} x {s.pz}  (P={s.total})")
+    print(f"rationale    : {s.rationale}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate all paper tables/figures at the chosen scale."""
+    from repro.experiments.fig9 import fig9_text, headline_speedups, run_fig9
+    from repro.experiments.fig10 import fig10_text, run_fig10
+    from repro.experiments.fig11 import fig11_text, run_fig11
+    from repro.experiments.fig12 import fig12_text, run_fig12
+    from repro.experiments.table2 import run_table2, table2_text
+    from repro.experiments.table3 import run_table3, table3_text
+
+    sections = {
+        "table2": lambda: table2_text(run_table2()),
+        "table3": lambda: table3_text(run_table3(scale=args.scale)),
+        "fig9": lambda: "\n".join(
+            fig9_text(res, P) + "\nheadline best-config speedups: "
+            + repr(headline_speedups(res))
+            for P, res in ((96, run_fig9(P=96, scale=args.scale)),
+                           (384, run_fig9(P=384, scale=args.scale)))),
+        "fig10": lambda: fig10_text(run_fig10(scale=args.scale)),
+        "fig11": lambda: fig11_text(run_fig11(scale=args.scale), 96),
+        "fig12": lambda: fig12_text(run_fig12(scale=args.scale)),
+    }
+    wanted = args.only.split(",") if args.only else list(sections)
+    unknown = set(wanted) - set(sections)
+    if unknown:
+        raise SystemExit(f"unknown sections: {sorted(unknown)}; "
+                         f"available: {sorted(sections)}")
+    for name in wanted:
+        print(f"\n===== {name} =====")
+        print(sections[name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-avoiding 3D sparse LU (IPDPS'18 "
+                    "reproduction) on a simulated process grid")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic test matrix")
+    g.add_argument("--kind", choices=sorted(GENERATORS), required=True)
+    g.add_argument("--size", required=True,
+                   help="generator sizes, comma-separated (e.g. 64 or 32,32,4)")
+    g.add_argument("--out", required=True, help="output .mtx path")
+    g.set_defaults(fn=cmd_generate)
+
+    def common(sp, with_grid=True):
+        sp.add_argument("matrix", help="MatrixMarket .mtx file")
+        if with_grid:
+            sp.add_argument("--grid", default=None,
+                            help="lattice shape for geometric ordering, "
+                                 "e.g. 64,64")
+        sp.add_argument("--leaf-size", type=int, default=64)
+
+    s = sub.add_parser("solve", help="factor and solve")
+    common(s)
+    s.add_argument("--px", type=int, default=1)
+    s.add_argument("--py", type=int, default=1)
+    s.add_argument("--pz", type=int, default=1)
+    s.add_argument("--rhs", choices=("ones", "random"), default="ones")
+    s.add_argument("--cholesky", action="store_true",
+                   help="use the SPD Cholesky engine")
+    s.add_argument("--tol", type=float, default=1e-8,
+                   help="residual threshold for exit status")
+    s.add_argument("--x-out", default=None, help="write solution vector here")
+    s.set_defaults(fn=cmd_solve)
+
+    w = sub.add_parser("sweep", help="Pz sweep (Fig. 9-style table)")
+    common(w)
+    w.add_argument("--P", type=int, default=96, help="total simulated ranks")
+    w.add_argument("--pz", default="1,2,4,8,16",
+                   help="comma-separated Pz values")
+    w.set_defaults(fn=cmd_sweep)
+
+    t = sub.add_parser("suggest", help="auto-tune the grid shape")
+    common(t)
+    t.add_argument("--P", type=int, default=96)
+    t.set_defaults(fn=cmd_suggest)
+
+    r = sub.add_parser("report",
+                       help="regenerate every paper table and figure")
+    r.add_argument("--scale", choices=("tiny", "small", "medium"),
+                   default="small")
+    r.add_argument("--only", default=None,
+                   help="comma-separated subset, e.g. table2,fig10")
+    r.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

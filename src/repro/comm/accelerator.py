@@ -1,0 +1,49 @@
+"""Accelerator offload model (the paper's HALO companion, Section VII).
+
+    "Our 'HALO' algorithm for accelerator offload can be seen as an
+    instance of the 3D sparse LU algorithm … We plan to add HALO to the
+    3D algorithm for hybrid clusters."
+
+Each rank optionally owns an accelerator with its own clock. Offloading a
+Schur-complement GEMM costs the host an enqueue overhead (kernel launch +
+metadata) and the accelerator the PCIe transfer of its operands plus the
+GEMM at the accelerator's flop rate; the accelerator runs asynchronously
+until the host *syncs* (before factoring a panel whose blocks the pending
+updates may target). Small updates stay on the host — HALO's defining
+policy, and the reason it "works much better for matrices that have large
+dense blocks" (Section VII): overhead amortizes only over big GEMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Accelerator"]
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """Cost coefficients of one per-rank accelerator.
+
+    Defaults approximate a K20x-era GPU per MPI rank (the HALO paper's
+    hardware class): ~250 GF/s sustained DGEMM, ~6 GB/s effective PCIe,
+    ~20 µs per offloaded update for launch + packing metadata.
+    """
+
+    gamma_accel: float = 4.0e-12     # s/flop on the accelerator (~250 GF/s)
+    pcie_beta: float = 1.3e-9        # s/word host<->device
+    offload_overhead: float = 2.0e-5  # s per offloaded block update (host)
+    min_flops: float = 2.0e6         # offload threshold: smaller stays on host
+
+    def __post_init__(self):
+        for name in ("gamma_accel", "pcie_beta", "offload_overhead",
+                     "min_flops"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def should_offload(self, flops: float) -> bool:
+        return flops >= self.min_flops
+
+    def device_time(self, flops: float, words: float) -> float:
+        """Accelerator-side cost of one offloaded update."""
+        return self.pcie_beta * words + self.gamma_accel * flops

@@ -1,0 +1,52 @@
+"""Tree-structured collectives built from simulator point-to-point events.
+
+SuperLU_DIST implements its panel broadcasts as asynchronous binary-tree
+broadcasts over the process row/column communicators; we model the same
+shape with binomial trees. Because every hop is a real simulated message,
+per-rank volume, message counts, and critical-path timing all fall out of
+the point-to-point ledgers with no special-casing, and Σ sent = Σ received
+holds by construction.
+"""
+
+from __future__ import annotations
+
+from repro.comm.simulator import Simulator
+
+__all__ = ["bcast", "reduce_pairwise"]
+
+
+def bcast(sim: Simulator, root: int, ranks: list[int], words: float) -> None:
+    """Binomial-tree broadcast of ``words`` from ``root`` to ``ranks``.
+
+    ``ranks`` is the participant list; ``root`` must be a member. Relay
+    ranks forward only after they have received (enforced naturally by the
+    simulator's arrival-time semantics).
+    """
+    if root not in ranks:
+        raise ValueError(f"root {root} not among participants {ranks}")
+    if words < 0:
+        raise ValueError("words must be non-negative")
+    # Rotate so the root is participant 0; binomial order on indices.
+    order = [root] + [r for r in ranks if r != root]
+    p = len(order)
+    span = 1
+    while span < p:
+        for i in range(span):
+            j = i + span
+            if j < p:
+                sim.send(order[i], order[j], words)
+                sim.recv(order[j], order[i])
+        span *= 2
+
+
+def reduce_pairwise(sim: Simulator, src: int, dst: int, words: float,
+                    add_flops: float | None = None) -> None:
+    """One hop of Algorithm 1's Ancestor-Reduction: ``dst += src``.
+
+    The receiver pays the element-wise addition (``add_flops`` defaults to
+    one flop per word, the cost of summing the two block copies).
+    """
+    sim.send(src, dst, words)
+    sim.recv(dst, src)
+    flops = words if add_flops is None else add_flops
+    sim.compute(dst, flops, "reduce_add")

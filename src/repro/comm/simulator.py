@@ -1,0 +1,279 @@
+"""Deterministic virtual-rank simulator with per-rank ledgers.
+
+Execution model
+---------------
+A single Python driver executes the factorization schedule and narrates it
+to the simulator as *events on virtual ranks*: ``compute``, ``send``,
+``recv``, ``alloc``/``free``. Each rank has a clock; blocking semantics are:
+
+* ``compute(r, flops, kind)`` advances ``r``'s clock by the modeled kernel
+  time and books the flops under ``kind``;
+* ``send(src, dst, words)`` advances ``src`` by ``alpha + beta*words`` (the
+  NIC is busy for the transfer) and enqueues the message with its arrival
+  time;
+* ``recv(dst, src)`` pops the matching message FIFO and advances ``dst`` to
+  ``max(clock[dst], arrival)`` — if the message arrived while ``dst`` was
+  computing, the wait is zero. This is how the lookahead pipeline's
+  communication/computation overlap manifests: drivers that post sends
+  early hide them behind later GEMMs.
+
+Everything not booked as compute is, by definition, non-overlapped
+communication/synchronization — the paper's ``T_comm``.
+
+The driver must issue events in a causally valid order (a ``recv`` only
+after its ``send``); :class:`CommError` flags violations. Because the
+collectives are built from these point-to-point events, volume conservation
+(Σ words sent = Σ words received) holds mechanically, and tests assert it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.comm.machine import Machine
+from repro.utils import check_positive_int
+
+if TYPE_CHECKING:  # avoid the comm <-> analysis import cycle at runtime
+    from repro.analysis.trace import Trace
+
+__all__ = ["Simulator", "CommError"]
+
+
+class CommError(RuntimeError):
+    """A causality or protocol violation in the simulated schedule."""
+
+
+#: Compute kinds the simulator recognizes; ledgers are per kind.
+COMPUTE_KINDS = ("diag", "panel", "schur", "reduce_add", "solve")
+
+#: Communication phases for volume attribution (Fig. 10 split).
+PHASES = ("fact", "red", "solve")
+
+
+class Simulator:
+    """Virtual ranks, clocks, message queues and cost ledgers."""
+
+    def __init__(self, nranks: int, machine: Machine | None = None,
+                 trace: "Trace | None" = None, topology=None):
+        self.nranks = check_positive_int(nranks, "nranks")
+        self.machine = machine or Machine.edison_like()
+        self.trace = trace
+        #: Optional network model (see repro.comm.topology): scales the
+        #: per-message alpha and beta by (src, dst)-dependent factors.
+        self.topology = topology
+        self.clock = np.zeros(self.nranks)
+
+        self.flops = {k: np.zeros(self.nranks) for k in COMPUTE_KINDS}
+        self.t_compute = {k: np.zeros(self.nranks) for k in COMPUTE_KINDS}
+        self.words_sent = {p: np.zeros(self.nranks) for p in PHASES}
+        self.words_recv = {p: np.zeros(self.nranks) for p in PHASES}
+        self.msgs_sent = {p: np.zeros(self.nranks, dtype=np.int64) for p in PHASES}
+        self.msgs_recv = {p: np.zeros(self.nranks, dtype=np.int64) for p in PHASES}
+
+        self.mem_current = np.zeros(self.nranks)
+        self.mem_peak = np.zeros(self.nranks)
+
+        self.phase: str = "fact"
+        self._queues: dict[tuple[int, int], deque] = defaultdict(deque)
+
+        # Optional per-rank accelerators (attach_accelerator).
+        self.accelerator = None
+        self.accel_clock: np.ndarray | None = None
+        self.accel_flops: np.ndarray | None = None
+        self.offloaded_updates: np.ndarray | None = None
+
+    # -- validation helpers --------------------------------------------------
+
+    def _check_rank(self, r: int) -> int:
+        if not 0 <= r < self.nranks:
+            raise CommError(f"rank {r} out of range [0, {self.nranks})")
+        return int(r)
+
+    def set_phase(self, phase: str) -> None:
+        if phase not in PHASES:
+            raise CommError(f"unknown phase {phase!r}")
+        self.phase = phase
+
+    # -- compute -------------------------------------------------------------
+
+    def compute(self, rank: int, flops: float, kind: str,
+                n_block_updates: int = 0) -> None:
+        """Book ``flops`` of kernel ``kind`` on ``rank`` and advance its clock.
+
+        ``n_block_updates`` adds the per-block pack/scatter overhead for
+        Schur updates.
+        """
+        rank = self._check_rank(rank)
+        if kind not in COMPUTE_KINDS:
+            raise CommError(f"unknown compute kind {kind!r}")
+        if flops < 0:
+            raise CommError("flops must be non-negative")
+        gamma = self.machine.gamma_gemm if kind in ("schur", "reduce_add") \
+            else self.machine.gamma_panel
+        dt = flops * gamma + n_block_updates * self.machine.gemm_overhead
+        start = self.clock[rank]
+        self.clock[rank] += dt
+        self.flops[kind][rank] += flops
+        self.t_compute[kind][rank] += dt
+        if self.trace is not None:
+            self.trace.record(rank, start, self.clock[rank], kind, self.phase)
+
+    # -- point-to-point --------------------------------------------------------
+
+    def send(self, src: int, dst: int, words: float) -> None:
+        """Post a message; the sender's NIC is busy for the full transfer."""
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        if words < 0:
+            raise CommError("words must be non-negative")
+        if src == dst:
+            return  # self-messages are free (local pointer pass)
+        start = self.clock[src]
+        alpha, beta = self.machine.alpha, self.machine.beta
+        if self.topology is not None:
+            alpha *= self.topology.latency_factor(src, dst)
+            beta *= self.topology.bandwidth_factor(src, dst)
+        self.clock[src] += alpha + beta * words
+        self._queues[(src, dst)].append((self.clock[src], words))
+        self.words_sent[self.phase][src] += words
+        self.msgs_sent[self.phase][src] += 1
+        if self.trace is not None:
+            self.trace.record(src, start, self.clock[src], "send",
+                              self.phase, words)
+
+    def recv(self, dst: int, src: int) -> float:
+        """Complete the oldest pending message from ``src``; returns its size."""
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        if src == dst:
+            return 0.0
+        q = self._queues[(src, dst)]
+        if not q:
+            raise CommError(f"recv on rank {dst} from {src}: no pending message")
+        arrival, words = q.popleft()
+        start = self.clock[dst]
+        self.clock[dst] = max(self.clock[dst], arrival)
+        self.words_recv[self.phase][dst] += words
+        self.msgs_recv[self.phase][dst] += 1
+        if self.trace is not None and self.clock[dst] > start:
+            self.trace.record(dst, start, self.clock[dst], "recv_wait",
+                              self.phase, words)
+        return words
+
+    def sendrecv(self, src: int, dst: int, words: float) -> None:
+        self.send(src, dst, words)
+        self.recv(dst, src)
+
+    # -- accelerator offload -----------------------------------------------
+
+    def attach_accelerator(self, accel) -> None:
+        """Give every rank an accelerator (see repro.comm.accelerator)."""
+        self.accelerator = accel
+        self.accel_clock = np.zeros(self.nranks)
+        self.accel_flops = np.zeros(self.nranks)
+        self.offloaded_updates = np.zeros(self.nranks, dtype=np.int64)
+
+    def offload_gemm(self, rank: int, flops: float, words: float) -> None:
+        """Enqueue a GEMM on ``rank``'s accelerator (asynchronous).
+
+        Host pays the enqueue overhead; the device starts no earlier than
+        the host's enqueue time and runs transfer + GEMM back-to-back.
+        """
+        rank = self._check_rank(rank)
+        if self.accelerator is None:
+            raise CommError("no accelerator attached")
+        start = self.clock[rank]
+        self.clock[rank] += self.accelerator.offload_overhead
+        self.accel_clock[rank] = max(self.accel_clock[rank],
+                                     self.clock[rank]) +             self.accelerator.device_time(flops, words)
+        self.accel_flops[rank] += flops
+        self.offloaded_updates[rank] += 1
+        if self.trace is not None:
+            self.trace.record(rank, start, self.clock[rank], "send",
+                              self.phase, 0.0)
+
+    def accel_sync(self, rank: int) -> None:
+        """Block the host until ``rank``'s accelerator has drained."""
+        rank = self._check_rank(rank)
+        if self.accel_clock is not None:
+            self.clock[rank] = max(self.clock[rank], self.accel_clock[rank])
+
+    def accel_sync_all(self) -> None:
+        if self.accel_clock is not None:
+            np.maximum(self.clock, self.accel_clock, out=self.clock)
+
+    # -- synchronization -------------------------------------------------------
+
+    def barrier(self, ranks) -> None:
+        """Synchronize ``ranks`` to their common maximum clock."""
+        idx = [self._check_rank(r) for r in ranks]
+        if idx:
+            self.clock[idx] = self.clock[idx].max()
+
+    def pending_messages(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- memory ------------------------------------------------------------------
+
+    def alloc(self, rank: int, words: float) -> None:
+        rank = self._check_rank(rank)
+        if words < 0:
+            raise CommError("alloc words must be non-negative")
+        self.mem_current[rank] += words
+        self.mem_peak[rank] = max(self.mem_peak[rank], self.mem_current[rank])
+
+    def free(self, rank: int, words: float) -> None:
+        rank = self._check_rank(rank)
+        self.mem_current[rank] -= words
+        if self.mem_current[rank] < -1e-9:
+            raise CommError(f"rank {rank} freed more memory than allocated")
+
+    # -- derived quantities --------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Critical-path time: the maximum rank clock."""
+        return float(self.clock.max())
+
+    @property
+    def critical_rank(self) -> int:
+        return int(np.argmax(self.clock))
+
+    def compute_time(self, rank: int | None = None) -> float:
+        """Total booked compute time on ``rank`` (default: critical rank)."""
+        r = self.critical_rank if rank is None else self._check_rank(rank)
+        return float(sum(t[r] for t in self.t_compute.values()))
+
+    def comm_time(self, rank: int | None = None) -> float:
+        """Non-overlapped comm+sync time: clock minus booked compute."""
+        r = self.critical_rank if rank is None else self._check_rank(rank)
+        return float(self.clock[r]) - self.compute_time(r)
+
+    def total_words_sent(self, phase: str | None = None) -> float:
+        if phase is None:
+            return float(sum(w.sum() for w in self.words_sent.values()))
+        return float(self.words_sent[phase].sum())
+
+    def total_words_recv(self, phase: str | None = None) -> float:
+        if phase is None:
+            return float(sum(w.sum() for w in self.words_recv.values()))
+        return float(self.words_recv[phase].sum())
+
+    def words_per_rank(self, phase: str | None = None) -> np.ndarray:
+        """Per-rank communication volume (sent + received)."""
+        phases = PHASES if phase is None else (phase,)
+        out = np.zeros(self.nranks)
+        for p in phases:
+            out += self.words_sent[p] + self.words_recv[p]
+        return out
+
+    def msgs_per_rank(self, phase: str | None = None) -> np.ndarray:
+        phases = PHASES if phase is None else (phase,)
+        out = np.zeros(self.nranks, dtype=np.int64)
+        for p in phases:
+            out += self.msgs_sent[p] + self.msgs_recv[p]
+        return out

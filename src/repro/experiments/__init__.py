@@ -1,0 +1,27 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+:mod:`repro.experiments.matrices` builds the Table III test-suite proxies;
+:mod:`repro.experiments.harness` runs (matrix, P, Pz) configurations on the
+simulator and returns :class:`RunRecord` rows; the ``fig*``/``table*``
+modules assemble exactly the rows/series each paper table and figure
+reports. The ``benchmarks/`` directory contains one pytest-benchmark file
+per table/figure that drives these and prints the comparison.
+"""
+
+from repro.experiments.matrices import TestMatrix, paper_suite, prepared
+from repro.experiments.harness import (
+    PreparedMatrix,
+    RunRecord,
+    pz_sweep,
+    run_configuration,
+)
+
+__all__ = [
+    "PreparedMatrix",
+    "RunRecord",
+    "TestMatrix",
+    "paper_suite",
+    "prepared",
+    "pz_sweep",
+    "run_configuration",
+]

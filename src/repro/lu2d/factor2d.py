@@ -1,0 +1,250 @@
+"""The right-looking 2D factorization driver (``dSparseLU2D``).
+
+Factors a given node list (the whole matrix for the 2D baseline; one forest
+of the local elimination tree-forest when called from the 3D driver) on a
+2D process grid, emitting every compute and communication event to the
+simulator and — in numeric mode — performing the real block arithmetic
+in place on a :class:`repro.sparse.blockmatrix.BlockMatrix`-like store.
+
+The lookahead pipeline factors panels of upcoming *ready* supernodes (all
+their in-list descendants' Schur updates applied — for leaves of the node
+list, immediately) before performing the current node's Schur update, so
+panel broadcasts travel while GEMMs run, exactly the overlap scheme of
+Section II-F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.collectives import bcast
+from repro.comm.grid import ProcessGrid2D
+from repro.comm.simulator import Simulator
+from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
+from repro.lu2d.storage import allocate_factor_storage
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+
+__all__ = ["FactorOptions", "Factor2DResult", "factor_nodes_2d", "factor_2d"]
+
+
+@dataclass(frozen=True)
+class FactorOptions:
+    """Tunables of the factorization drivers.
+
+    Attributes
+    ----------
+    lookahead:
+        Pipeline window in supernodes; SuperLU_DIST uses 8-20 (Section
+        II-F). ``0`` disables pipelining (strictly synchronous steps).
+    pivot_eps:
+        GESP threshold: diagonal pivots below ``pivot_eps * ||A_kk||_max``
+        are perturbed to that magnitude.
+    track_buffers:
+        Charge transient panel receive buffers to the memory ledgers.
+    sparse_bcast:
+        Prune broadcast receiver sets to the ranks that actually own an
+        update target (SuperLU_DIST builds its BC/RD trees over exactly
+        those ranks). ``False`` broadcasts along whole process rows/
+        columns — the flat model Section IV analyzes.
+    """
+
+    lookahead: int = 8
+    pivot_eps: float = 1e-10
+    track_buffers: bool = True
+    sparse_bcast: bool = False
+
+    def __post_init__(self):
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        if self.pivot_eps <= 0:
+            raise ValueError("pivot_eps must be positive")
+
+
+@dataclass
+class Factor2DResult:
+    """Outcome of one ``factor_nodes_2d`` call."""
+
+    nodes: list[int]
+    perturbed_pivots: int = 0
+    panel_steps: int = 0
+    schur_block_updates: int = 0
+    buffer_peak_words: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class _NullStore:
+    """Cost-only mode: block lookups succeed but carry no data."""
+
+    def __contains__(self, key) -> bool:  # pragma: no cover - trivial
+        return False
+
+
+def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
+                    grid: ProcessGrid2D, sim: Simulator, data=None,
+                    options: FactorOptions | None = None) -> Factor2DResult:
+    """Factor ``nodes`` (ascending block ids) on ``grid``.
+
+    ``data`` is a mapping ``(i, j) -> ndarray`` holding this grid's copy of
+    every block the nodes touch (their panels and all Schur-update targets);
+    pass ``None`` for cost-only simulation. Blocks are overwritten with the
+    packed L\\U factors.
+    """
+    opts = options or FactorOptions()
+    numeric = data is not None
+    store = data if numeric else _NullStore()
+    nodes = sorted(int(k) for k in nodes)
+    node_set = set(nodes)
+    layout = sf.layout
+    lpanel, upanel = sf.fill.lpanel, sf.fill.upanel
+    costs = sf.costs
+
+    # In-list ancestor chains: for lookahead readiness and completion counts.
+    anc_in_list: dict[int, list[int]] = {}
+    pending = {k: 0 for k in nodes}
+    for u in nodes:
+        chain = []
+        p = int(sf.tree.parent[u])
+        while p != -1:
+            if p in node_set:
+                chain.append(p)
+                pending[p] += 1
+            p = int(sf.tree.parent[p])
+        anc_in_list[u] = chain
+
+    panel_done: set[int] = set()
+    buffers: dict[int, list[tuple[int, float]]] = {}  # node -> [(rank, words)]
+    result = Factor2DResult(nodes=nodes)
+
+    def do_panel(k: int) -> None:
+        s = layout.block_size(k)
+        lp, up = lpanel[k], upanel[k]
+        owner_kk = grid.owner(k, k)
+        # Pending offloaded updates may target this supernode's blocks:
+        # drain the involved ranks' accelerators first (HALO sync point).
+        if sim.accelerator is not None:
+            sim.accel_sync(owner_kk)
+            for j in up:
+                sim.accel_sync(grid.owner(k, int(j)))
+            for i in lp:
+                sim.accel_sync(grid.owner(int(i), k))
+        if numeric:
+            result.perturbed_pivots += getrf_nopiv(store[(k, k)], opts.pivot_eps)
+        sim.compute(owner_kk, costs.factor_flops[k], "diag")
+
+        tri_words = s * (s + 1) / 2.0
+        bufs: list[tuple[int, float]] = []
+
+        def _bcast(root: int, ranks: list[int], words: float) -> None:
+            if root not in ranks:
+                ranks = [root] + ranks
+            bcast(sim, root, ranks, words)
+            if opts.track_buffers:
+                for r in ranks:
+                    if r != root:
+                        sim.alloc(r, words)
+                        bufs.append((r, words))
+
+        if opts.sparse_bcast:
+            # SuperLU's BC trees span only ranks owning an update target:
+            # panel rows {i mod Px} and panel columns {j mod Py}.
+            target_rows = sorted({int(i) % grid.px for i in lp})
+            target_cols = sorted({int(j) % grid.py for j in up})
+            diag_row = [grid.rank(k % grid.px, pj) for pj in target_cols]
+            diag_col = [grid.rank(pi, k % grid.py) for pi in target_rows]
+        else:
+            diag_row = grid.row_ranks(k)
+            diag_col = grid.col_ranks(k)
+
+        if len(up):
+            _bcast(owner_kk, diag_row, tri_words)  # L_kk to U-panel owners
+        if len(lp):
+            _bcast(owner_kk, diag_col, tri_words)  # U_kk to L-panel owners
+
+        for j in up:
+            j = int(j)
+            sj = layout.block_size(j)
+            o = grid.owner(k, j)
+            if numeric:
+                store[(k, j)][:] = solve_upper_panel(store[(k, k)], store[(k, j)])
+            sim.compute(o, s * s * sj, "panel")
+            if opts.sparse_bcast:
+                ranks = [grid.rank(pi, j % grid.py) for pi in target_rows]
+            else:
+                ranks = grid.col_ranks(j)
+            _bcast(o, ranks, float(s * sj))
+        for i in lp:
+            i = int(i)
+            si = layout.block_size(i)
+            o = grid.owner(i, k)
+            if numeric:
+                store[(i, k)][:] = solve_lower_panel(store[(k, k)], store[(i, k)])
+            sim.compute(o, s * s * si, "panel")
+            if opts.sparse_bcast:
+                ranks = [grid.rank(i % grid.px, pj) for pj in target_cols]
+            else:
+                ranks = grid.row_ranks(i)
+            _bcast(o, ranks, float(si * s))
+
+        buffers[k] = bufs
+        panel_done.add(k)
+        result.panel_steps += 1
+        if opts.track_buffers:
+            result.buffer_peak_words = max(result.buffer_peak_words,
+                                           float(sim.mem_peak.max()))
+
+    def do_schur(k: int) -> None:
+        s = layout.block_size(k)
+        for i in lpanel[k]:
+            i = int(i)
+            si = layout.block_size(i)
+            Lik = store[(i, k)] if numeric else None
+            for j in upanel[k]:
+                j = int(j)
+                sj = layout.block_size(j)
+                o = grid.owner(i, j)
+                if numeric:
+                    store[(i, j)] -= Lik @ store[(k, j)]
+                flops = 2.0 * si * s * sj
+                if sim.accelerator is not None and \
+                        sim.accelerator.should_offload(flops):
+                    # HALO: big GEMMs go to the device (operands + result
+                    # cross PCIe); small ones stay on the host.
+                    words = float(si * s + s * sj + si * sj)
+                    sim.offload_gemm(o, flops, words)
+                else:
+                    sim.compute(o, flops, "schur", n_block_updates=1)
+                result.schur_block_updates += 1
+        for r, words in buffers.pop(k, []):
+            sim.free(r, words)
+        for a in anc_in_list[k]:
+            pending[a] -= 1
+
+    for pos, k in enumerate(nodes):
+        if k not in panel_done:
+            do_panel(k)
+        # Lookahead: factor panels of upcoming ready nodes.
+        for m in nodes[pos + 1: pos + 1 + opts.lookahead]:
+            if m not in panel_done and pending[m] == 0:
+                do_panel(m)
+        do_schur(k)
+
+    if sim.accelerator is not None:
+        for r in grid.all_ranks():
+            sim.accel_sync(r)
+    return result
+
+
+def factor_2d(sf: SymbolicFactorization, grid: ProcessGrid2D, sim: Simulator,
+              data=None, options: FactorOptions | None = None,
+              charge_storage: bool = True) -> Factor2DResult:
+    """Factor the whole matrix on a 2D grid (the baseline algorithm).
+
+    With ``charge_storage`` the static L/U storage is charged to the memory
+    ledgers before factorization, as SuperLU_DIST allocates it after the
+    symbolic phase.
+    """
+    nodes = list(range(sf.nb))
+    if charge_storage:
+        allocate_factor_storage(sf, nodes, grid, sim)
+    sim.set_phase("fact")
+    return factor_nodes_2d(sf, nodes, grid, sim, data=data, options=options)

@@ -1,0 +1,80 @@
+"""Dense numeric kernels for the supernodal factorization.
+
+The diagonal factorization is *unpivoted* LU with GESP perturbation —
+SuperLU_DIST's static-pivoting scheme: a pivot smaller than
+``eps * ||A_kk||`` is replaced by ``±eps * ||A_kk||``, and the resulting
+backward error is cleaned up by iterative refinement
+(:mod:`repro.solve.refine`). Row exchanges are never performed, which is
+what makes the distributed schedule static — the property both the 2D
+pipeline and the 3D replication scheme depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+__all__ = ["getrf_nopiv", "solve_lower_panel", "solve_upper_panel"]
+
+#: Unblocked threshold for the recursive LU.
+_NB = 32
+
+
+def _getrf_base(A: np.ndarray, tiny: float) -> int:
+    """Unblocked in-place unpivoted LU; returns number of perturbed pivots."""
+    n = A.shape[0]
+    perturbed = 0
+    for k in range(n):
+        piv = A[k, k]
+        if abs(piv) < tiny:
+            piv = tiny if piv >= 0 else -tiny
+            A[k, k] = piv
+            perturbed += 1
+        if k + 1 < n:
+            A[k + 1:, k] /= piv
+            A[k + 1:, k + 1:] -= np.outer(A[k + 1:, k], A[k, k + 1:])
+    return perturbed
+
+
+def getrf_nopiv(A: np.ndarray, eps: float = 1e-10) -> int:
+    """In-place unpivoted LU of a square block, ``A <- L\\U`` packed.
+
+    ``L`` is unit lower (diagonal implicit), ``U`` upper. Tiny pivots are
+    perturbed to ``±eps * ||A||_max`` (GESP); the return value counts the
+    perturbations so callers can report them.
+
+    Uses recursive blocking so the bulk of the work is BLAS-3.
+    """
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError("diagonal block must be square")
+    norm = np.abs(A).max()
+    tiny = eps * norm if norm > 0 else eps
+    return _getrf_recurse(A, tiny)
+
+
+def _getrf_recurse(A: np.ndarray, tiny: float) -> int:
+    n = A.shape[0]
+    if n <= _NB:
+        return _getrf_base(A, tiny)
+    h = n // 2
+    A11, A12 = A[:h, :h], A[:h, h:]
+    A21, A22 = A[h:, :h], A[h:, h:]
+    perturbed = _getrf_recurse(A11, tiny)
+    # A12 <- L11^{-1} A12 ; A21 <- A21 U11^{-1}
+    A12[:] = la.solve_triangular(A11, A12, lower=True, unit_diagonal=True)
+    A21[:] = la.solve_triangular(A11, A21.T, trans="T", lower=False).T
+    A22 -= A21 @ A12
+    perturbed += _getrf_recurse(A22, tiny)
+    return perturbed
+
+
+def solve_upper_panel(diag_lu: np.ndarray, A_kj: np.ndarray) -> np.ndarray:
+    """U-panel solve: ``U_kj = L_kk^{-1} A_kj`` given the packed LU of ``A_kk``."""
+    return la.solve_triangular(diag_lu, A_kj, lower=True, unit_diagonal=True)
+
+
+def solve_lower_panel(diag_lu: np.ndarray, A_ik: np.ndarray) -> np.ndarray:
+    """L-panel solve: ``L_ik = A_ik U_kk^{-1}`` given the packed LU of ``A_kk``."""
+    # X U = B  <=>  U^T X^T = B^T, and U^T is (non-unit) lower triangular.
+    return la.solve_triangular(diag_lu, A_ik.T, trans="T", lower=False).T

@@ -1,0 +1,54 @@
+"""Per-rank factor-storage accounting for the 2D block-cyclic distribution.
+
+The static L/U data structure is allocated before numeric factorization
+begins (SuperLU_DIST does the same after its symbolic phase); these helpers
+charge that storage to each rank's memory ledger and compute the per-rank
+word counts the memory experiments (Fig. 11, Eq. 1/5) need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid2D
+from repro.comm.simulator import Simulator
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+
+__all__ = ["allocate_factor_storage", "factor_words_per_rank", "node_blocks"]
+
+
+def node_blocks(sf: SymbolicFactorization, k: int
+                ) -> list[tuple[int, int, int]]:
+    """All factor blocks of supernode ``k`` with their word sizes.
+
+    Returns ``(i, j, words)`` triples for the diagonal block, the L panel
+    (blocks ``(i, k)``) and the U panel (blocks ``(k, j)``) — the paper's
+    ``A_s`` set for ``s = k``.
+    """
+    s = sf.layout.block_size(k)
+    out = [(k, k, s * s)]
+    for i in sf.fill.lpanel[k]:
+        out.append((int(i), k, sf.layout.block_size(int(i)) * s))
+    for j in sf.fill.upanel[k]:
+        out.append((k, int(j), s * sf.layout.block_size(int(j))))
+    return out
+
+
+def factor_words_per_rank(sf: SymbolicFactorization, nodes: Iterable[int],
+                          grid: ProcessGrid2D, nranks: int) -> np.ndarray:
+    """Words of L/U factor storage each global rank owns for ``nodes``."""
+    words = np.zeros(nranks)
+    for k in nodes:
+        for i, j, w in node_blocks(sf, k):
+            words[grid.owner(i, j)] += w
+    return words
+
+
+def allocate_factor_storage(sf: SymbolicFactorization, nodes: Iterable[int],
+                            grid: ProcessGrid2D, sim: Simulator) -> None:
+    """Charge the static factor storage of ``nodes`` to the owners' ledgers."""
+    words = factor_words_per_rank(sf, nodes, grid, sim.nranks)
+    for r in np.flatnonzero(words):
+        sim.alloc(int(r), float(words[r]))

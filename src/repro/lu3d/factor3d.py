@@ -1,0 +1,156 @@
+"""Algorithm 1: the 3D sparse LU factorization driver.
+
+Level-by-level schedule over the elimination tree-forest ``E_f``::
+
+    for lvl in l .. 0:
+        active grids g ≡ 0 (mod 2^{l-lvl}) run dSparseLU2D on E_f[lvl]
+        if lvl > 0: pairwise Ancestor-Reduction along z
+
+Communication in the reduction step is point-to-point between ranks with
+the same (x, y) coordinate in the sender and receiver layers, booked under
+the ``'red'`` phase so the benchmarks can split ``W_fact`` / ``W_red``
+exactly as Fig. 10 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.collectives import reduce_pairwise
+from repro.comm.grid import ProcessGrid3D
+from repro.comm.simulator import Simulator
+from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
+from repro.lu2d.storage import node_blocks
+from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
+from repro.sparse.blockmatrix import BlockMatrix
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+from repro.tree.treeforest import TreeForest
+
+__all__ = ["Factor3DResult", "factor_3d"]
+
+
+@dataclass
+class Factor3DResult:
+    """Outcome of a 3D factorization run."""
+
+    tf: TreeForest
+    perturbed_pivots: int = 0
+    schur_block_updates: int = 0
+    reduction_messages: int = 0
+    reduction_words: float = 0.0
+    replicas: ReplicaManager | None = None
+    per_level_makespan: list[float] = field(default_factory=list)
+
+    def factors(self) -> BlockMatrix:
+        """Assembled L\\U factors (numeric runs only)."""
+        if self.replicas is None:
+            raise ValueError("cost-only run: no numeric factors")
+        return self.replicas.home_view().to_block_matrix()
+
+
+def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
+              sim: Simulator, numeric: bool = True,
+              options: FactorOptions | None = None,
+              charge_storage: bool = True, factor_fn=None, blocks_fn=None,
+              matrix=None) -> Factor3DResult:
+    """Run Algorithm 1 on the 3D process grid.
+
+    Parameters
+    ----------
+    sf:
+        Symbolic factorization of the (permuted) matrix.
+    tf:
+        Tree-forest partition with ``tf.pz == grid3.pz``.
+    grid3:
+        The process grid; each z-layer is one 2D grid.
+    sim:
+        Simulator carrying the cost ledgers (shared across phases).
+    numeric:
+        Execute real block arithmetic (and enable :meth:`Factor3DResult.factors`).
+    charge_storage:
+        Charge static factor + replica storage to the memory ledgers.
+
+    ``factor_fn`` / ``blocks_fn`` plug in a different per-grid engine: the
+    defaults are the LU routines; the Cholesky variant (paper Section VII's
+    "these principles could be applied to other variants") passes its own
+    2D factorization and lower-triangle block enumerator. Algorithm 1
+    itself — the level schedule and the pairwise reduction — is variant-
+    independent, which this parameterization makes literal.
+
+    With ``pz == 1`` this degenerates exactly to the baseline 2D algorithm
+    (one layer, no reduction) — tests rely on that equivalence.
+    """
+    if tf.pz != grid3.pz:
+        raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
+    factor_fn = factor_fn or factor_nodes_2d
+    blocks_fn = blocks_fn or node_blocks
+    l = tf.l
+    opts = options or FactorOptions()
+    result = Factor3DResult(tf=tf)
+
+    if charge_storage:
+        words = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+        for r in np.flatnonzero(words):
+            sim.alloc(int(r), float(words[r]))
+
+    if numeric:
+        pattern = {(i, j) for v in range(sf.nb)
+                   for i, j, _w in blocks_fn(sf, v)}
+        A_vals = sf.A_perm if matrix is None else matrix
+        base = BlockMatrix.from_csr(A_vals, sf.layout, block_pattern=pattern)
+        result.replicas = ReplicaManager(sf, tf, base, blocks_fn=blocks_fn)
+
+    for lvl in range(l, -1, -1):
+        stride = 2 ** (l - lvl)
+        sim.set_phase("fact")
+        for g in range(0, tf.pz, stride):
+            nodes = tf.forest_of_grid(g, lvl)
+            if not nodes:
+                continue
+            data = result.replicas.view(g) if numeric else None
+            r2d = factor_fn(sf, nodes, grid3.layer(g), sim,
+                            data=data, options=opts)
+            result.perturbed_pivots += r2d.perturbed_pivots
+            result.schur_block_updates += r2d.schur_block_updates
+
+        if lvl > 0:
+            sim.set_phase("red")
+            half = 2 ** (l - lvl)
+            for g in range(0, tf.pz, 2 * half):
+                src = g + half
+                _reduce_ancestors(sf, tf, grid3, sim, result,
+                                  dst_grid=g, src_grid=src, below_level=lvl,
+                                  numeric=numeric, blocks_fn=blocks_fn)
+        result.per_level_makespan.append(sim.makespan)
+
+    sim.set_phase("fact")
+    return result
+
+
+def _reduce_ancestors(sf: SymbolicFactorization, tf: TreeForest,
+                      grid3: ProcessGrid3D, sim: Simulator,
+                      result: Factor3DResult, dst_grid: int, src_grid: int,
+                      below_level: int, numeric: bool,
+                      blocks_fn=None) -> None:
+    """Send every common-ancestor block of ``src_grid`` to ``dst_grid``.
+
+    The common ancestors of the (dst, src) pair are the nodes of dst's
+    local forests at levels ``0 .. below_level-1`` (identical to src's —
+    both grids lie in the same forest range at those levels). Each block
+    travels between the two ranks sharing its (x, y) owner coordinate.
+    """
+    blocks_fn = blocks_fn or node_blocks
+    src_layer = grid3.layer(src_grid)
+    dst_layer = grid3.layer(dst_grid)
+    for la in range(below_level - 1, -1, -1):
+        for s_node in tf.forest_of_grid(dst_grid, la):
+            for i, j, w in blocks_fn(sf, s_node):
+                src_rank = src_layer.owner(i, j)
+                dst_rank = dst_layer.owner(i, j)
+                reduce_pairwise(sim, src_rank, dst_rank, float(w))
+                result.reduction_messages += 1
+                result.reduction_words += w
+                if numeric:
+                    result.replicas.accumulate(dst_grid, src_grid, i, j)

@@ -1,0 +1,132 @@
+"""Merged-grid ancestor factorization (paper Section VII, second idea).
+
+    "Alternatively, for those levels, we can merge two 2D grids to make a
+    larger 2D grid to factor denser blocks. However, doing so would
+    require significant changes to the data structure."
+
+In the standard Algorithm 1, a level-``q`` ancestor forest is factored by
+its *home* 2D grid alone (``P_XY`` ranks) while the other ``2^{l-q} - 1``
+grids of its range idle — the very effect that inflates ``T_scu`` for
+non-planar matrices at large ``Pz`` (Fig. 9's Serena/nlpkkt80 retreat).
+The merged variant instead factors the forest on the union of its range's
+layers, a ``(2^{l-q}·P_x) × P_y`` grid. Because our rank numbering stacks
+layers contiguously, the merged grid is just a taller 2D block-cyclic
+grid over the same ranks — the "significant data-structure change" of the
+paper reduces, in the simulator, to a redistribution step folded into the
+ancestor reduction: both halves' copies of every ancestor block move to
+their owner in the doubled layout and are summed there.
+
+Numeric mode works too, through a deliberately simple data strategy: one
+*global* copy of every block. The driver is sequential, Schur updates are
+pure accumulations, and merging means every rank of a range works on the
+same logical ancestor copy anyway — so the per-layer replica machinery is
+unnecessary here and the reduction's numeric content degenerates to a
+no-op (its messages remain, for the cost ledgers).
+"""
+
+from __future__ import annotations
+
+from repro.comm.collectives import reduce_pairwise
+from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
+from repro.comm.simulator import Simulator
+from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
+from repro.lu2d.storage import node_blocks
+from repro.lu3d.factor3d import Factor3DResult
+from repro.lu3d.replication import replica_words_per_rank
+from repro.sparse.blockmatrix import BlockMatrix
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+from repro.tree.treeforest import TreeForest
+
+import numpy as np
+
+__all__ = ["factor_3d_merged"]
+
+
+def _merged_grid(grid3: ProcessGrid3D, first_layer: int, nlayers: int
+                 ) -> ProcessGrid2D:
+    """The union of ``nlayers`` consecutive z-layers as one 2D grid.
+
+    Layer ``g``'s rank ``(pi, pj)`` is global rank
+    ``g*Pxy + pi*Py + pj = (g*Px + pi)*Py + pj``, so stacking layers along
+    the x axis yields exactly the contiguous rank span — no renumbering.
+    """
+    return ProcessGrid2D(nlayers * grid3.px, grid3.py,
+                         base=first_layer * grid3.pxy)
+
+
+def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
+                     grid3: ProcessGrid3D, sim: Simulator,
+                     options: FactorOptions | None = None,
+                     charge_storage: bool = True,
+                     numeric: bool = False) -> Factor3DResult:
+    """Algorithm 1 with merged-grid ancestor levels."""
+    if tf.pz != grid3.pz:
+        raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
+    l = tf.l
+    opts = options or FactorOptions()
+    result = Factor3DResult(tf=tf)
+    data = None
+    if numeric:
+        data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                    block_pattern=sf.fill.all_blocks())
+        result.merged_blocks = data  # global-copy store (numeric mode)
+
+    if charge_storage:
+        # Same static replica storage as the standard algorithm: merging
+        # re-partitions ownership, it does not change what is stored.
+        words = replica_words_per_rank(sf, tf, grid3)
+        for r in np.flatnonzero(words):
+            sim.alloc(int(r), float(words[r]))
+
+    for lvl in range(l, -1, -1):
+        width = 2 ** (l - lvl)
+        sim.set_phase("fact")
+        for b in range(2 ** lvl):
+            nodes = tf.forests[(lvl, b)]
+            if not nodes:
+                continue
+            merged = _merged_grid(grid3, b * width, width)
+            r2d = factor_nodes_2d(sf, nodes, merged, sim, data=data,
+                                  options=opts)
+            result.schur_block_updates += r2d.schur_block_updates
+            result.perturbed_pivots += r2d.perturbed_pivots
+
+        if lvl > 0:
+            sim.set_phase("red")
+            for b2 in range(2 ** (lvl - 1)):
+                left_first = b2 * 2 * width
+                left = _merged_grid(grid3, left_first, width)
+                right = _merged_grid(grid3, left_first + width, width)
+                target = _merged_grid(grid3, left_first, 2 * width)
+                _merged_reduce(sf, tf, sim, result, left, right, target,
+                               below_level=lvl, grid_for_forests=left_first)
+        result.per_level_makespan.append(sim.makespan)
+
+    sim.set_phase("fact")
+    return result
+
+
+def _merged_reduce(sf: SymbolicFactorization, tf: TreeForest, sim: Simulator,
+                   result: Factor3DResult, left: ProcessGrid2D,
+                   right: ProcessGrid2D, target: ProcessGrid2D,
+                   below_level: int, grid_for_forests: int) -> None:
+    """Reduce + redistribute ancestor blocks into the doubled layout.
+
+    The right half's copy always travels (reduce); the left half's copy
+    travels only when its owner changes under the doubled grid
+    (redistribution). Sums are booked on the target owner.
+    """
+    for la in range(below_level - 1, -1, -1):
+        for s_node in tf.forest_of_grid(grid_for_forests, la):
+            for i, j, w in node_blocks(sf, s_node):
+                dst = target.owner(i, j)
+                src_r = right.owner(i, j)
+                reduce_pairwise(sim, src_r, dst, float(w))
+                result.reduction_messages += 1
+                result.reduction_words += w
+                src_l = left.owner(i, j)
+                if src_l != dst:
+                    sim.send(src_l, dst, float(w))
+                    sim.recv(dst, src_l)
+                    result.reduction_messages += 1
+                    result.reduction_words += w

@@ -1,0 +1,141 @@
+"""Replica management for the 3D algorithm's ancestor blocks.
+
+Every block ``(i, j)`` of the filled pattern belongs to supernode
+``s = min(i, j)`` (the deeper node — its panels reach *up* to ancestors).
+The block is replicated on exactly the grids hosting ``s``'s forest:
+``tf.grids_of_node(s)``. The *home* grid's copy is initialized with the
+values of ``A``; all other copies start at zero, so that after pairwise
+summation every contribution — including A's own — is counted exactly once
+(Fig. 5's "initial state").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid3D
+from repro.sparse.blockmatrix import BlockMatrix
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+from repro.tree.treeforest import TreeForest
+from repro.lu2d.storage import node_blocks
+
+__all__ = ["ReplicaManager", "GridStoreView", "replica_words_per_rank"]
+
+
+class GridStoreView:
+    """Mapping ``(i, j) -> ndarray`` resolving to one grid's replicas.
+
+    This is the ``data`` object handed to ``factor_nodes_2d`` when it runs
+    on behalf of z-layer ``g`` — the 2D code is oblivious to replication.
+    """
+
+    def __init__(self, mgr: "ReplicaManager", g: int):
+        self._mgr = mgr
+        self._g = g
+
+    def __getitem__(self, key: tuple[int, int]) -> np.ndarray:
+        return self._mgr.block(self._g, key[0], key[1])
+
+    def __setitem__(self, key: tuple[int, int], value: np.ndarray) -> None:
+        self._mgr.block(self._g, key[0], key[1])[:] = value
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        try:
+            self._mgr.block(self._g, key[0], key[1])
+            return True
+        except KeyError:
+            return False
+
+
+class ReplicaManager:
+    """Owns every grid's copy of every block (numeric mode).
+
+    Parameters
+    ----------
+    sf, tf:
+        Symbolic factorization and the tree-forest partition.
+    base:
+        ``BlockMatrix`` holding the values of the permuted ``A`` expanded to
+        the full fill pattern. Its arrays become the *home* copies (they are
+        mutated in place during factorization).
+    """
+
+    def __init__(self, sf: SymbolicFactorization, tf: TreeForest,
+                 base: BlockMatrix, blocks_fn=None):
+        self.sf = sf
+        self.tf = tf
+        self.blocks_fn = blocks_fn or node_blocks
+        self._store: dict[tuple[int, int, int], np.ndarray] = {}
+        layout = sf.layout
+        for v in range(sf.nb):
+            grids = tf.grids_of_node(v)
+            home = grids.start
+            for i, j, _w in self.blocks_fn(sf, v):
+                blk = base.get(i, j)
+                if blk is None:
+                    blk = np.zeros((layout.block_size(i), layout.block_size(j)))
+                self._store[(home, i, j)] = blk
+                for g in grids:
+                    if g != home:
+                        self._store[(g, i, j)] = np.zeros_like(blk)
+
+    def block(self, g: int, i: int, j: int) -> np.ndarray:
+        try:
+            return self._store[(g, i, j)]
+        except KeyError:
+            raise KeyError(f"grid {g} holds no replica of block ({i}, {j})") \
+                from None
+
+    def view(self, g: int) -> GridStoreView:
+        return GridStoreView(self, g)
+
+    def accumulate(self, g_dst: int, g_src: int, i: int, j: int) -> None:
+        """One Ancestor-Reduction hop: ``dst-copy += src-copy``."""
+        self._store[(g_dst, i, j)] += self._store[(g_src, i, j)]
+
+    def home_view(self) -> "HomeView":
+        return HomeView(self)
+
+
+class HomeView:
+    """Read-only view resolving every block to its home grid's copy.
+
+    After factorization the home copies hold the final L\\U factors; the
+    solve phase and the verification tests read through this view.
+    """
+
+    def __init__(self, mgr: ReplicaManager):
+        self._mgr = mgr
+        self._home = {v: mgr.tf.home_grid(v) for v in range(mgr.sf.nb)}
+
+    def __getitem__(self, key: tuple[int, int]) -> np.ndarray:
+        i, j = key
+        return self._mgr.block(self._home[min(i, j)], i, j)
+
+    def to_block_matrix(self) -> BlockMatrix:
+        """Assemble the factored blocks into a plain BlockMatrix."""
+        out = BlockMatrix(self._mgr.sf.layout)
+        for v in range(self._mgr.sf.nb):
+            for i, j, _w in self._mgr.blocks_fn(self._mgr.sf, v):
+                out[(i, j)] = self[(i, j)].copy()
+        return out
+
+
+def replica_words_per_rank(sf: SymbolicFactorization, tf: TreeForest,
+                           grid3: ProcessGrid3D,
+                           blocks_fn=None) -> np.ndarray:
+    """Static factor + replica storage per global rank (words).
+
+    For every node, every replicating grid stores the node's blocks under
+    its own layer's 2D block-cyclic map — this is the memory the paper's
+    Fig. 11 measures the overhead of.
+    """
+    blocks_fn = blocks_fn or node_blocks
+    words = np.zeros(grid3.size)
+    for v in range(sf.nb):
+        blocks = blocks_fn(sf, v)
+        for g in tf.grids_of_node(v):
+            layer = grid3.layer(g)
+            for i, j, w in blocks:
+                words[layer.owner(i, j)] += w
+    return words

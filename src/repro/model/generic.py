@@ -1,0 +1,37 @@
+"""Generic 2D-algorithm cost formulas (Section IV-A, Eqs. 1-3).
+
+These take the *actual* per-level separator sizes of a concrete elimination
+tree, so they apply to any matrix — the planar/non-planar modules
+specialize them with the model-problem separator laws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["memory_2d_generic", "volume_2d_generic", "latency_2d_generic"]
+
+
+def memory_2d_generic(level_sizes: dict[int, list[int]], P: int) -> float:
+    """Eq. (1): per-process memory ``M ≈ (1/P) Σ_i Σ_{v in level i} n_v²``.
+
+    ``level_sizes`` maps tree depth -> list of supernode sizes at that depth
+    (the paper's balanced-tree form ``2^i n_i²`` generalized to measured
+    trees).
+    """
+    if P <= 0:
+        raise ValueError("P must be positive")
+    total = sum(float(s) ** 2 for sizes in level_sizes.values() for s in sizes)
+    return total / P
+
+
+def volume_2d_generic(level_sizes: dict[int, list[int]], P: int) -> float:
+    """Eq. (2): per-process volume ``W ≈ Σ_i Σ_v n_v² / sqrt(P) = sqrt(P)·M``."""
+    return memory_2d_generic(level_sizes, P) * np.sqrt(P)
+
+
+def latency_2d_generic(n: int) -> float:
+    """Eq. (3): latency is O(n) — every process touches every supernode."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return float(n)

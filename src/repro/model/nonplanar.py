@@ -1,0 +1,83 @@
+"""Non-planar (3D PDE) model-problem cost formulas (Section IV-C, Table II).
+
+A 3D grid's top separator has ``n^{2/3}`` vertices and the LU factors hold
+``O(n^{4/3})`` words, with a constant fraction — the paper says "almost
+20%" — concentrated in the top separator. The ``kappa`` parameters below
+are exactly those top-separator fractions from Table II:
+
+* ``kappa``  — fraction of factor memory in the replicated top levels;
+* ``kappa1`` — fraction of communication volume due to the top levels;
+* ``kappa0`` — latency constant of the replicated-top term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "memory_2d_nonplanar", "memory_3d_nonplanar",
+    "volume_2d_nonplanar", "volume_3d_nonplanar",
+    "latency_2d_nonplanar", "latency_3d_nonplanar",
+]
+
+#: Default top-separator *memory* fraction ("almost 20%", Section IV-C).
+KAPPA_DEFAULT = 0.2
+
+#: Default top-separator *communication* fraction. Calibrated so that the
+#: best-case communication reduction over the 2D algorithm equals the
+#: paper's quoted 2.89x (Section IV-C); the memory fraction (0.2) would
+#: give only ~1.9x, so the paper's constant implies this smaller value.
+KAPPA1_DEFAULT = 0.1084
+
+
+def _check(n: int, P: int = 1, pz: int = 1) -> None:
+    if n <= 1:
+        raise ValueError("n must be > 1")
+    if P <= 0 or pz <= 0:
+        raise ValueError("P and pz must be positive")
+
+
+def memory_2d_nonplanar(n: int, P: int) -> float:
+    """Table II: ``M = n^{4/3} / P``."""
+    _check(n, P)
+    return n ** (4.0 / 3.0) / P
+
+
+def memory_3d_nonplanar(n: int, P: int, pz: int,
+                        kappa: float = KAPPA_DEFAULT) -> float:
+    """Table II: ``M = (n^{4/3}/P) (kappa·Pz + Pz^{-1/3})``."""
+    _check(n, P, pz)
+    return n ** (4.0 / 3.0) / P * (kappa * pz + pz ** (-1.0 / 3.0))
+
+
+def volume_2d_nonplanar(n: int, P: int) -> float:
+    """Table II: ``W = n^{4/3} / sqrt(P)``."""
+    _check(n, P)
+    return n ** (4.0 / 3.0) / np.sqrt(P)
+
+
+def volume_3d_nonplanar(n: int, P: int, pz: int,
+                        kappa1: float = KAPPA1_DEFAULT) -> float:
+    """Table II: ``W = (n^{4/3}/sqrt(P)) (kappa1·sqrt(Pz) + (1-kappa1)/Pz^{4/3})``.
+
+    The first term is the replicated-top communication (grows with ``Pz``);
+    the second is the subtree communication shared across layers (shrinks).
+    """
+    _check(n, P, pz)
+    if not 0.0 <= kappa1 <= 1.0:
+        raise ValueError("kappa1 must be in [0, 1]")
+    return n ** (4.0 / 3.0) / np.sqrt(P) * (
+        kappa1 * np.sqrt(pz) + (1.0 - kappa1) / pz ** (4.0 / 3.0))
+
+
+def latency_2d_nonplanar(n: int) -> float:
+    """Table II: ``L = O(n)``."""
+    _check(n)
+    return float(n)
+
+
+def latency_3d_nonplanar(n: int, pz: int,
+                         kappa0: float = 1.0) -> float:
+    """Table II: ``L = n / Pz^{2/3} + kappa0 · n^{2/3}``."""
+    _check(n, pz=pz)
+    return n / pz ** (2.0 / 3.0) + kappa0 * n ** (2.0 / 3.0)

@@ -1,0 +1,67 @@
+"""Optimal process-grid selection (Eq. 8 and the Section IV-C constant).
+
+``optimal_pz_planar`` is the paper's Eq. (8): the factorization-phase
+communication of Eq. (7) is minimized at ``Pz = log(n)/2``. For non-planar
+problems there is no closed form in the paper; we minimize the Table II
+expression numerically and expose the resulting best-case communication
+reduction, which the paper quotes as 2.89x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.nonplanar import KAPPA1_DEFAULT, volume_2d_nonplanar, \
+    volume_3d_nonplanar
+from repro.utils import is_power_of_two
+
+__all__ = ["optimal_pz_planar", "optimal_pz_nonplanar",
+           "best_communication_reduction_nonplanar"]
+
+
+def _round_to_power_of_two(x: float) -> int:
+    """Nearest power of two to ``x`` (at least 1)."""
+    if x <= 1:
+        return 1
+    lo = 2 ** int(np.floor(np.log2(x)))
+    hi = lo * 2
+    return lo if x / lo <= hi / x else hi
+
+
+def optimal_pz_planar(n: int, round_pow2: bool = True) -> float | int:
+    """Eq. (8): ``Pz* = log2(n) / 2`` (optionally snapped to a power of two,
+    as Algorithm 1 requires)."""
+    if n <= 1:
+        raise ValueError("n must be > 1")
+    pz = np.log2(n) / 2.0
+    return _round_to_power_of_two(pz) if round_pow2 else float(pz)
+
+
+def optimal_pz_nonplanar(kappa1: float = KAPPA1_DEFAULT,
+                         round_pow2: bool = True) -> float | int:
+    """Minimizer of the Table II non-planar volume expression.
+
+    ``d/dPz [kappa1 sqrt(Pz) + (1-kappa1) Pz^{-4/3}] = 0`` gives
+    ``Pz* = (8(1-kappa1) / (3 kappa1))^{6/11}`` — independent of ``n`` and
+    ``P``, which is why the paper reports a constant-factor gain only.
+    """
+    if not 0.0 < kappa1 < 1.0:
+        raise ValueError("kappa1 must be in (0, 1)")
+    pz = (8.0 * (1.0 - kappa1) / (3.0 * kappa1)) ** (6.0 / 11.0)
+    return _round_to_power_of_two(pz) if round_pow2 else float(pz)
+
+
+def best_communication_reduction_nonplanar(kappa1: float = KAPPA1_DEFAULT
+                                           ) -> float:
+    """W_2D / min_Pz W_3D for the non-planar model at the continuous
+    optimum — the paper's best-case 2.89x with the default ``kappa1``."""
+    pz = optimal_pz_nonplanar(kappa1, round_pow2=False)
+    # n and P cancel in the ratio; any valid values work.
+    n, P = 10 ** 6, 64
+    return volume_2d_nonplanar(n, P) / volume_3d_nonplanar(n, P, pz,
+                                                           kappa1=kappa1)
+
+
+def is_valid_pz(pz: int, p_total: int) -> bool:
+    """True iff ``pz`` is a power of two dividing ``p_total``."""
+    return is_power_of_two(pz) and p_total % pz == 0

@@ -1,0 +1,47 @@
+"""Fill-reducing ordering: nested dissection and separator search.
+
+The paper relies on METIS nested dissection; this subpackage supplies a
+self-contained replacement with two engines:
+
+* geometric dissection (:func:`repro.ordering.geometric_nd`) for matrices
+  with lattice coordinates — optimal `O(sqrt(n))` / `O(n^{2/3})` separators
+  for the 2D / 3D model problems the analysis targets, and
+* general-graph dissection (:func:`repro.ordering.graph_nd`) using BFS
+  level-structure (or Fiedler-vector) bisection for arbitrary symmetric
+  patterns.
+
+Both produce a :class:`repro.ordering.nested_dissection.DissectionTree`,
+whose postorder defines the supernode blocks and the block elimination tree
+consumed by :mod:`repro.symbolic`.
+"""
+
+from repro.ordering.permutation import Permutation
+from repro.ordering.separators import (
+    bfs_level_separator,
+    fiedler_separator,
+    repair_separator,
+)
+from repro.ordering.nested_dissection import (
+    DissectionNode,
+    DissectionTree,
+    geometric_nd,
+    graph_nd,
+    nested_dissection,
+)
+from repro.ordering.minimum_degree import minimum_degree_order, tree_from_order
+from repro.ordering.relaxation import relax_supernodes
+
+__all__ = [
+    "DissectionNode",
+    "DissectionTree",
+    "Permutation",
+    "bfs_level_separator",
+    "fiedler_separator",
+    "geometric_nd",
+    "graph_nd",
+    "minimum_degree_order",
+    "nested_dissection",
+    "relax_supernodes",
+    "tree_from_order",
+    "repair_separator",
+]

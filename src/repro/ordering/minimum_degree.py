@@ -1,0 +1,151 @@
+"""Approximate-minimum-degree ordering and its supernode tree.
+
+SuperLU_DIST users choose between nested dissection (METIS) and minimum
+degree (MMD/AMD) fill-reducing orderings. The 3D algorithm *needs* the
+balanced subtree structure only dissection provides — minimum degree's
+elimination trees are tall and skinny — which this module exists to
+demonstrate quantitatively (see ``benchmarks/bench_ablation_ordering.py``):
+
+* :func:`minimum_degree_order` — a quotient-graph minimum-degree with
+  AMD-style approximate external degrees (element absorption, lazy heap);
+* :func:`tree_from_order` — converts any elimination order into a
+  :class:`~repro.ordering.nested_dissection.DissectionTree` by building
+  the scalar elimination tree, merging its chains into supernodes (capped
+  at ``max_block``), so the whole 2D/3D machinery runs unchanged on
+  minimum-degree orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ordering.nested_dissection import DissectionNode, DissectionTree
+from repro.sparse.pattern import strip_diagonal, symmetrize_pattern
+from repro.symbolic.etree import elimination_tree
+from repro.utils import check_positive_int
+
+__all__ = ["minimum_degree_order", "tree_from_order"]
+
+
+def minimum_degree_order(A: sp.spmatrix) -> np.ndarray:
+    """Return an elimination order (old vertex ids, elimination sequence).
+
+    Quotient-graph scheme: eliminating ``v`` turns it into an *element*
+    whose variables are ``v``'s current neighborhood; adjacent elements
+    are absorbed. Degrees are the AMD upper bound
+    ``|A_v| + sum_e |L_e|`` maintained lazily in a heap. Deterministic:
+    ties break on vertex id.
+    """
+    S = strip_diagonal(symmetrize_pattern(A))
+    n = S.shape[0]
+    adj_var: list[set[int]] = [set(S.indices[S.indptr[v]:S.indptr[v + 1]])
+                               for v in range(n)]
+    adj_elem: list[set[int]] = [set() for _ in range(n)]
+    elem_vars: dict[int, set[int]] = {}
+    eliminated = np.zeros(n, dtype=bool)
+
+    def approx_degree(v: int) -> int:
+        return len(adj_var[v]) + sum(len(elem_vars[e]) for e in adj_elem[v])
+
+    heap: list[tuple[int, int]] = [(len(adj_var[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = np.empty(n, dtype=np.int64)
+
+    for step in range(n):
+        while True:
+            deg, v = heapq.heappop(heap)
+            if not eliminated[v] and deg == approx_degree(v):
+                break
+            if not eliminated[v]:
+                # Stale entry: reinsert with the fresh degree.
+                heapq.heappush(heap, (approx_degree(v), v))
+        order[step] = v
+        eliminated[v] = True
+
+        # New element: v's variable neighbors plus all variables of its
+        # adjacent elements (the fill clique), minus eliminated ones.
+        lv = set(adj_var[v])
+        for e in adj_elem[v]:
+            lv |= elem_vars.pop(e)
+        lv.discard(v)
+        lv = {u for u in lv if not eliminated[u]}
+        elem_vars[v] = lv
+
+        absorbed = adj_elem[v]
+        for u in lv:
+            adj_var[u].discard(v)
+            adj_var[u] -= lv  # edges inside the clique now go via the element
+            adj_elem[u] -= absorbed
+            adj_elem[u].add(v)
+            heapq.heappush(heap, (approx_degree(u), u))
+        adj_var[v] = set()
+        adj_elem[v] = set()
+    return order
+
+
+def tree_from_order(A: sp.spmatrix, order: np.ndarray,
+                    max_block: int = 128) -> DissectionTree:
+    """Build the supernodal tree of an arbitrary elimination order.
+
+    Permutes the symmetrized pattern by ``order``, computes the scalar
+    elimination tree, and merges *chains* (parent = next column, single
+    child) into supernodes of at most ``max_block`` columns. The resulting
+    tree satisfies the ancestor-closure property the block factorization
+    asserts, so the whole 2D/3D stack runs on it unchanged.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = A.shape[0]
+    if sorted(order.tolist()) != list(range(n)):
+        raise ValueError("order must be a permutation of [0, n)")
+    max_block = check_positive_int(max_block, "max_block")
+
+    S = symmetrize_pattern(A)
+    S_perm = S[order][:, order].tocsr()
+    parent = elimination_tree(S_perm)  # scalar etree in permuted numbering
+
+    nchildren = np.zeros(n + 1, dtype=np.int64)  # slot n counts roots
+    for v in range(n):
+        nchildren[parent[v]] += 1
+
+    # Greedy supernode merge: start a new supernode unless the previous
+    # column is our only child and the cap allows one more column.
+    sup_of = np.empty(n, dtype=np.int64)
+    sup_cols: list[list[int]] = []
+    for v in range(n):
+        if (v > 0 and parent[v - 1] == v and nchildren[v] == 1
+                and len(sup_cols[-1]) < max_block):
+            sup_cols[-1].append(v)
+        else:
+            sup_cols.append([v])
+        sup_of[v] = len(sup_cols) - 1
+
+    nb = len(sup_cols)
+    sup_parent = np.full(nb, -1, dtype=np.int64)
+    for s, cols in enumerate(sup_cols):
+        p = int(parent[cols[-1]])
+        if p != -1:
+            sup_parent[s] = sup_of[p]
+
+    # The factorization machinery wants a single root: chain any extra
+    # forest roots under the last supernode (adds dependencies, never
+    # removes them, so ancestor closure is preserved).
+    roots = np.flatnonzero(sup_parent == -1)
+    for r in roots[:-1]:
+        sup_parent[r] = nb - 1
+
+    children: list[list[int]] = [[] for _ in range(nb)]
+    for s in range(nb):
+        if sup_parent[s] != -1:
+            children[int(sup_parent[s])].append(s)
+
+    nodes = [DissectionNode(order[np.asarray(cols, dtype=np.int64)],
+                            children[s], node_id=s)
+             for s, cols in enumerate(sup_cols)]
+    # Depths for analysis tooling.
+    for s in range(nb - 1, -1, -1):
+        p = int(sup_parent[s])
+        nodes[s].depth = 0 if p == -1 else nodes[p].depth + 1
+    return DissectionTree(nodes, n)

@@ -1,0 +1,282 @@
+"""`SparseLU3D` — the library's top-level solver facade.
+
+Wraps the full pipeline: symmetrized-pattern nested dissection → symbolic
+factorization → tree-forest partition → 2D/3D numeric factorization on the
+simulated process grid → triangular solves with iterative refinement —
+while exposing the per-rank ledgers the paper's evaluation is about.
+
+Example
+-------
+>>> from repro.sparse import grid2d_5pt
+>>> from repro.solve import SparseLU3D
+>>> import numpy as np
+>>> A, geom = grid2d_5pt(16)
+>>> solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=4, leaf_size=32)
+>>> solver.factorize()                      # doctest: +ELLIPSIS
+<repro.solve.driver.SparseLU3D object at ...>
+>>> b = np.ones(A.shape[0])
+>>> x = solver.solve(b)
+>>> float(np.linalg.norm(A @ x - b)) < 1e-8
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.grid import ProcessGrid3D
+from repro.comm.machine import Machine
+from repro.comm.simulator import Simulator
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d.factor3d import Factor3DResult, factor_3d
+from repro.solve.condest import condest
+from repro.solve.equilibrate import Equilibration, equilibrate
+from repro.solve.refine import RefinementResult, iterative_refinement
+from repro.solve.triangular import backward_solve, forward_solve,\
+    transposed_solve
+from repro.sparse.generators import GridGeometry
+from repro.symbolic.symbolic_factor import SymbolicFactorization, symbolic_factorize
+from repro.tree.partition import greedy_partition, naive_partition
+from repro.utils import check_square_sparse
+
+__all__ = ["SparseLU3D"]
+
+
+class SparseLU3D:
+    """Communication-avoiding 3D sparse LU solver on a simulated grid.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix.
+    geometry:
+        Optional lattice geometry (enables geometric nested dissection).
+    px, py, pz:
+        Process-grid shape; ``pz`` must be a power of two. ``pz=1`` is the
+        baseline 2D algorithm.
+    leaf_size:
+        Supernode granularity of the dissection.
+    max_block:
+        Cap on supernode size; big separators become chains of blocks
+        (SuperLU_DIST's ``maxsup`` analogue).
+    machine:
+        Cost model for the simulated runtime (default: Edison-like).
+    partition:
+        ``'greedy'`` (the paper's heuristic) or ``'naive'`` (plain ND split).
+    options:
+        :class:`repro.lu2d.FactorOptions` — lookahead window, pivot
+        threshold, buffer tracking.
+    numeric:
+        ``False`` runs the identical schedule without block arithmetic
+        (cost-only mode for large scaling studies); ``solve`` then raises.
+    equil:
+        Row/column equilibration before factoring (GESP's ``equil`` step);
+        recommended for badly scaled matrices.
+    relax:
+        Supernode relaxation threshold: blocks smaller than this are
+        amalgamated into their parents (``0`` disables) — fewer messages
+        at the cost of some extra fill.
+    """
+
+    def __init__(self, A: sp.spmatrix, geometry: GridGeometry | None = None,
+                 px: int = 1, py: int = 1, pz: int = 1, leaf_size: int = 64,
+                 machine: Machine | None = None, partition: str = "greedy",
+                 options: FactorOptions | None = None, numeric: bool = True,
+                 nd_method: str = "bfs", max_block: int | None = 256,
+                 equil: bool = False, relax: int = 0):
+        self.A = check_square_sparse(A)
+        self.equ: Equilibration | None = equilibrate(self.A) if equil else None
+        self._A_work = self.equ.apply(self.A) if equil else self.A
+        self.geometry = geometry
+        self.grid = ProcessGrid3D(px, py, pz)
+        self.machine = machine or Machine.edison_like()
+        self.options = options or FactorOptions()
+        self.numeric = numeric
+        if partition not in ("greedy", "naive"):
+            raise ValueError(f"unknown partition strategy {partition!r}")
+        self._partition = partition
+        self._leaf_size = leaf_size
+        self._nd_method = nd_method
+        self._max_block = max_block
+        self._relax = relax
+
+        self.sf: SymbolicFactorization | None = None
+        self.tf = None
+        self.sim: Simulator | None = None
+        self.result: Factor3DResult | None = None
+        self._factor_blocks = None
+
+    # -- pipeline ------------------------------------------------------------
+
+    def analyze(self) -> "SparseLU3D":
+        """Run the symbolic phase (ordering + block fill + costs)."""
+        tree = None
+        if self._relax:
+            from repro.ordering import nested_dissection, relax_supernodes
+            tree = relax_supernodes(
+                nested_dissection(self._A_work, self.geometry,
+                                  leaf_size=self._leaf_size,
+                                  method=self._nd_method,
+                                  max_block=self._max_block),
+                min_size=self._relax,
+                max_block=self._max_block or 256)
+        self.sf = symbolic_factorize(self._A_work, self.geometry,
+                                     leaf_size=self._leaf_size,
+                                     method=self._nd_method,
+                                     max_block=self._max_block, tree=tree)
+        part = greedy_partition if self._partition == "greedy" else naive_partition
+        self.tf = part(self.sf, self.grid.pz)
+        return self
+
+    def factorize(self) -> "SparseLU3D":
+        """Numeric (or cost-only) factorization; idempotent symbolic phase."""
+        if self.sf is None:
+            self.analyze()
+        self.sim = Simulator(self.grid.size, self.machine)
+        self.result = factor_3d(self.sf, self.tf, self.grid, self.sim,
+                                numeric=self.numeric, options=self.options)
+        if self.numeric:
+            self._factor_blocks = self.result.replicas.home_view()
+        return self
+
+    def refactorize(self, A_new: sp.spmatrix) -> "SparseLU3D":
+        """Factor a new matrix with the *same sparsity pattern*.
+
+        SuperLU_DIST's ``SamePattern`` option: the ordering, symbolic
+        factorization and tree-forest partition are reused (they depend
+        only on the pattern), so only the numeric phase reruns — the
+        workhorse of implicit time stepping with varying coefficients.
+
+        Raises ``ValueError`` if ``A_new`` has entries outside the
+        original pattern (the cached symbolic fill would be insufficient);
+        a *sub*-pattern is fine, its missing entries are simply zero.
+        """
+        A_new = check_square_sparse(A_new)
+        if A_new.shape != self.A.shape:
+            raise ValueError(
+                f"shape {A_new.shape} differs from original {self.A.shape}")
+        if self.sf is None:
+            self.A = A_new
+            self._A_work = self.equ.apply(A_new) if self.equ is not None \
+                else A_new
+            return self.factorize()
+        from repro.sparse.pattern import pattern_of, symmetrize_pattern
+        old = symmetrize_pattern(self.A)
+        new = pattern_of(A_new)
+        outside = (new - new.multiply(old)).nnz
+        if outside:
+            raise ValueError(
+                f"{outside} entries of the new matrix fall outside the "
+                "original pattern; run a fresh analyze()+factorize()")
+        self.A = A_new
+        if self.equ is not None:
+            from repro.solve.equilibrate import equilibrate
+            self.equ = equilibrate(A_new)
+            self._A_work = self.equ.apply(A_new)
+        else:
+            self._A_work = A_new
+        # Refresh the permuted values inside the cached symbolic object;
+        # pattern containment guarantees the cached fill still covers it.
+        self.sf.A_perm = self.sf.perm.apply_matrix(self._A_work)
+        self.sim = Simulator(self.grid.size, self.machine)
+        self.result = factor_3d(self.sf, self.tf, self.grid, self.sim,
+                                numeric=self.numeric, options=self.options)
+        if self.numeric:
+            self._factor_blocks = self.result.replicas.home_view()
+        return self
+
+    def _grid_of(self, k: int):
+        return self.grid.layer(self.tf.home_grid(k))
+
+    def _raw_solve(self, b_perm: np.ndarray) -> np.ndarray:
+        y = forward_solve(self.sf, self._factor_blocks, b_perm, self.sim,
+                          self._grid_of)
+        return backward_solve(self.sf, self._factor_blocks, y, self.sim,
+                              self._grid_of)
+
+    def solve(self, b: np.ndarray, refine: bool = True,
+              tol: float = 1e-14) -> np.ndarray:
+        """Solve ``A x = b`` using the computed factors.
+
+        Requires a numeric ``factorize()`` first. ``refine`` runs iterative
+        refinement against the original matrix (recommended — the
+        factorization used static pivoting). ``b`` may be a vector or an
+        ``(n, nrhs)`` matrix of right-hand sides, all solved in one sweep.
+        """
+        if self._factor_blocks is None:
+            raise RuntimeError(
+                "solve requires factorize() with numeric=True first")
+        b = np.asarray(b, dtype=np.float64)
+        n = self.A.shape[0]
+        if b.ndim not in (1, 2) or b.shape[0] != n:
+            raise ValueError(
+                f"b must have shape ({n},) or ({n}, nrhs), got {b.shape}")
+        perm = self.sf.perm
+
+        def factored_solve(rhs: np.ndarray) -> np.ndarray:
+            if self.equ is not None:
+                rhs = self.equ.scale_rhs(rhs)
+            y = perm.unapply_vector(self._raw_solve(perm.apply_vector(rhs)))
+            return self.equ.unscale_solution(y) if self.equ is not None else y
+
+        x = factored_solve(b)
+        if refine:
+            res = iterative_refinement(self.A, b, x, factored_solve, tol=tol)
+            self.last_refinement: RefinementResult | None = res
+            return res.x
+        self.last_refinement = None
+        return x
+
+    def solve_transposed(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A^T x = b`` with the same factors (SuperLU's trans='T').
+
+        ``A = D_r^{-1} P^T L U P D_c^{-1}`` (with optional equilibration),
+        so ``A^T x = b`` solves via ``U^T`` then ``L^T`` sweeps.
+        """
+        if self._factor_blocks is None:
+            raise RuntimeError(
+                "solve_transposed requires factorize() with numeric=True first")
+        b = np.asarray(b, dtype=np.float64)
+        if self.equ is not None:
+            b = self.equ.col_scale * b if b.ndim == 1 else \
+                self.equ.col_scale[:, None] * b
+        perm = self.sf.perm
+        y = transposed_solve(self.sf, self._factor_blocks,
+                             perm.apply_vector(b), self.sim, self._grid_of)
+        x = perm.unapply_vector(y)
+        if self.equ is not None:
+            x = self.equ.row_scale * x if x.ndim == 1 else \
+                self.equ.row_scale[:, None] * x
+        return x
+
+    def condition_estimate(self) -> float:
+        """Estimated 1-norm condition number of ``A`` (dgscon analogue)."""
+        if self._factor_blocks is None:
+            raise RuntimeError(
+                "condition_estimate requires a numeric factorization")
+        return condest(self.A, lambda r: self.solve(r, refine=False),
+                       self.solve_transposed)
+
+    # -- evaluation accessors ---------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Modeled critical-path factorization time (seconds)."""
+        self._require_factored()
+        return self.sim.makespan
+
+    def comm_volume(self, phase: str | None = None) -> np.ndarray:
+        """Per-rank communication volume in words (Fig. 10's quantity)."""
+        self._require_factored()
+        return self.sim.words_per_rank(phase)
+
+    @property
+    def peak_memory(self) -> np.ndarray:
+        """Per-rank peak memory in words (Fig. 11's quantity)."""
+        self._require_factored()
+        return self.sim.mem_peak
+
+    def _require_factored(self) -> None:
+        if self.sim is None:
+            raise RuntimeError("call factorize() first")

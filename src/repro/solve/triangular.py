@@ -1,0 +1,159 @@
+"""Distributed block triangular solves over the factor distribution.
+
+The solution vector is distributed by block row: segment ``x_k`` lives with
+the diagonal-block owner of supernode ``k`` on ``k``'s home grid. The
+forward sweep follows ascending supernodes (a column sweep of L): after
+``y_k`` is computed it is broadcast down ``k``'s process column, each
+L-panel owner forms its partial product, and sends it to the target
+segment's diagonal owner for accumulation — the same communication pattern
+SuperLU_DIST's ``pdgstrs`` uses, here emitted as simulator events.
+
+``blocks`` may be any mapping ``(i, j) -> ndarray`` (a plain
+:class:`BlockMatrix` for 2D runs, a :class:`HomeView` for 3D runs). The
+``grid_of`` callable maps a supernode to the 2D layer it lives on (constant
+for 2D; ``layer(home_grid(k))`` for 3D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+from repro.comm.collectives import bcast
+from repro.comm.simulator import Simulator
+from repro.symbolic.symbolic_factor import SymbolicFactorization
+
+__all__ = ["forward_solve", "backward_solve", "transposed_solve"]
+
+
+def forward_solve(sf: SymbolicFactorization, blocks, b: np.ndarray,
+                  sim: Simulator, grid_of) -> np.ndarray:
+    """Solve ``L y = b`` (unit lower triangular, packed factors).
+
+    ``b`` is in the *permuted* ordering; the result ``y`` likewise. A 2-D
+    ``b`` of shape ``(n, nrhs)`` solves all columns in one sweep, with
+    communication and flops scaled accordingly.
+    """
+    layout = sf.layout
+    y = b.astype(np.float64).copy()
+    nrhs = 1 if y.ndim == 1 else y.shape[1]
+    sim.set_phase("solve")
+    for k in range(sf.nb):
+        rk = layout.range_of(k)
+        s = layout.block_size(k)
+        grid = grid_of(k)
+        diag_owner = grid.owner(k, k)
+        y[rk] = la.solve_triangular(blocks[(k, k)], y[rk], lower=True,
+                                    unit_diagonal=True)
+        sim.compute(diag_owner, float(s * s * nrhs), "solve")
+        lp = sf.fill.lpanel[k]
+        if len(lp) == 0:
+            continue
+        bcast(sim, diag_owner, grid.col_ranks(k), float(s * nrhs))
+        for i in lp:
+            i = int(i)
+            si = layout.block_size(i)
+            o = grid.owner(i, k)
+            ri = layout.range_of(i)
+            y[ri] -= blocks[(i, k)] @ y[rk]
+            sim.compute(o, 2.0 * si * s * nrhs, "solve")
+            # Partial result travels to the target segment's diagonal owner.
+            tgt = grid_of(i).owner(i, i)
+            sim.send(o, tgt, float(si * nrhs))
+            sim.recv(tgt, o)
+            sim.compute(tgt, float(si * nrhs), "solve")
+    return y
+
+
+def backward_solve(sf: SymbolicFactorization, blocks, y: np.ndarray,
+                   sim: Simulator, grid_of) -> np.ndarray:
+    """Solve ``U x = y`` (upper triangular, packed factors)."""
+    layout = sf.layout
+    x = y.astype(np.float64).copy()
+    nrhs = 1 if x.ndim == 1 else x.shape[1]
+    sim.set_phase("solve")
+    for k in range(sf.nb - 1, -1, -1):
+        rk = layout.range_of(k)
+        s = layout.block_size(k)
+        grid = grid_of(k)
+        diag_owner = grid.owner(k, k)
+        for j in sf.fill.upanel[k]:
+            j = int(j)
+            sj = layout.block_size(j)
+            o = grid.owner(k, j)
+            rj = layout.range_of(j)
+            # x_j was broadcast when supernode j was solved (descending
+            # order guarantees j > k came first).
+            x[rk] -= blocks[(k, j)] @ x[rj]
+            sim.compute(o, 2.0 * s * sj * nrhs, "solve")
+            tgt = diag_owner
+            if o != tgt:
+                sim.send(o, tgt, float(s * nrhs))
+                sim.recv(tgt, o)
+            sim.compute(tgt, float(s * nrhs), "solve")
+        x[rk] = la.solve_triangular(blocks[(k, k)], x[rk], lower=False)
+        sim.compute(diag_owner, float(s * s * nrhs), "solve")
+        up_users = sf.fill.upanel[k]
+        if len(up_users):
+            # x_k feeds U-panel owners in process column k of their grids.
+            bcast(sim, diag_owner, grid.col_ranks(k), float(s * nrhs))
+    return x
+
+
+def transposed_solve(sf: SymbolicFactorization, blocks, b: np.ndarray,
+                     sim: Simulator, grid_of) -> np.ndarray:
+    """Solve ``(L U)^T x = b`` with the packed factors (trans='T').
+
+    ``U^T`` is lower triangular (non-unit): a forward column sweep over the
+    U panels; ``L^T`` is unit upper: a backward sweep over the L panels.
+    Communication is modeled with the same pattern as the plain solves.
+    """
+    layout = sf.layout
+    y = b.astype(np.float64).copy()
+    nrhs = 1 if y.ndim == 1 else y.shape[1]
+    sim.set_phase("solve")
+    # U^T y = b (forward).
+    for k in range(sf.nb):
+        rk = layout.range_of(k)
+        s = layout.block_size(k)
+        grid = grid_of(k)
+        diag_owner = grid.owner(k, k)
+        y[rk] = la.solve_triangular(blocks[(k, k)], y[rk], lower=False,
+                                    trans="T")
+        sim.compute(diag_owner, float(s * s * nrhs), "solve")
+        up = sf.fill.upanel[k]
+        if len(up):
+            bcast(sim, diag_owner, grid.row_ranks(k), float(s * nrhs))
+        for j in up:
+            j = int(j)
+            sj = layout.block_size(j)
+            o = grid.owner(k, j)
+            y[layout.range_of(j)] -= blocks[(k, j)].T @ y[rk]
+            sim.compute(o, 2.0 * sj * s * nrhs, "solve")
+            tgt = grid_of(j).owner(j, j)
+            sim.send(o, tgt, float(sj * nrhs))
+            sim.recv(tgt, o)
+            sim.compute(tgt, float(sj * nrhs), "solve")
+    # L^T x = y (backward, unit diagonal).
+    x = y
+    for k in range(sf.nb - 1, -1, -1):
+        rk = layout.range_of(k)
+        s = layout.block_size(k)
+        grid = grid_of(k)
+        diag_owner = grid.owner(k, k)
+        for i in sf.fill.lpanel[k]:
+            i = int(i)
+            si = layout.block_size(i)
+            o = grid.owner(i, k)
+            x[rk] -= blocks[(i, k)].T @ x[layout.range_of(i)]
+            sim.compute(o, 2.0 * s * si * nrhs, "solve")
+            if o != diag_owner:
+                sim.send(o, diag_owner, float(s * nrhs))
+                sim.recv(diag_owner, o)
+            sim.compute(diag_owner, float(s * nrhs), "solve")
+        x[rk] = la.solve_triangular(blocks[(k, k)], x[rk], lower=True,
+                                    trans="T", unit_diagonal=True)
+        sim.compute(diag_owner, float(s * s * nrhs), "solve")
+        if len(sf.fill.lpanel[k]):
+            bcast(sim, diag_owner, grid.col_ranks(k), float(s * nrhs))
+    return x

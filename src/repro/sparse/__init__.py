@@ -1,0 +1,49 @@
+"""Sparse-matrix substrate: generators, pattern utilities, block container, I/O.
+
+This subpackage provides everything the factorization layers need from a
+sparse matrix: synthetic problem generators matching the paper's test-suite
+geometry classes (:mod:`repro.sparse.generators`), structural pattern
+manipulation (:mod:`repro.sparse.pattern`), a block-sparse container used by
+the supernodal factorization (:mod:`repro.sparse.blockmatrix`), and a small
+Matrix-Market-style reader/writer (:mod:`repro.sparse.io`).
+"""
+
+from repro.sparse.generators import (
+    GridGeometry,
+    circuit_like,
+    delaunay_mesh_2d,
+    grid2d_5pt,
+    grid2d_9pt,
+    grid3d_7pt,
+    grid3d_27pt,
+    kkt_like,
+    random_symmetric_pattern,
+    thin_slab_7pt,
+)
+from repro.sparse.pattern import (
+    pattern_of,
+    structural_symmetry,
+    symmetrize_pattern,
+)
+from repro.sparse.blockmatrix import BlockMatrix, BlockLayout
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "BlockLayout",
+    "BlockMatrix",
+    "GridGeometry",
+    "circuit_like",
+    "delaunay_mesh_2d",
+    "grid2d_5pt",
+    "grid2d_9pt",
+    "grid3d_7pt",
+    "grid3d_27pt",
+    "kkt_like",
+    "pattern_of",
+    "random_symmetric_pattern",
+    "read_matrix_market",
+    "structural_symmetry",
+    "symmetrize_pattern",
+    "thin_slab_7pt",
+    "write_matrix_market",
+]

@@ -1,0 +1,183 @@
+"""Block-sparse matrix container used by the supernodal factorization.
+
+After nested dissection, the permuted matrix is viewed as an ``nb × nb``
+block matrix whose block rows/columns are the supernodes (tree nodes). Blocks
+that are structurally nonzero (in the *filled* pattern) are stored as dense
+``numpy`` arrays — the same "supernodal panels packed dense for BLAS-3" view
+SuperLU_DIST takes, with the supernode granularity set by the dissection
+leaf size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["BlockLayout", "BlockMatrix"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Partition of the index range ``[0, n)`` into contiguous blocks.
+
+    Attributes
+    ----------
+    offsets:
+        Array of length ``nb + 1``; block ``i`` spans rows/columns
+        ``offsets[i]:offsets[i+1]`` of the permuted matrix.
+    """
+
+    offsets: np.ndarray
+
+    def __post_init__(self):
+        off = np.asarray(self.offsets, dtype=np.int64)
+        if off.ndim != 1 or off.shape[0] < 2:
+            raise ValueError("offsets must be a 1-D array of length >= 2")
+        if off[0] != 0 or np.any(np.diff(off) <= 0):
+            raise ValueError("offsets must start at 0 and be strictly increasing")
+        object.__setattr__(self, "offsets", off)
+
+    @property
+    def nblocks(self) -> int:
+        return self.offsets.shape[0] - 1
+
+    @property
+    def n(self) -> int:
+        return int(self.offsets[-1])
+
+    def block_size(self, i: int) -> int:
+        return int(self.offsets[i + 1] - self.offsets[i])
+
+    def sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def range_of(self, i: int) -> slice:
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+    def block_of_index(self, idx: np.ndarray) -> np.ndarray:
+        """Map scalar indices in ``[0, n)`` to their owning block id."""
+        return np.searchsorted(self.offsets, np.asarray(idx), side="right") - 1
+
+
+class BlockMatrix:
+    """Dense-block sparse matrix over a :class:`BlockLayout`.
+
+    Blocks are stored in a dict keyed by ``(i, j)`` block coordinates. Missing
+    blocks are structurally zero. This is the numeric working set of both the
+    2D and 3D factorization drivers; in cost-only (symbolic) runs, no
+    ``BlockMatrix`` is materialized at all.
+    """
+
+    def __init__(self, layout: BlockLayout):
+        self.layout = layout
+        self.blocks: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_csr(cls, A: sp.csr_matrix, layout: BlockLayout,
+                 block_pattern: set[tuple[int, int]] | None = None) -> "BlockMatrix":
+        """Scatter a CSR matrix (already permuted) into dense blocks.
+
+        If ``block_pattern`` is given (the *filled* pattern from symbolic
+        factorization), blocks in the pattern are materialized even when
+        their ``A`` content is all zero, so Schur updates always find their
+        destination allocated.
+        """
+        if A.shape[0] != layout.n:
+            raise ValueError(
+                f"matrix dimension {A.shape[0]} != layout dimension {layout.n}")
+        bm = cls(layout)
+        A = A.tocsr()
+        Acoo = A.tocoo()
+        bi = layout.block_of_index(Acoo.row)
+        bj = layout.block_of_index(Acoo.col)
+        order = np.lexsort((bj, bi))
+        bi, bj = bi[order], bj[order]
+        r = Acoo.row[order]
+        c = Acoo.col[order]
+        v = Acoo.data[order]
+        # Group runs of identical (bi, bj).
+        boundaries = np.flatnonzero(np.diff(bi) | np.diff(bj)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [bi.shape[0]]])
+        for s, e in zip(starts, ends):
+            if s == e:
+                continue
+            i, j = int(bi[s]), int(bj[s])
+            blk = bm.alloc(i, j)
+            blk[r[s:e] - layout.offsets[i], c[s:e] - layout.offsets[j]] = v[s:e]
+        if block_pattern is not None:
+            missing = block_pattern.difference(bm.blocks.keys())
+            for (i, j) in missing:
+                bm.alloc(i, j)
+        return bm
+
+    def alloc(self, i: int, j: int) -> np.ndarray:
+        """Allocate (zero-filled) and return block ``(i, j)``."""
+        blk = self.blocks.get((i, j))
+        if blk is None:
+            blk = np.zeros((self.layout.block_size(i), self.layout.block_size(j)))
+            self.blocks[(i, j)] = blk
+        return blk
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, i: int, j: int) -> np.ndarray | None:
+        return self.blocks.get((i, j))
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self.blocks
+
+    def __getitem__(self, key: tuple[int, int]) -> np.ndarray:
+        return self.blocks[key]
+
+    def __setitem__(self, key: tuple[int, int], value: np.ndarray) -> None:
+        i, j = key
+        expect = (self.layout.block_size(i), self.layout.block_size(j))
+        if value.shape != expect:
+            raise ValueError(f"block {key} must have shape {expect}, got {value.shape}")
+        self.blocks[key] = value
+
+    @property
+    def nnz_blocks(self) -> int:
+        return len(self.blocks)
+
+    def words(self) -> int:
+        """Total stored words (dense block storage model)."""
+        return sum(b.size for b in self.blocks.values())
+
+    # -- conversion --------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Assemble the full dense matrix (testing only; O(n^2) memory)."""
+        n = self.layout.n
+        out = np.zeros((n, n))
+        for (i, j), blk in self.blocks.items():
+            out[self.layout.range_of(i), self.layout.range_of(j)] = blk
+        return out
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Assemble a CSR matrix from the stored blocks (drops exact zeros)."""
+        rows, cols, vals = [], [], []
+        for (i, j), blk in self.blocks.items():
+            r0 = int(self.layout.offsets[i])
+            c0 = int(self.layout.offsets[j])
+            nz = np.nonzero(blk)
+            if nz[0].size:
+                rows.append(nz[0] + r0)
+                cols.append(nz[1] + c0)
+                vals.append(blk[nz])
+        n = self.layout.n
+        if not rows:
+            return sp.csr_matrix((n, n))
+        return sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n)).tocsr()
+
+    def copy(self) -> "BlockMatrix":
+        out = BlockMatrix(self.layout)
+        out.blocks = {k: v.copy() for k, v in self.blocks.items()}
+        return out

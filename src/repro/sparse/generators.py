@@ -1,0 +1,375 @@
+"""Synthetic sparse-matrix generators for the paper's test-matrix classes.
+
+The paper's evaluation (Table III) uses four planar and six non-planar
+matrices. Two of the planar ones (``K2D5pt4096``, ``S2D9pt3072``) are already
+synthetic PDE discretizations which we generate exactly; the SuiteSparse
+matrices are proxied by generators matching their geometry class:
+
+=================  ============================  =============================
+Paper matrix       Geometry class                Generator here
+=================  ============================  =============================
+K2D5pt4096         planar, 2D 5-point stencil    :func:`grid2d_5pt`
+S2D9pt3072         planar, 2D 9-point stencil    :func:`grid2d_9pt`
+G3_circuit         planar-ish circuit graph      :func:`circuit_like`
+ecology1           planar 2D lattice             :func:`grid2d_5pt` (weighted)
+audikw_1, Serena   strongly 3D FEM meshes        :func:`grid3d_27pt` / _7pt
+CoupCons3D,        3D structural meshes          :func:`grid3d_7pt`
+dielFilterV3real
+ldoor              thin, nearly planar 3D shell  :func:`thin_slab_7pt`
+nlpkkt80           3D-grid KKT optimization      :func:`kkt_like`
+=================  ============================  =============================
+
+Every generator returns a :class:`scipy.sparse.csr_matrix` with a structurally
+symmetric pattern (what the symbolic layer requires; SuperLU_DIST likewise
+works with the symmetrized pattern) and, where meaningful, an attached
+:class:`GridGeometry` describing vertex coordinates so the geometric
+nested-dissection code can find optimal separators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_positive_int
+
+__all__ = [
+    "GridGeometry",
+    "delaunay_mesh_2d",
+    "grid2d_5pt",
+    "grid2d_9pt",
+    "grid3d_7pt",
+    "grid3d_27pt",
+    "thin_slab_7pt",
+    "circuit_like",
+    "kkt_like",
+    "random_symmetric_pattern",
+]
+
+
+@dataclass(frozen=True)
+class GridGeometry:
+    """Geometric metadata for a grid-structured matrix.
+
+    Attributes
+    ----------
+    shape:
+        Extent of the vertex lattice per dimension, e.g. ``(nx, ny)`` or
+        ``(nx, ny, nz)``. Vertex ``(i, j, k)`` has linear index
+        ``(i * ny + j) * nz + k`` (row-major).
+    kind:
+        Free-form tag of the generator that produced the matrix.
+    extra:
+        Generator-specific annotations (e.g. the KKT block split).
+    """
+
+    shape: tuple[int, ...]
+    kind: str
+    extra: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nvertices(self) -> int:
+        return int(np.prod(self.shape))
+
+    def linear_index(self, coords: np.ndarray) -> np.ndarray:
+        """Map ``(npts, ndim)`` lattice coordinates to linear vertex ids."""
+        coords = np.asarray(coords)
+        idx = coords[..., 0]
+        for d in range(1, self.ndim):
+            idx = idx * self.shape[d] + coords[..., d]
+        return idx
+
+
+# Registry mapping matrix -> geometry; scipy sparse matrices cannot carry
+# attributes reliably across format conversions, so generators return the pair
+# and callers keep them together (see repro.experiments.matrices.TestMatrix).
+
+
+def _stencil_matrix(shape: tuple[int, ...], offsets: list[tuple[int, ...]],
+                    weights: list[float], diag: float,
+                    rng: np.random.Generator | None = None,
+                    jitter: float = 0.0) -> sp.csr_matrix:
+    """Assemble a constant-coefficient stencil matrix on a rectangular lattice.
+
+    ``offsets`` lists neighbor displacement vectors (one per off-diagonal
+    coupling, both directions added symmetrically is up to the caller);
+    ``weights`` the corresponding coupling values. ``jitter`` optionally adds
+    a uniform random perturbation to each off-diagonal entry (used to make
+    proxies less perfectly structured, e.g. circuit-like graphs).
+    """
+    shape = tuple(int(s) for s in shape)
+    n = int(np.prod(shape))
+    grids = np.indices(shape).reshape(len(shape), -1).T  # (n, ndim)
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+
+    geom = GridGeometry(shape, "stencil")
+    base = geom.linear_index(grids)
+
+    for off, w in zip(offsets, weights):
+        nbr = grids + np.asarray(off)
+        ok = np.ones(n, dtype=bool)
+        for d, s in enumerate(shape):
+            ok &= (nbr[:, d] >= 0) & (nbr[:, d] < s)
+        src = base[ok]
+        dst = geom.linear_index(nbr[ok])
+        v = np.full(src.shape[0], w, dtype=np.float64)
+        if jitter > 0.0 and rng is not None:
+            v = v * (1.0 + jitter * (rng.random(src.shape[0]) - 0.5))
+        rows.append(src)
+        cols.append(dst)
+        vals.append(v)
+
+    rows.append(base)
+    cols.append(base)
+    vals.append(np.full(n, diag, dtype=np.float64))
+
+    A = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsr()
+    # Make structurally (and numerically) symmetric by averaging with the
+    # transpose; constant-coefficient stencils are already symmetric, jittered
+    # ones become so here.
+    A = (A + A.T) * 0.5
+    A.sum_duplicates()
+    return A
+
+
+def grid2d_5pt(nx: int, ny: int | None = None) -> tuple[sp.csr_matrix, GridGeometry]:
+    """5-point Laplacian on an ``nx × ny`` 2D grid (planar; K2D5pt proxy).
+
+    Returns the matrix and its :class:`GridGeometry`. The matrix is the
+    standard SPD finite-difference Poisson operator, the same construction as
+    the paper's ``K2D5pt4096`` (which uses ``nx = ny = 4096``).
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    offs = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    A = _stencil_matrix((nx, ny), offs, [-1.0] * 4, 4.0)
+    return A, GridGeometry((nx, ny), "grid2d_5pt")
+
+
+def grid2d_9pt(nx: int, ny: int | None = None) -> tuple[sp.csr_matrix, GridGeometry]:
+    """9-point Laplacian on a 2D grid (planar-class; S2D9pt proxy).
+
+    The 9-point stencil adds diagonal couplings; its graph is not strictly
+    planar but has the same `O(sqrt(n))` separators, which is what the
+    analysis relies on (the paper classifies S2D9pt3072 as planar).
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    offs = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)]
+    w = [-0.25 if abs(dx) + abs(dy) == 2 else -1.0 for dx, dy in offs]
+    A = _stencil_matrix((nx, ny), offs, w, 5.0)
+    return A, GridGeometry((nx, ny), "grid2d_9pt")
+
+
+def grid3d_7pt(nx: int, ny: int | None = None, nz: int | None = None
+               ) -> tuple[sp.csr_matrix, GridGeometry]:
+    """7-point Laplacian on a 3D brick (non-planar; CoupCons3D/Serena proxy)."""
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    nz = nx if nz is None else check_positive_int(nz, "nz")
+    offs = [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+    A = _stencil_matrix((nx, ny, nz), offs, [-1.0] * 6, 6.0)
+    return A, GridGeometry((nx, ny, nz), "grid3d_7pt")
+
+
+def grid3d_27pt(nx: int, ny: int | None = None, nz: int | None = None
+                ) -> tuple[sp.csr_matrix, GridGeometry]:
+    """27-point stencil on a 3D brick (denser non-planar; audikw_1 proxy).
+
+    audikw_1 has ``nnz/n = 82``; a 27-point stencil (``nnz/n = 27``) is the
+    densest regular brick coupling, standing in for high-order FEM meshes.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    nz = nx if nz is None else check_positive_int(nz, "nz")
+    offs = [(dx, dy, dz)
+            for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)
+            if (dx, dy, dz) != (0, 0, 0)]
+    w = [-1.0 / (abs(dx) + abs(dy) + abs(dz)) for dx, dy, dz in offs]
+    A = _stencil_matrix((nx, ny, nz), offs, w, 14.0)
+    return A, GridGeometry((nx, ny, nz), "grid3d_27pt")
+
+
+def thin_slab_7pt(nx: int, ny: int | None = None, nz: int = 4
+                  ) -> tuple[sp.csr_matrix, GridGeometry]:
+    """7-point stencil on a thin slab ``nx × ny × nz`` with small ``nz``.
+
+    Models the paper's observation that ``ldoor`` — a tetrahedral mesh of a
+    large, thin door — "partitions like a 2D object": separators are
+    ``O(nz * sqrt(n))``, i.e. planar-like up to the constant ``nz``.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    nz = check_positive_int(nz, "nz")
+    A, _ = grid3d_7pt(nx, ny, nz)
+    return A, GridGeometry((nx, ny, nz), "thin_slab_7pt")
+
+
+def circuit_like(nx: int, ny: int | None = None, extra_edge_frac: float = 0.02,
+                 seed: int = 0) -> tuple[sp.csr_matrix, GridGeometry]:
+    """Circuit-simulation-like matrix (G3_circuit / ecology1 proxy).
+
+    Power-grid and ecology matrices are essentially 2D lattices with a few
+    long-range connections and very low ``nnz/n`` (≈ 5 for both paper
+    matrices). We take a 5-point lattice, jitter the conductances, and add a
+    small fraction of random symmetric "via" edges. Extra edges are kept
+    geometrically short-range (within a local window) so the graph stays in
+    the planar separator class, matching how these matrices behave under ND.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    if not 0.0 <= extra_edge_frac < 1.0:
+        raise ValueError("extra_edge_frac must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    offs = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    A = _stencil_matrix((nx, ny), offs, [-1.0] * 4, 4.2, rng=rng, jitter=0.3)
+
+    n = nx * ny
+    nextra = int(extra_edge_frac * n)
+    if nextra > 0:
+        # Short-range random vias: endpoints within a 4x4 window.
+        src_x = rng.integers(0, nx, nextra)
+        src_y = rng.integers(0, ny, nextra)
+        dx = rng.integers(-4, 5, nextra)
+        dy = rng.integers(-4, 5, nextra)
+        dst_x = np.clip(src_x + dx, 0, nx - 1)
+        dst_y = np.clip(src_y + dy, 0, ny - 1)
+        src = src_x * ny + src_y
+        dst = dst_x * ny + dst_y
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        v = -0.1 * rng.random(src.shape[0])
+        E = sp.coo_matrix((np.concatenate([v, v]),
+                           (np.concatenate([src, dst]),
+                            np.concatenate([dst, src]))), shape=(n, n))
+        A = (A + E.tocsr()).tocsr()
+        # Restore diagonal dominance after adding vias.
+        A = A + sp.diags(np.abs(E.tocsr()).sum(axis=1).A1 if hasattr(
+            np.abs(E.tocsr()).sum(axis=1), "A1")
+            else np.asarray(np.abs(E.tocsr()).sum(axis=1)).ravel())
+    A.sum_duplicates()
+    return A.tocsr(), GridGeometry((nx, ny), "circuit_like")
+
+
+def kkt_like(nx: int, coupling: float = 0.5, seed: int = 0
+             ) -> tuple[sp.csr_matrix, GridGeometry]:
+    """KKT-structured matrix on a 3D grid (nlpkkt80 proxy).
+
+    The nlpkkt family arises from the KKT conditions of a PDE-constrained
+    optimization on a 3D grid: a symmetric indefinite 2x2 block system
+
+    .. math::  \\begin{pmatrix} H & J^T \\\\ J & 0 \\end{pmatrix}
+
+    where ``H`` and ``J`` are 3D-grid stencil operators on state/adjoint
+    variables. We build the same structure from two interleaved copies of a
+    7-point brick plus a grid-local coupling block, then shift the (2,2)
+    block with a small regularization so static (diagonal-block) pivoting is
+    numerically viable — the same reason SuperLU_DIST applies static pivoting
+    with half-precision perturbation to nlpkkt80.
+
+    The associated graph is two stacked 3D grids, i.e. strongly non-planar
+    with ``O(n^{2/3})`` separators, which is the property the paper's
+    evaluation exercises.
+    """
+    nx = check_positive_int(nx, "nx")
+    H, geom = grid3d_7pt(nx)
+    n = H.shape[0]
+    rng = np.random.default_rng(seed)
+
+    # Constraint Jacobian J: grid-local operator, diagonal + one forward
+    # neighbor coupling per dimension, mildly jittered.
+    offs = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    J = _stencil_matrix((nx, nx, nx), offs, [coupling] * 3, 1.0,
+                        rng=rng, jitter=0.2)
+
+    reg = sp.identity(n, format="csr") * 1e-2
+    A = sp.bmat([[H, J.T], [J, -reg]], format="csr")
+    geom2 = GridGeometry((nx, nx, nx), "kkt_like", {"nblocks": 2, "n_state": n})
+    return A, geom2
+
+
+def random_symmetric_pattern(n: int, avg_degree: float = 4.0, seed: int = 0
+                             ) -> sp.csr_matrix:
+    """Random structurally symmetric matrix with a guaranteed nonzero diagonal.
+
+    Used by property-based tests to exercise the general-graph (non-geometric)
+    code paths: ordering, symbolic factorization and the load-balance
+    heuristic must accept arbitrary symmetric patterns.
+    """
+    n = check_positive_int(n, "n")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    nedges = int(avg_degree * n / 2)
+    src = rng.integers(0, n, nedges)
+    dst = rng.integers(0, n, nedges)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    v = rng.random(src.shape[0]) - 0.5
+    A = sp.coo_matrix(
+        (np.concatenate([v, v]), (np.concatenate([src, dst]),
+                                  np.concatenate([dst, src]))),
+        shape=(n, n),
+    ).tocsr()
+    A.sum_duplicates()
+    # Diagonal dominance => nonsingular and safe for static pivoting.
+    rowsum = np.asarray(np.abs(A).sum(axis=1)).ravel()
+    A = A + sp.diags(rowsum + 1.0)
+    return A.tocsr()
+
+
+def delaunay_mesh_2d(npoints: int, seed: int = 0
+                     ) -> tuple[sp.csr_matrix, None]:
+    """Unstructured planar FEM graph: a Delaunay triangulation stiffness
+    pattern over random points in the unit square.
+
+    Unlike the lattice generators, this exercises the *general-graph*
+    pipeline (BFS-separator nested dissection, no geometry oracle) on a
+    genuinely planar unstructured mesh — the matrix class FEM packages
+    produce for irregular 2D domains. Returns ``(A, None)``: there is no
+    lattice geometry to attach (which is the point), so ordering falls
+    back to :func:`repro.ordering.graph_nd`.
+
+    The matrix is the graph Laplacian of the triangulation plus identity,
+    hence SPD with ``nnz/n ~ 7`` (average planar triangulation degree ~6).
+    """
+    from scipy.spatial import Delaunay, QhullError
+
+    npoints = check_positive_int(npoints, "npoints")
+    if npoints < 4:
+        raise ValueError("need at least 4 points for a 2-D triangulation")
+    rng = np.random.default_rng(seed)
+    while True:
+        pts = rng.random((npoints, 2))
+        try:
+            tri = Delaunay(pts)
+            break
+        except QhullError:  # pragma: no cover - astronomically unlikely
+            continue
+
+    # Every triangle contributes its three edges.
+    simplices = tri.simplices
+    edges = np.concatenate([simplices[:, [0, 1]], simplices[:, [1, 2]],
+                            simplices[:, [0, 2]]])
+    src = np.concatenate([edges[:, 0], edges[:, 1]])
+    dst = np.concatenate([edges[:, 1], edges[:, 0]])
+    vals = -np.ones(src.shape[0])
+    A = sp.coo_matrix((vals, (src, dst)), shape=(npoints, npoints)).tocsr()
+    # Collapse duplicate edges to weight -1 (pattern matters, not counts).
+    A.data[:] = -1.0
+    A.sum_duplicates()
+    A.data[:] = -1.0
+    deg = -np.asarray(A.sum(axis=1)).ravel()
+    return (A + sp.diags(deg + 1.0)).tocsr(), None

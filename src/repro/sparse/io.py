@@ -1,0 +1,75 @@
+"""Minimal Matrix-Market coordinate I/O.
+
+scipy provides ``mmread``/``mmwrite``; we implement a small reader/writer
+ourselves so the repository is self-contained for its on-disk exchange format
+(the paper's test matrices ship as Matrix Market files), and so tests can
+round-trip matrices without touching scipy internals.
+
+Only the ``matrix coordinate real general/symmetric`` and
+``pattern`` variants are supported — the formats the SuiteSparse collection
+actually uses for these matrices.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate {field} {symmetry}\n"
+
+
+def write_matrix_market(path: str | os.PathLike, A: sp.spmatrix,
+                        symmetry: str = "general") -> None:
+    """Write ``A`` in Matrix Market coordinate format (1-based indices).
+
+    With ``symmetry='symmetric'`` only the lower triangle is stored; the
+    caller is responsible for ``A`` actually being symmetric.
+    """
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    A = sp.coo_matrix(A)
+    if symmetry == "symmetric":
+        keep = A.row >= A.col
+        A = sp.coo_matrix((A.data[keep], (A.row[keep], A.col[keep])), shape=A.shape)
+    with open(path, "w") as f:
+        f.write(_HEADER.format(field="real", symmetry=symmetry))
+        f.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        for r, c, v in zip(A.row, A.col, A.data):
+            f.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def read_matrix_market(path: str | os.PathLike) -> sp.csr_matrix:
+    """Read a Matrix Market coordinate file written by this module or others."""
+    with open(path) as f:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise ValueError(f"{path}: unsupported MatrixMarket header: {header!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nrows, ncols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = f.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" else 1.0
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if symmetry == "symmetric":
+        off = rows != cols
+        A = A + sp.coo_matrix((vals[off], (cols[off], rows[off])), shape=A.shape)
+    return A.tocsr()

@@ -1,0 +1,91 @@
+"""Scalar elimination tree (Liu's algorithm) and tree utilities.
+
+The *scalar* etree of ``A^T A``-pattern (here: of the symmetrized pattern of
+``A``) is the classic dependency structure of sparse factorization
+(Section II-D of the paper). The factorization drivers use the coarser
+*block* etree from the dissection tree, but the scalar etree is the ground
+truth the block tree must be consistent with, and several tests rely on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.pattern import symmetrize_pattern
+
+__all__ = ["elimination_tree", "postorder", "etree_heights"]
+
+
+def elimination_tree(A: sp.spmatrix) -> np.ndarray:
+    """Compute the elimination tree of the symmetrized pattern of ``A``.
+
+    Returns ``parent`` with ``parent[v]`` the etree parent of column ``v``
+    (``-1`` for roots). Implements Liu's nearly-linear algorithm with path
+    compression on virtual roots.
+    """
+    S = symmetrize_pattern(A).tocsc()
+    n = S.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)  # virtual roots w/ compression
+    indptr, indices = S.indptr, S.indices
+    for col in range(n):
+        rows = indices[indptr[col]:indptr[col + 1]]
+        for r in rows[rows < col]:
+            # Walk from r to its current root, compressing toward col.
+            v = int(r)
+            while ancestor[v] != -1 and ancestor[v] != col:
+                nxt = int(ancestor[v])
+                ancestor[v] = col
+                v = nxt
+            if ancestor[v] == -1:
+                ancestor[v] = col
+                parent[v] = col
+    return parent
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """Return a postorder of the forest given by ``parent``.
+
+    ``result[k]`` is the node visited k-th; children always precede parents.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    # Build child lists.
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for v in range(n):
+        p = int(parent[v])
+        if p == -1:
+            roots.append(v)
+        else:
+            children[p].append(v)
+    out = np.empty(n, dtype=np.int64)
+    pos = 0
+    for root in roots:
+        # Iterative postorder.
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            if expanded:
+                out[pos] = v
+                pos += 1
+            else:
+                stack.append((v, True))
+                for c in reversed(children[v]):
+                    stack.append((c, False))
+    if pos != n:
+        raise ValueError("parent array does not describe a forest")
+    return out
+
+
+def etree_heights(parent: np.ndarray) -> np.ndarray:
+    """Height of the subtree rooted at each node (leaves have height 1)."""
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    height = np.ones(n, dtype=np.int64)
+    for v in postorder(parent):
+        p = int(parent[v])
+        if p != -1:
+            height[p] = max(height[p], height[v] + 1)
+    return height

@@ -1,0 +1,166 @@
+"""The symbolic-factorization product consumed by every downstream layer.
+
+:func:`symbolic_factorize` = nested dissection + symmetric permutation +
+block symbolic elimination + per-node cost estimation. The result is enough
+to (a) run the numeric 2D/3D factorizations, (b) run them in cost-only mode
+(no numerics), and (c) drive the paper's load-balance heuristic, whose cost
+function T(v) is "number of floating-point operations in factoring node v"
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ordering.nested_dissection import DissectionTree, nested_dissection
+from repro.sparse.blockmatrix import BlockLayout
+from repro.sparse.generators import GridGeometry
+from repro.symbolic.fill import BlockFill, block_fill
+from repro.utils import check_square_sparse
+
+__all__ = ["NodeCosts", "SymbolicFactorization", "symbolic_factorize"]
+
+
+@dataclass
+class NodeCosts:
+    """Per-supernode flop and storage estimates (dense-block model).
+
+    All arrays have length ``nb``. The flop conventions follow LAPACK
+    counts: ``2/3 s^3`` for an s×s LU, ``s^2 m`` for an s×s triangular solve
+    against m vectors, ``2 m s n`` for an (m×s)·(s×n) GEMM.
+    """
+
+    factor_flops: np.ndarray   # diagonal block LU
+    panel_flops: np.ndarray    # L and U panel triangular solves
+    schur_flops: np.ndarray    # Schur-complement GEMMs sourced at this node
+    factor_words: np.ndarray   # words of L/U factor storage owned by the node
+
+    @property
+    def node_flops(self) -> np.ndarray:
+        """Total flops attributed to factoring each node, the paper's T(v)."""
+        return self.factor_flops + self.panel_flops + self.schur_flops
+
+    @property
+    def total_flops(self) -> float:
+        return float(self.node_flops.sum())
+
+    @property
+    def total_words(self) -> float:
+        return float(self.factor_words.sum())
+
+
+class SymbolicFactorization:
+    """Everything known about the factorization before any numeric work.
+
+    Attributes
+    ----------
+    A_perm:
+        The input matrix under the dissection permutation (CSR).
+    tree:
+        The dissection tree; its postorder ids are the block indices.
+    fill:
+        Filled L/U panel block structure.
+    costs:
+        Per-node flop/word estimates.
+    """
+
+    def __init__(self, A_perm: sp.csr_matrix, tree: DissectionTree,
+                 fill: BlockFill, costs: NodeCosts):
+        self.A_perm = A_perm
+        self.tree = tree
+        self.fill = fill
+        self.costs = costs
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.A_perm.shape[0]
+
+    @property
+    def nb(self) -> int:
+        return self.tree.nblocks
+
+    @property
+    def layout(self) -> BlockLayout:
+        return self.tree.layout
+
+    @property
+    def perm(self):
+        return self.tree.perm
+
+    def block_words(self, i: int, j: int) -> int:
+        """Dense storage of block (i, j) in words."""
+        return self.layout.block_size(i) * self.layout.block_size(j)
+
+    def subtree_flops(self, k: int) -> float:
+        """Total node flops over the subtree rooted at ``k`` (paper's T(C))."""
+        return float(self.costs.node_flops[self.tree.subtree_of(k)].sum())
+
+    def fill_ratio(self) -> float:
+        """Filled factor words / nnz(A) — the usual fill-in metric."""
+        return self.costs.total_words / max(self.A_perm.nnz, 1)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"SymbolicFactorization(n={self.n}, nb={self.nb}, "
+                f"flops={self.costs.total_flops:.3e}, "
+                f"factor_words={self.costs.total_words:.3e})")
+
+
+def _compute_costs(layout: BlockLayout, fill: BlockFill) -> NodeCosts:
+    nb = layout.nblocks
+    sizes = layout.sizes().astype(np.float64)
+    factor_flops = np.empty(nb)
+    panel_flops = np.empty(nb)
+    schur_flops = np.empty(nb)
+    factor_words = np.empty(nb)
+    for k in range(nb):
+        s = sizes[k]
+        lrows = sizes[fill.lpanel[k]]
+        ucols = sizes[fill.upanel[k]]
+        factor_flops[k] = (2.0 / 3.0) * s ** 3
+        panel_flops[k] = s * s * (lrows.sum() + ucols.sum())
+        # GEMM flops: sum_{i,j} 2 * s_i * s * s_j = 2 s (sum s_i)(sum s_j)
+        schur_flops[k] = 2.0 * s * lrows.sum() * ucols.sum()
+        factor_words[k] = s * s + s * (lrows.sum() + ucols.sum())
+    return NodeCosts(factor_flops, panel_flops, schur_flops, factor_words)
+
+
+def symbolic_factorize(A: sp.spmatrix, geometry: GridGeometry | None = None,
+                       leaf_size: int = 64, method: str = "bfs",
+                       tree: DissectionTree | None = None,
+                       max_block: int | None = None
+                       ) -> SymbolicFactorization:
+    """Run the full symbolic phase on ``A``.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix (any scipy format).
+    geometry:
+        Lattice geometry from the generators, enabling geometric dissection.
+    leaf_size:
+        Dissection stops when a region has at most this many vertices; this
+        is the supernode granularity knob.
+    method:
+        Separator method for non-geometric dissection (``'bfs'``/``'fiedler'``).
+    tree:
+        Pre-computed dissection tree (skips ordering); used by the ablation
+        benchmarks to compare partitions on a fixed structure.
+    max_block:
+        Supernode size cap: larger separators are split into chains of
+        blocks of at most this size (SuperLU_DIST's ``maxsup`` analogue).
+        ``None`` leaves separators whole.
+    """
+    A = check_square_sparse(A)
+    if tree is None:
+        tree = nested_dissection(A, geometry, leaf_size=leaf_size,
+                                 method=method, max_block=max_block)
+    A_perm = tree.perm.apply_matrix(A)
+    fill = block_fill(A_perm, tree.layout, tree_parent=tree.parent)
+    costs = _compute_costs(tree.layout, fill)
+    return SymbolicFactorization(A_perm, tree, fill, costs)

@@ -1,0 +1,25 @@
+"""Elimination tree-forest `E_f`: the paper's Section III-C machinery.
+
+The 3D algorithm partitions the block elimination tree into ``l = log2(Pz)``
+levels of forests: level ``l`` holds the ``Pz`` independent leaf forests
+(one per 2D grid), level ``q < l`` holds ``2^q`` common-ancestor forests,
+each replicated across ``2^{l-q}`` grids. :mod:`repro.tree.partition`
+implements both the paper's greedy load-balance heuristic (Fig. 8, right)
+and the naive nested-dissection split (Fig. 8, left) used as its ablation
+baseline; :mod:`repro.tree.treeforest` is the resulting data structure with
+the grid-mapping queries Algorithm 1 needs.
+"""
+
+from repro.tree.treeforest import TreeForest
+from repro.tree.partition import (
+    critical_path_cost,
+    greedy_partition,
+    naive_partition,
+)
+
+__all__ = [
+    "TreeForest",
+    "critical_path_cost",
+    "greedy_partition",
+    "naive_partition",
+]

@@ -1,0 +1,25 @@
+"""Process-grid auto-tuning.
+
+The paper's evaluation shows the best ``P_XY × P_z`` depends on the
+matrix's geometry class: planar problems want depth (large ``Pz``,
+Eq. 8), strongly 3D problems want a moderate ``Pz`` (Section IV-C's
+constant optimum), and in-between matrices (the paper's ldoor) sit in
+between. :func:`repro.tune.suggest_grid` automates that choice by
+*measuring* the separator-growth exponent of the matrix's own dissection
+tree — the quantity that actually separates the two regimes — and mapping
+it onto the analytic optima.
+"""
+
+from repro.tune.autotune import (
+    GridSuggestion,
+    classify_geometry,
+    estimate_separator_exponent,
+    suggest_grid,
+)
+
+__all__ = [
+    "GridSuggestion",
+    "classify_geometry",
+    "estimate_separator_exponent",
+    "suggest_grid",
+]

@@ -1,0 +1,67 @@
+"""Shared fixtures: small representative matrices of each geometry class."""
+
+import pytest
+
+from repro.sparse import (
+    circuit_like,
+    grid2d_5pt,
+    grid2d_9pt,
+    grid3d_7pt,
+    kkt_like,
+    random_symmetric_pattern,
+    thin_slab_7pt,
+)
+
+
+@pytest.fixture(scope="session")
+def planar_small():
+    """16x16 5-point grid: the workhorse planar test problem (n=256)."""
+    return grid2d_5pt(16)
+
+
+@pytest.fixture(scope="session")
+def planar_9pt_small():
+    return grid2d_9pt(12)
+
+
+@pytest.fixture(scope="session")
+def brick_small():
+    """8x8x8 7-point brick: the workhorse non-planar test problem (n=512)."""
+    return grid3d_7pt(8)
+
+
+@pytest.fixture(scope="session")
+def slab_small():
+    return thin_slab_7pt(10, 10, 3)
+
+
+@pytest.fixture(scope="session")
+def circuit_small():
+    return circuit_like(12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def kkt_small():
+    return kkt_like(5, seed=1)
+
+
+@pytest.fixture(scope="session")
+def random_small():
+    return random_symmetric_pattern(150, avg_degree=5.0, seed=7)
+
+
+@pytest.fixture(
+    scope="session",
+    params=["planar", "9pt", "brick", "slab", "circuit", "kkt"],
+)
+def any_matrix(request, planar_small, planar_9pt_small, brick_small,
+               slab_small, circuit_small, kkt_small):
+    """Parametrized (A, geometry) pair covering every generator family."""
+    return {
+        "planar": planar_small,
+        "9pt": planar_9pt_small,
+        "brick": brick_small,
+        "slab": slab_small,
+        "circuit": circuit_small,
+        "kkt": kkt_small,
+    }[request.param]

@@ -1,0 +1,96 @@
+"""Tests for BlockLayout and BlockMatrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import BlockLayout, BlockMatrix
+
+
+class TestBlockLayout:
+    def test_basic(self):
+        lay = BlockLayout(np.array([0, 3, 5, 9]))
+        assert lay.nblocks == 3
+        assert lay.n == 9
+        assert lay.block_size(1) == 2
+        assert np.array_equal(lay.sizes(), [3, 2, 4])
+        assert lay.range_of(2) == slice(5, 9)
+
+    def test_block_of_index(self):
+        lay = BlockLayout(np.array([0, 3, 5, 9]))
+        assert np.array_equal(lay.block_of_index(np.array([0, 2, 3, 4, 5, 8])),
+                              [0, 0, 1, 1, 2, 2])
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            BlockLayout(np.array([1, 3]))
+        with pytest.raises(ValueError):
+            BlockLayout(np.array([0, 3, 3]))
+        with pytest.raises(ValueError):
+            BlockLayout(np.array([0]))
+
+
+@st.composite
+def layouts_and_matrices(draw):
+    nb = draw(st.integers(min_value=1, max_value=6))
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=5),
+                          min_size=nb, max_size=nb))
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    D = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    return BlockLayout(offsets), sp.csr_matrix(D)
+
+
+@given(layouts_and_matrices())
+@settings(max_examples=40, deadline=None)
+def test_from_csr_roundtrip(pair):
+    layout, A = pair
+    bm = BlockMatrix.from_csr(A, layout)
+    assert np.allclose(bm.to_dense(), A.toarray())
+    assert np.allclose(bm.to_csr().toarray(), A.toarray())
+
+
+def test_from_csr_materializes_pattern():
+    lay = BlockLayout(np.array([0, 2, 4]))
+    A = sp.csr_matrix((4, 4))
+    A = sp.csr_matrix(sp.identity(4))
+    bm = BlockMatrix.from_csr(A.tocsr(), lay, block_pattern={(0, 1), (1, 0)})
+    assert (0, 1) in bm and (1, 0) in bm
+    assert np.all(bm[(0, 1)] == 0)
+
+
+def test_dimension_mismatch_rejected():
+    lay = BlockLayout(np.array([0, 2]))
+    with pytest.raises(ValueError, match="dimension"):
+        BlockMatrix.from_csr(sp.identity(3, format="csr"), lay)
+
+
+def test_setitem_shape_check():
+    lay = BlockLayout(np.array([0, 2, 5]))
+    bm = BlockMatrix(lay)
+    with pytest.raises(ValueError, match="shape"):
+        bm[(0, 1)] = np.zeros((2, 2))
+    bm[(0, 1)] = np.ones((2, 3))
+    assert bm.words() == 6
+
+
+def test_alloc_idempotent():
+    lay = BlockLayout(np.array([0, 2]))
+    bm = BlockMatrix(lay)
+    a = bm.alloc(0, 0)
+    a[0, 0] = 7.0
+    b = bm.alloc(0, 0)
+    assert b[0, 0] == 7.0
+
+
+def test_copy_is_deep():
+    lay = BlockLayout(np.array([0, 2]))
+    bm = BlockMatrix(lay)
+    bm.alloc(0, 0)[:] = 1.0
+    cp = bm.copy()
+    cp[(0, 0)][0, 0] = 99.0
+    assert bm[(0, 0)][0, 0] == 1.0

@@ -1,0 +1,102 @@
+"""Tests for the scalar elimination tree (Liu's algorithm)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import random_symmetric_pattern
+from repro.symbolic import elimination_tree, etree_heights, postorder
+
+
+def _etree_reference(S: np.ndarray) -> np.ndarray:
+    """O(n^2) reference: parent[v] = min{w > v : w reachable from v through
+    vertices < v in the filled graph} — computed via explicit fill."""
+    n = S.shape[0]
+    F = S.copy().astype(bool)
+    np.fill_diagonal(F, True)
+    for k in range(n):
+        rows = np.flatnonzero(F[k + 1:, k]) + k + 1
+        for i in rows:
+            F[i, rows] = True  # symmetric fill
+    parent = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        above = np.flatnonzero(F[v + 1:, v]) + v + 1
+        if above.size:
+            parent[v] = above[0]
+    return parent
+
+
+class TestEliminationTree:
+    def test_diagonal_matrix_is_forest_of_singletons(self):
+        par = elimination_tree(sp.identity(5, format="csr"))
+        assert (par == -1).all()
+
+    def test_tridiagonal_is_path(self):
+        n = 8
+        A = sp.diags([np.ones(n - 1), 2 * np.ones(n), np.ones(n - 1)],
+                     [-1, 0, 1]).tocsr()
+        par = elimination_tree(A)
+        assert np.array_equal(par[:-1], np.arange(1, n))
+        assert par[-1] == -1
+
+    def test_arrow_matrix_is_star(self):
+        n = 6
+        D = np.eye(n)
+        D[-1, :] = 1
+        D[:, -1] = 1
+        par = elimination_tree(sp.csr_matrix(D))
+        assert (par[:-1] == n - 1).all()
+        assert par[-1] == -1
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference(self, n, seed):
+        A = random_symmetric_pattern(n, avg_degree=3.0, seed=seed)
+        par = elimination_tree(A)
+        ref = _etree_reference((A.toarray() != 0))
+        assert np.array_equal(par, ref)
+
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_parent_always_larger(self, n, seed):
+        A = random_symmetric_pattern(n, avg_degree=4.0, seed=seed)
+        par = elimination_tree(A)
+        v = np.arange(n)
+        mask = par != -1
+        assert (par[mask] > v[mask]).all()
+
+
+class TestPostorder:
+    def test_children_before_parents(self):
+        parent = np.array([2, 2, 4, 4, -1])
+        po = postorder(parent)
+        pos = np.empty(5, dtype=int)
+        pos[po] = np.arange(5)
+        for v, p in enumerate(parent):
+            if p != -1:
+                assert pos[v] < pos[p]
+
+    def test_forest(self):
+        parent = np.array([-1, -1, 1])
+        po = postorder(parent)
+        assert sorted(po.tolist()) == [0, 1, 2]
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0]))
+
+
+class TestHeights:
+    def test_path(self):
+        parent = np.array([1, 2, 3, -1])
+        assert np.array_equal(etree_heights(parent), [1, 2, 3, 4])
+
+    def test_balanced(self):
+        parent = np.array([2, 2, 6, 5, 5, 6, -1])
+        h = etree_heights(parent)
+        assert h[6] == 3 and h[2] == 2 and h[5] == 2
+        assert h[0] == h[1] == h[3] == h[4] == 1

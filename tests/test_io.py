@@ -1,0 +1,89 @@
+"""Tests for Matrix-Market I/O."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import grid2d_5pt, read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_general(self, tmp_path):
+        A = sp.random(20, 20, density=0.2, format="csr", random_state=0)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert abs(A - B).max() < 1e-15
+
+    def test_symmetric_storage(self, tmp_path):
+        A, _ = grid2d_5pt(6)
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(path, A, symmetry="symmetric")
+        # Only the lower triangle is on disk...
+        text = path.read_text()
+        assert "symmetric" in text.splitlines()[0]
+        # ...but reading restores the full matrix.
+        B = read_matrix_market(path)
+        assert abs(A - B).max() < 1e-15
+
+    def test_symmetric_file_smaller(self, tmp_path):
+        A, _ = grid2d_5pt(8)
+        pg = tmp_path / "g.mtx"
+        ps = tmp_path / "s.mtx"
+        write_matrix_market(pg, A, symmetry="general")
+        write_matrix_market(ps, A, symmetry="symmetric")
+        assert ps.stat().st_size < pg.stat().st_size
+
+    def test_values_precision(self, tmp_path):
+        A = sp.csr_matrix(np.array([[np.pi, 0.0], [0.0, 1e-17]]))
+        path = tmp_path / "p.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert B[0, 0] == pytest.approx(np.pi, rel=1e-15)
+
+    def test_pipeline_through_solver(self, tmp_path):
+        """Full user path: write, read back, factor and solve."""
+        from repro import SparseLU3D
+        A, _ = grid2d_5pt(8)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, A, symmetry="symmetric")
+        B = read_matrix_market(path)
+        solver = SparseLU3D(B, px=1, py=1, leaf_size=16)
+        solver.factorize()
+        b = np.ones(B.shape[0])
+        x = solver.solve(b)
+        assert np.linalg.norm(B @ x - b) < 1e-10
+
+
+class TestErrors:
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("not a matrix market file\n1 1 0\n")
+        with pytest.raises(ValueError, match="not a MatrixMarket"):
+            read_matrix_market(p)
+
+    def test_unsupported_format(self, tmp_path):
+        p = tmp_path / "arr.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_matrix_market(p)
+
+    def test_unsupported_symmetry_write(self, tmp_path):
+        with pytest.raises(ValueError, match="symmetry"):
+            write_matrix_market(tmp_path / "x.mtx", sp.identity(2),
+                                symmetry="hermitian")
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "c.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "% a comment line\n"
+                     "2 2 1\n1 1 3.5\n")
+        A = read_matrix_market(p)
+        assert A[0, 0] == 3.5
+
+    def test_pattern_field(self, tmp_path):
+        p = tmp_path / "pat.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 2\n1 1\n2 1\n")
+        A = read_matrix_market(p)
+        assert A[0, 0] == 1.0 and A[1, 0] == 1.0

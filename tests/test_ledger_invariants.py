@@ -1,0 +1,76 @@
+"""Cross-cutting ledger invariants over full factorization runs.
+
+Property-style checks that hold for *any* valid schedule the drivers can
+emit — run over a grid of (matrix family, Pz, engine) combinations. These
+are the guards that would catch a mis-metered event long before a figure
+looks subtly wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FactorizationMetrics
+from repro.cholesky import factor_chol_3d
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+ENGINES = {
+    "lu": lambda sf, tf, g3, sim: factor_3d(sf, tf, g3, sim, numeric=False),
+    "cholesky": lambda sf, tf, g3, sim: factor_chol_3d(sf, tf, g3, sim,
+                                                       numeric=False),
+    "merged": factor_3d_merged,
+}
+
+
+def _cases():
+    for brick in (False, True):
+        for pz in (1, 2, 4):
+            for engine in ENGINES:
+                yield brick, pz, engine
+
+
+@pytest.mark.parametrize("brick,pz,engine", list(_cases()),
+                         ids=lambda v: str(v))
+def test_ledger_invariants(brick, pz, engine):
+    # Both families are SPD, so every engine (incl. Cholesky) applies.
+    A, g = grid3d_7pt(7) if brick else grid2d_5pt(14)
+    sf = symbolic_factorize(A, g, leaf_size=24)
+    tf = greedy_partition(sf, pz)
+    grid3 = ProcessGrid3D(1, 2, pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    ENGINES[engine](sf, tf, grid3, sim)
+    m = FactorizationMetrics.from_simulator(sim)
+
+    # 1. Conservation and drained queues.
+    assert sim.total_words_sent() == pytest.approx(sim.total_words_recv())
+    assert sim.pending_messages() == 0
+    # 2. Message-count symmetry (every p2p pairs one send with one recv).
+    for phase in ("fact", "red"):
+        assert sim.msgs_sent[phase].sum() == sim.msgs_recv[phase].sum()
+    # 3. Clocks: the makespan bounds every rank's booked time.
+    for r in range(sim.nranks):
+        assert sim.compute_time(r) <= sim.clock[r] + 1e-15
+        assert sim.comm_time(r) >= -1e-15
+    assert m.makespan == pytest.approx(sim.clock.max())
+    # 4. Critical-path decomposition is exact.
+    assert m.t_scu + m.t_panel + m.t_comm == pytest.approx(m.makespan)
+    # 5. Memory: peaks dominate residents; nothing over-freed.
+    assert (sim.mem_peak >= sim.mem_current - 1e-9).all()
+    assert (sim.mem_current >= -1e-9).all()
+    # 6. Reduction traffic exists iff pz > 1 (for the LU/merged engines the
+    #    ancestors are nonempty on these meshes).
+    if pz == 1:
+        assert sim.total_words_sent("red") == 0.0
+    else:
+        assert sim.total_words_sent("red") > 0.0
+    # 7. Flop ledgers are engine-consistent: Cholesky ~ half of LU.
+    if engine == "cholesky":
+        sim_lu = Simulator(grid3.size, Machine.edison_like())
+        ENGINES["lu"](sf, tf, grid3, sim_lu)
+        f_ch = sum(sim.flops[k].sum() for k in ("diag", "panel", "schur"))
+        f_lu = sum(sim_lu.flops[k].sum() for k in ("diag", "panel", "schur"))
+        assert f_ch == pytest.approx(f_lu / 2, rel=0.15)

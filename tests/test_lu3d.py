@@ -1,0 +1,244 @@
+"""Tests for the 3D algorithm (Algorithm 1): numerics, equivalence to 2D,
+replication accounting, and reduction structure."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.lu2d import factor_2d
+from repro.lu3d import factor_3d, replica_words_per_rank
+from repro.lu3d.replication import ReplicaManager
+from repro.sparse import BlockMatrix, grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition, naive_partition
+
+
+def _run_3d(A, geom, pz, leaf_size=24, px=2, py=2, numeric=True,
+            partition=greedy_partition, machine=None):
+    sf = symbolic_factorize(A, geom, leaf_size=leaf_size)
+    tf = partition(sf, pz)
+    grid3 = ProcessGrid3D(px, py, pz)
+    sim = Simulator(grid3.size, machine)
+    res = factor_3d(sf, tf, grid3, sim, numeric=numeric)
+    return sf, tf, sim, res
+
+
+def _lu_error(sf, res, A):
+    LU = res.factors().to_dense()
+    n = sf.n
+    L = np.tril(LU, -1) + np.eye(n)
+    U = np.triu(LU)
+    return np.abs(L @ U - sf.A_perm.toarray()).max() / np.abs(A).max()
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("pz", [1, 2, 4, 8])
+    def test_planar(self, planar_small, pz):
+        A, geom = planar_small
+        sf, _, sim, res = _run_3d(A, geom, pz, leaf_size=16)
+        assert _lu_error(sf, res, A) < 1e-10
+        assert sim.pending_messages() == 0
+
+    @pytest.mark.parametrize("pz", [2, 4])
+    def test_all_families(self, any_matrix, pz):
+        A, geom = any_matrix
+        sf, _, _, res = _run_3d(A, geom, pz)
+        assert _lu_error(sf, res, A) < 1e-10
+
+    @pytest.mark.parametrize("pz", [2, 4])
+    def test_naive_partition_also_correct(self, planar_small, pz):
+        A, geom = planar_small
+        sf, _, _, res = _run_3d(A, geom, pz, leaf_size=16,
+                                partition=naive_partition)
+        assert _lu_error(sf, res, A) < 1e-10
+
+    def test_3d_factors_equal_2d_factors(self, planar_small):
+        """Same ordering => identical factors regardless of pz (the 3D
+        algorithm replicates data, not arithmetic)."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        data2d = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                      block_pattern=sf.fill.all_blocks())
+        factor_2d(sf, ProcessGrid2D(2, 2), Simulator(4), data=data2d)
+
+        tf = greedy_partition(sf, 4)
+        res = factor_3d(sf, tf, ProcessGrid3D(2, 2, 4), Simulator(16))
+        lu3d = res.factors().to_dense()
+        assert np.allclose(lu3d, data2d.to_dense(), atol=1e-9)
+
+    def test_pz1_degenerates_to_2d(self, planar_small):
+        """pz=1: no reduction traffic, same volume as the 2D driver."""
+        A, geom = planar_small
+        sf, tf, sim3, res = _run_3d(A, geom, 1, leaf_size=16)
+        assert res.reduction_messages == 0
+        assert sim3.total_words_sent("red") == 0.0
+        sim2 = Simulator(4)
+        factor_2d(sf, ProcessGrid2D(2, 2), sim2)
+        assert sim3.total_words_sent() == pytest.approx(sim2.total_words_sent())
+        assert sim3.makespan == pytest.approx(sim2.makespan)
+
+
+class TestScheduleStructure:
+    def test_total_flops_independent_of_pz(self, planar_small):
+        """Replication adds memory and reduction adds words, but the
+        factorization arithmetic is identical for every pz."""
+        A, geom = planar_small
+        base = None
+        for pz in (1, 2, 4, 8):
+            _, _, sim, _ = _run_3d(A, geom, pz, leaf_size=16, numeric=False)
+            flops = sum(sim.flops[k].sum() for k in ("diag", "panel", "schur"))
+            if base is None:
+                base = flops
+            assert flops == pytest.approx(base)
+
+    def test_reduction_words_grow_with_pz(self, planar_small):
+        A, geom = planar_small
+        red = []
+        for pz in (2, 4, 8):
+            _, _, sim, _ = _run_3d(A, geom, pz, leaf_size=16, numeric=False)
+            red.append(sim.total_words_sent("red"))
+        assert red[0] < red[1] < red[2]
+
+    def test_reduction_is_point_to_point_along_z(self, planar_small):
+        """Every reduction message travels between z-mates: same (x, y)."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+
+        class SpySim(Simulator):
+            def __init__(self, *a, **k):
+                super().__init__(*a, **k)
+                self.red_pairs = []
+
+            def send(self, src, dst, words):
+                if self.phase == "red":
+                    self.red_pairs.append((src, dst))
+                super().send(src, dst, words)
+
+        sim = SpySim(grid3.size)
+        factor_3d(sf, tf, grid3, sim, numeric=False)
+        assert sim.red_pairs, "expected reduction traffic"
+        for src, dst in sim.red_pairs:
+            gs, ls = divmod(src, grid3.pxy)
+            gd, ld = divmod(dst, grid3.pxy)
+            assert ls == ld, "reduction not along the z axis"
+            assert gs != gd
+
+    def test_reduction_pairing_follows_algorithm1(self, planar_small):
+        """At the level-lvl reduction, receiver grids are k*2^{l-lvl+1} and
+        senders are offset by 2^{l-lvl}."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 8)
+        grid3 = ProcessGrid3D(1, 2, 8)
+
+        class SpySim(Simulator):
+            def __init__(self, *a, **k):
+                super().__init__(*a, **k)
+                self.pairs = set()
+
+            def send(self, src, dst, words):
+                if self.phase == "red":
+                    self.pairs.add((src // grid3.pxy, dst // grid3.pxy))
+                super().send(src, dst, words)
+
+        sim = SpySim(grid3.size)
+        factor_3d(sf, tf, grid3, sim, numeric=False)
+        allowed = set()
+        l = 3
+        for lvl in range(l, 0, -1):
+            half = 2 ** (l - lvl)
+            for g in range(0, 8, 2 * half):
+                allowed.add((g + half, g))
+        assert sim.pairs <= allowed
+
+    def test_mismatched_pz_rejected(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 2)
+        with pytest.raises(ValueError, match="pz"):
+            factor_3d(sf, tf, ProcessGrid3D(2, 2, 4), Simulator(16))
+
+    def test_cost_only_has_no_factors(self, planar_small):
+        A, geom = planar_small
+        _, _, _, res = _run_3d(A, geom, 2, leaf_size=16, numeric=False)
+        with pytest.raises(ValueError, match="cost-only"):
+            res.factors()
+
+
+class TestReplication:
+    def test_memory_overhead_grows_with_pz(self, planar_small):
+        """Max per-rank memory (normalized by layer count) shows the
+        replication overhead of Fig. 11."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        # Fixed total P = 8 ranks, growing pz (paper's configuration).
+        mems = []
+        for pz, (px, py) in [(1, (2, 4)), (2, (2, 2)), (4, (1, 2)), (8, (1, 1))]:
+            tf = greedy_partition(sf, pz)
+            grid3 = ProcessGrid3D(px, py, pz)
+            words = replica_words_per_rank(sf, tf, grid3)
+            mems.append(words.sum())
+        # Aggregate memory strictly grows with replication.
+        assert all(a < b for a, b in zip(mems, mems[1:]))
+
+    def test_home_grid_initialized_with_A(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 2)
+        base = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                    block_pattern=sf.fill.all_blocks())
+        expected_root = base[(sf.tree.root, sf.tree.root)].copy()
+        mgr = ReplicaManager(sf, tf, base)
+        root = sf.tree.root
+        home = tf.home_grid(root)
+        other = 1 - home
+        assert np.array_equal(mgr.block(home, root, root), expected_root)
+        assert np.all(mgr.block(other, root, root) == 0.0)
+
+    def test_missing_replica_raises(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 2)
+        base = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                    block_pattern=sf.fill.all_blocks())
+        mgr = ReplicaManager(sf, tf, base)
+        leaf_forest_1 = tf.forests[(1, 1)]
+        v = leaf_forest_1[0]
+        with pytest.raises(KeyError, match="replica"):
+            mgr.block(0, v, v)  # grid 0 holds no copy of grid 1's leaves
+
+    def test_replica_words_match_simulator_charge(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size)
+        factor_3d(sf, tf, grid3, sim, numeric=False)
+        expected = replica_words_per_rank(sf, tf, grid3)
+        assert np.allclose(sim.mem_current, expected)
+
+
+class TestCriticalPath:
+    def test_makespan_decreases_with_pz_on_planar(self):
+        """The headline effect: for a fixed P, planar problems factor faster
+        with larger pz (smaller 2D grids, parallel subtrees)."""
+        A, geom = grid2d_5pt(32)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        times = []
+        for pz, (px, py) in [(1, (4, 4)), (4, (2, 2)), (16, (1, 1))]:
+            tf = greedy_partition(sf, pz)
+            grid3 = ProcessGrid3D(px, py, pz)
+            sim = Simulator(grid3.size, Machine.edison_like())
+            factor_3d(sf, tf, grid3, sim, numeric=False)
+            times.append(sim.makespan)
+        assert times[1] < times[0]
+        assert min(times[1], times[2]) == min(times)
+
+    def test_per_level_makespan_monotone(self, planar_small):
+        A, geom = planar_small
+        _, _, _, res = _run_3d(A, geom, 4, leaf_size=16, numeric=False)
+        ms = res.per_level_makespan
+        assert len(ms) == 3  # l + 1 levels for pz=4
+        assert all(a <= b for a, b in zip(ms, ms[1:]))

@@ -1,0 +1,116 @@
+"""Tests for the merged-grid ancestor extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FactorizationMetrics
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import _merged_grid, factor_3d_merged
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+
+def _setup(nx=8, pz=4, px=1, py=2, brick=False):
+    A, g = (grid3d_7pt(nx) if brick else grid2d_5pt(nx))
+    sf = symbolic_factorize(A, g, leaf_size=16)
+    tf = greedy_partition(sf, pz)
+    grid3 = ProcessGrid3D(px, py, pz)
+    return sf, tf, grid3
+
+
+class TestMergedGrid:
+    def test_merged_grid_spans_layers_exactly(self):
+        grid3 = ProcessGrid3D(2, 3, 4)
+        merged = _merged_grid(grid3, first_layer=2, nlayers=2)
+        assert merged.all_ranks() == (grid3.layer(2).all_ranks()
+                                      + grid3.layer(3).all_ranks())
+        # Layer-local coordinates embed at the expected rows.
+        assert merged.rank(0, 1) == grid3.layer(2).rank(0, 1)
+        assert merged.rank(2, 1) == grid3.layer(3).rank(0, 1)
+
+    def test_full_merge_is_whole_machine(self):
+        grid3 = ProcessGrid3D(2, 2, 4)
+        merged = _merged_grid(grid3, 0, 4)
+        assert merged.size == grid3.size
+
+
+class TestMergedSchedule:
+    def test_flops_identical_to_standard(self):
+        sf, tf, grid3 = _setup(16, pz=4)
+        sims = {}
+        for label in ("std", "merged"):
+            sim = Simulator(grid3.size)
+            if label == "std":
+                factor_3d(sf, tf, grid3, sim, numeric=False)
+            else:
+                factor_3d_merged(sf, tf, grid3, sim)
+            sims[label] = sim
+        for kind in ("diag", "panel", "schur"):
+            assert sims["std"].flops[kind].sum() == pytest.approx(
+                sims["merged"].flops[kind].sum())
+
+    def test_conservation_and_drained_queues(self):
+        sf, tf, grid3 = _setup(16, pz=4)
+        sim = Simulator(grid3.size)
+        factor_3d_merged(sf, tf, grid3, sim)
+        assert sim.total_words_sent() == pytest.approx(sim.total_words_recv())
+        assert sim.pending_messages() == 0
+
+    def test_pz1_equals_standard(self):
+        sf, tf, grid3 = _setup(12, pz=1, px=2, py=2)
+        a = Simulator(grid3.size)
+        factor_3d(sf, tf, grid3, a, numeric=False)
+        b = Simulator(grid3.size)
+        factor_3d_merged(sf, tf, grid3, b)
+        assert np.allclose(a.clock, b.clock)
+        assert a.total_words_sent() == pytest.approx(b.total_words_sent())
+
+    def test_ancestor_work_spread_wider(self):
+        """In merged mode, top-level flops land on ranks outside layer 0."""
+        sf, tf, grid3 = _setup(10, pz=4, px=1, py=2, brick=True)
+        std = Simulator(grid3.size)
+        factor_3d(sf, tf, grid3, std, numeric=False)
+        mrg = Simulator(grid3.size)
+        factor_3d_merged(sf, tf, grid3, mrg)
+        # Max per-rank diag flops drop when the top chain is distributed
+        # over the merged grid.
+        assert mrg.flops["diag"].max() <= std.flops["diag"].max()
+        # Compute is spread more evenly overall.
+        tot = lambda sim: sum(sim.flops[k] for k in ("diag", "panel", "schur"))
+        assert tot(mrg).std() <= tot(std).std() * 1.001
+
+    def test_numeric_mode_exact(self):
+        """Merged-grid numeric execution produces the exact LU factors."""
+        sf, tf, grid3 = _setup(16, pz=4)
+        res = factor_3d_merged(sf, tf, grid3, Simulator(grid3.size),
+                               numeric=True)
+        LU = res.merged_blocks.to_dense()
+        n = sf.n
+        L = np.tril(LU, -1) + np.eye(n)
+        err = np.abs(L @ np.triu(LU) - sf.A_perm.toarray()).max()
+        assert err < 1e-10
+
+    def test_numeric_matches_standard_factors(self):
+        sf, tf, grid3 = _setup(12, pz=2, px=2, py=2)
+        res_m = factor_3d_merged(sf, tf, grid3, Simulator(grid3.size),
+                                 numeric=True)
+        res_s = factor_3d(sf, tf, grid3, Simulator(grid3.size), numeric=True)
+        assert np.allclose(res_m.merged_blocks.to_dense(),
+                           res_s.factors().to_dense(), atol=1e-9)
+
+    def test_mismatched_pz_rejected(self):
+        sf, tf, _ = _setup(8, pz=2)
+        with pytest.raises(ValueError, match="pz"):
+            factor_3d_merged(sf, tf, ProcessGrid3D(1, 2, 4), Simulator(8))
+
+    def test_helps_nonplanar_at_high_pz(self):
+        sf, tf, grid3 = _setup(10, pz=8, px=1, py=2, brick=True)
+        std = Simulator(grid3.size, Machine.edison_like())
+        factor_3d(sf, tf, grid3, std, numeric=False)
+        mrg = Simulator(grid3.size, Machine.edison_like())
+        factor_3d_merged(sf, tf, grid3, mrg)
+        m_std = FactorizationMetrics.from_simulator(std)
+        m_mrg = FactorizationMetrics.from_simulator(mrg)
+        assert m_mrg.t_scu < m_std.t_scu

@@ -1,0 +1,191 @@
+"""Tests for the Table II closed-form cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    best_communication_reduction_nonplanar,
+    latency_2d_generic,
+    latency_2d_planar,
+    latency_3d_nonplanar,
+    latency_3d_planar,
+    memory_2d_generic,
+    memory_2d_nonplanar,
+    memory_2d_planar,
+    memory_3d_nonplanar,
+    memory_3d_planar,
+    optimal_pz_nonplanar,
+    optimal_pz_planar,
+    volume_2d_generic,
+    volume_2d_nonplanar,
+    volume_2d_planar,
+    volume_3d_nonplanar,
+    volume_3d_planar,
+    volume_3d_planar_xy,
+    volume_3d_planar_z,
+)
+from repro.model.optimum import is_valid_pz
+
+
+class TestGeneric:
+    def test_memory_eq1(self):
+        # Two levels: one 4x4 root, two 2x2 children; P=2.
+        levels = {0: [4], 1: [2, 2]}
+        assert memory_2d_generic(levels, 2) == pytest.approx((16 + 8) / 2)
+
+    def test_volume_is_sqrtP_times_memory(self):
+        levels = {0: [10], 1: [5, 5]}
+        for P in (1, 4, 16):
+            assert volume_2d_generic(levels, P) == pytest.approx(
+                memory_2d_generic(levels, P) * np.sqrt(P))
+
+    def test_latency_linear(self):
+        assert latency_2d_generic(100) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_2d_generic({0: [4]}, 0)
+        with pytest.raises(ValueError):
+            latency_2d_generic(0)
+
+
+class TestPlanar:
+    def test_memory_2d_eq4(self):
+        # M = n log2(n) / P.
+        assert memory_2d_planar(1024, 16) == pytest.approx(1024 * 10 / 16)
+
+    def test_memory_3d_eq5_reduces_to_2d_at_pz1(self):
+        """Eq. (5) at Pz=1 = (2n + n log n)/P ~ Eq. (4) up to the additive
+        2n replication-free term."""
+        n, P = 2 ** 16, 64
+        m3 = memory_3d_planar(n, P, 1)
+        m2 = memory_2d_planar(n, P)
+        assert m3 == pytest.approx(m2 + 2 * n / P)
+
+    def test_memory_3d_monotone_in_pz(self):
+        n, P = 2 ** 20, 1024
+        vals = [memory_3d_planar(n, P, pz) for pz in (1, 2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_volume_xy_minimum_at_eq8(self):
+        """Eq. (7) is minimized (over continuous Pz) at Pz = log2(n)/2."""
+        n, P = 2 ** 20, 4096
+        pz_star = optimal_pz_planar(n, round_pow2=False)
+        w_star = volume_3d_planar_xy(n, P, pz_star)
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            assert volume_3d_planar_xy(n, P, pz_star * factor) >= w_star
+
+    def test_volume_z_eq10(self):
+        n, P, pz = 2 ** 12, 64, 8
+        assert volume_3d_planar_z(n, P, pz) == pytest.approx(n * 8 * 3 / P)
+
+    def test_total_volume_is_sum(self):
+        n, P, pz = 2 ** 14, 256, 4
+        assert volume_3d_planar(n, P, pz) == pytest.approx(
+            volume_3d_planar_xy(n, P, pz) + volume_3d_planar_z(n, P, pz))
+
+    def test_3d_beats_2d_at_optimum(self):
+        """The headline: W_3D(Pz*) < W_2D by ~sqrt(log n)."""
+        n, P = 2 ** 24, 4096
+        pz = optimal_pz_planar(n)
+        ratio = volume_2d_planar(n, P) / volume_3d_planar(n, P, pz)
+        assert ratio > 1.5
+        # and the gain grows with n
+        n2 = 2 ** 30
+        ratio2 = volume_2d_planar(n2, P) / volume_3d_planar(
+            n2, P, optimal_pz_planar(n2))
+        assert ratio2 > ratio
+
+    def test_latency_eq12(self):
+        n = 2 ** 16
+        assert latency_3d_planar(n, 8) == pytest.approx(n / 8 + 256)
+        assert latency_3d_planar(n, 8) < latency_2d_planar(n)
+
+    @given(st.integers(min_value=4, max_value=30),
+           st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_property(self, log_n, pz):
+        n, P = 2 ** log_n, 64 * pz
+        assert memory_3d_planar(n, P, pz) > 0
+        assert volume_3d_planar(n, P, pz) > 0
+        assert latency_3d_planar(n, pz) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_2d_planar(1, 4)
+        with pytest.raises(ValueError):
+            memory_3d_planar(1024, 10, -4)
+
+
+class TestNonplanar:
+    def test_memory_asymptotics(self):
+        n, P = 10 ** 6, 64
+        assert memory_2d_nonplanar(n, P) == pytest.approx(n ** (4 / 3) / P)
+
+    def test_memory_3d_constant_factor(self):
+        """3D/2D memory ratio is independent of n (constant-factor claim)."""
+        P, pz = 256, 8
+        r1 = memory_3d_nonplanar(10 ** 5, P, pz) / memory_2d_nonplanar(10 ** 5, P)
+        r2 = memory_3d_nonplanar(10 ** 8, P, pz) / memory_2d_nonplanar(10 ** 8, P)
+        assert r1 == pytest.approx(r2)
+        assert r1 > 1.0
+
+    def test_volume_crossover_in_pz(self):
+        """The non-planar W(Pz) is U-shaped: falls then rises."""
+        n, P = 10 ** 6, 1024
+        vals = [volume_3d_nonplanar(n, P, pz) for pz in (1, 2, 4, 8, 64, 256)]
+        assert vals[1] < vals[0]
+        assert vals[-1] > min(vals)
+
+    def test_latency_reduction_factor(self):
+        """L2D/L3D grows like n^{1/3} when Pz tracks the problem (paper:
+        'reduce the latency by O(n^{1/3})')."""
+        r = []
+        for n in (10 ** 5, 10 ** 8):
+            pz = n ** (1 / 2)  # large-pz regime: L3D -> (1+k0) n^{2/3}
+            r.append(n / latency_3d_nonplanar(int(n), pz))
+        # n grew 1000x => the reduction factor grows ~n^{1/3} = 10x.
+        assert r[1] / r[0] == pytest.approx(10.0, rel=0.05)
+
+    def test_kappa1_validation(self):
+        with pytest.raises(ValueError):
+            volume_3d_nonplanar(10 ** 6, 64, 4, kappa1=1.5)
+
+
+class TestOptimum:
+    def test_optimal_pz_planar_eq8(self):
+        assert optimal_pz_planar(2 ** 24, round_pow2=False) == pytest.approx(12.0)
+        assert optimal_pz_planar(2 ** 24) == 16  # nearest power of two
+
+    def test_optimal_pz_planar_grows_with_n(self):
+        vals = [optimal_pz_planar(2 ** k, round_pow2=False)
+                for k in (10, 20, 30)]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_optimal_pz_nonplanar_is_minimizer(self):
+        pz = optimal_pz_nonplanar(round_pow2=False)
+        n, P = 10 ** 6, 64
+        w = volume_3d_nonplanar(n, P, pz)
+        for f in (0.7, 0.9, 1.1, 1.4):
+            assert volume_3d_nonplanar(n, P, pz * f) >= w
+
+    def test_best_reduction_matches_paper(self):
+        """Section IV-C: best-case communication reduction 2.89x."""
+        assert best_communication_reduction_nonplanar() == pytest.approx(
+            2.89, abs=0.01)
+
+    def test_small_n_rounds_to_one(self):
+        assert optimal_pz_planar(4) == 1
+
+    def test_is_valid_pz(self):
+        assert is_valid_pz(4, 96)
+        assert not is_valid_pz(3, 96)
+        assert not is_valid_pz(64, 96)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_pz_planar(1)
+        with pytest.raises(ValueError):
+            optimal_pz_nonplanar(0.0)

@@ -1,0 +1,180 @@
+"""Tests for separators and nested dissection.
+
+The separator property — no edge between the two child regions of any
+internal node — is what guarantees that the block fill stays within
+ancestor-descendant block pairs, which in turn is what the 3D algorithm's
+replication scheme relies on. So these tests check it exhaustively on every
+generator family and (property-based) on random graphs.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import (
+    bfs_level_separator,
+    fiedler_separator,
+    graph_nd,
+    nested_dissection,
+    repair_separator,
+)
+from repro.sparse import (
+    grid2d_5pt,
+    grid3d_7pt,
+    random_symmetric_pattern,
+    symmetrize_pattern,
+)
+from repro.sparse.pattern import strip_diagonal
+
+
+def _check_tree_invariants(tree, A):
+    """Full structural validation of a dissection tree against its matrix."""
+    n = A.shape[0]
+    # 1. Every vertex owned exactly once.
+    owned = np.concatenate([node.vertices for node in tree.nodes])
+    assert sorted(owned.tolist()) == list(range(n))
+    # 2. Postorder: children have smaller ids; depths are parent+1.
+    for node in tree.nodes:
+        for c in node.children:
+            assert c < node.node_id
+            assert tree.nodes[c].depth == node.depth + 1
+    # 3. No block has size zero.
+    assert (tree.layout.sizes() > 0).all()
+    # 4. Separator property at every internal node: the induced subgraphs of
+    #    any two distinct child subtrees are disconnected.
+    S = strip_diagonal(symmetrize_pattern(A))
+    for node in tree.nodes:
+        kids = node.children
+        for a in range(len(kids)):
+            for b in range(a + 1, len(kids)):
+                va = np.concatenate(
+                    [tree.nodes[d].vertices for d in tree.subtree_of(kids[a])])
+                vb = np.concatenate(
+                    [tree.nodes[d].vertices for d in tree.subtree_of(kids[b])])
+                assert S[va][:, vb].nnz == 0, \
+                    f"children of node {node.node_id} are connected"
+
+
+class TestGeometricND:
+    def test_all_families(self, any_matrix):
+        A, geom = any_matrix
+        tree = nested_dissection(A, geom, leaf_size=24)
+        _check_tree_invariants(tree, A)
+
+    def test_planar_root_separator_is_line(self, planar_small):
+        A, geom = planar_small
+        tree = nested_dissection(A, geom, leaf_size=16)
+        assert tree.nodes[tree.root].size == 16  # one grid line
+
+    def test_brick_root_separator_is_plane(self, brick_small):
+        A, geom = brick_small
+        tree = nested_dissection(A, geom, leaf_size=32)
+        assert tree.nodes[tree.root].size == 64  # one grid plane
+
+    def test_leaf_size_respected(self, planar_small):
+        A, geom = planar_small
+        tree = nested_dissection(A, geom, leaf_size=10)
+        for node in tree.nodes:
+            if node.is_leaf:
+                assert node.size <= 10
+
+    def test_single_node_tree(self):
+        A, geom = grid2d_5pt(3)
+        tree = nested_dissection(A, geom, leaf_size=100)
+        assert tree.nblocks == 1
+        assert tree.nodes[0].depth == 0
+
+    def test_separator_scaling_planar(self):
+        """Planar root separators grow like sqrt(n) (Lipton-Tarjan regime)."""
+        sizes = []
+        for nx in (8, 16, 32):
+            A, geom = grid2d_5pt(nx)
+            tree = nested_dissection(A, geom, leaf_size=16)
+            sizes.append(tree.nodes[tree.root].size)
+        assert sizes == [8, 16, 32]  # exactly one grid line each
+
+    def test_geometry_dimension_mismatch(self):
+        from repro.sparse import GridGeometry
+        A, _ = grid2d_5pt(4)
+        bad = GridGeometry((5, 5), "bad")
+        with pytest.raises(ValueError, match="multiple"):
+            nested_dissection(A, bad)
+
+
+class TestGraphND:
+    def test_on_grid_without_geometry(self, planar_small):
+        A, _ = planar_small
+        tree = nested_dissection(A, None, leaf_size=24)
+        _check_tree_invariants(tree, A)
+
+    def test_on_random_graph(self, random_small):
+        A = random_small
+        tree = nested_dissection(A, None, leaf_size=20)
+        _check_tree_invariants(tree, A)
+
+    def test_fiedler_method(self, planar_small):
+        A, _ = planar_small
+        tree = graph_nd(strip_diagonal(symmetrize_pattern(A)), leaf_size=32,
+                        method="fiedler")
+        _check_tree_invariants(tree, A)
+
+    def test_unknown_method_rejected(self):
+        A, _ = grid2d_5pt(4)
+        with pytest.raises(ValueError, match="method"):
+            graph_nd(A, method="magic")
+
+    @given(st.integers(min_value=2, max_value=120),
+           st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_graphs(self, n, seed):
+        A = random_symmetric_pattern(n, avg_degree=3.0, seed=seed)
+        tree = nested_dissection(A, None, leaf_size=8)
+        _check_tree_invariants(tree, A)
+
+
+class TestSeparatorPrimitives:
+    def test_bfs_separator_splits_path(self):
+        # A path graph: separator should be ~1 vertex in the middle.
+        n = 31
+        G = sp.diags([np.ones(n - 1), np.ones(n - 1)], [1, -1]).tocsr()
+        sep, a, b = bfs_level_separator(G, np.arange(n))
+        assert sep.size >= 1
+        assert a.size > 0 and b.size > 0
+        assert sep.size + a.size + b.size == n
+        assert G[a][:, b].nnz == 0
+
+    def test_bfs_separator_tiny_input(self):
+        G = sp.csr_matrix((2, 2))
+        sep, a, b = bfs_level_separator(G, np.arange(2))
+        assert sep.size == 2 and a.size == 0 and b.size == 0
+
+    def test_bfs_separator_disconnected(self):
+        # Two disjoint triangles: balanced without any separator needed.
+        blocks = sp.block_diag([np.ones((3, 3)) - np.eye(3)] * 2).tocsr()
+        sep, a, b = bfs_level_separator(blocks, np.arange(6))
+        assert blocks[a][:, b].nnz == 0
+        assert abs(a.size - b.size) <= 3
+
+    def test_fiedler_separator_grid(self):
+        A, _ = grid2d_5pt(8)
+        S = strip_diagonal(symmetrize_pattern(A))
+        sep, a, b = fiedler_separator(S, np.arange(64))
+        assert S[a][:, b].nnz == 0
+        assert min(a.size, b.size) > 10  # reasonably balanced
+
+    def test_repair_separator_moves_endpoints(self):
+        # 0-1 edge crossing the parts: endpoint 0 must be promoted.
+        G = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        sep, a, b = repair_separator(
+            G, np.array([], dtype=np.int64), np.array([0]), np.array([1]))
+        assert 0 in sep.tolist()
+        assert a.size == 0
+
+    def test_repair_noop_when_clean(self):
+        G = sp.csr_matrix((4, 4))
+        sep, a, b = repair_separator(
+            G, np.array([3]), np.array([0, 1]), np.array([2]))
+        assert np.array_equal(sep, [3])
+        assert np.array_equal(a, [0, 1])

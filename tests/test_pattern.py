@@ -1,0 +1,57 @@
+"""Tests for structural pattern helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import pattern_of, structural_symmetry, symmetrize_pattern
+from repro.sparse.pattern import strip_diagonal
+
+
+def test_pattern_of_drops_explicit_zeros():
+    A = sp.csr_matrix(np.array([[1.0, 0.0], [2.0, 3.0]]))
+    A.data[0] = 0.0  # make an explicit zero
+    P = pattern_of(A)
+    assert P.nnz == 2
+    assert P.dtype == bool
+
+
+def test_pattern_of_rejects_dense():
+    with pytest.raises(TypeError):
+        pattern_of(np.eye(3))
+
+
+def test_symmetrize_adds_transpose_and_diagonal():
+    A = sp.csr_matrix(np.array([[0.0, 5.0, 0.0],
+                                [0.0, 1.0, 0.0],
+                                [0.0, 0.0, 0.0]]))
+    S = symmetrize_pattern(A)
+    D = S.toarray()
+    assert D[0, 1] and D[1, 0]          # transpose added
+    assert D[0, 0] and D[1, 1] and D[2, 2]  # full diagonal
+    assert not D[0, 2] and not D[2, 0]
+
+
+def test_symmetrize_idempotent():
+    A = sp.random(30, 30, density=0.1, format="csr", random_state=0)
+    S1 = symmetrize_pattern(A)
+    S2 = symmetrize_pattern(S1)
+    assert (S1 != S2).nnz == 0
+
+
+def test_structural_symmetry_extremes():
+    sym = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))
+    assert structural_symmetry(sym) == 1.0
+    tri = sp.csr_matrix(np.triu(np.ones((4, 4)), k=1))
+    assert structural_symmetry(tri) == 0.0
+
+
+def test_structural_symmetry_diagonal_only():
+    assert structural_symmetry(sp.identity(5, format="csr")) == 1.0
+
+
+def test_strip_diagonal():
+    A = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+    B = strip_diagonal(A)
+    assert B.nnz == 1
+    assert B[0, 1] == 2.0

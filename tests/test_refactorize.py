@@ -1,0 +1,127 @@
+"""Tests for pattern-reuse refactorization (SamePattern option)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import SparseLU3D, grid2d_5pt
+
+
+@pytest.fixture()
+def stepping_pair():
+    L, g = grid2d_5pt(14)
+    n = L.shape[0]
+    I = sp.identity(n, format="csr")
+    return (I + 0.1 * L).tocsr(), (I + 0.7 * L).tocsr(), g, n
+
+
+class TestRefactorize:
+    def test_new_values_solved_exactly(self, stepping_pair):
+        A1, A2, g, n = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        b = np.random.default_rng(1).random(n)
+        solver.refactorize(A2)
+        x = solver.solve(b)
+        assert np.linalg.norm(A2 @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_symbolic_objects_reused(self, stepping_pair):
+        A1, A2, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        sf, tf = solver.sf, solver.tf
+        solver.refactorize(A2)
+        assert solver.sf is sf
+        assert solver.tf is tf
+
+    def test_sub_pattern_accepted(self, stepping_pair):
+        """Dropping entries (e.g. a zero coefficient) is fine."""
+        A1, _, g, n = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=1, pz=2, leaf_size=24)
+        solver.factorize()
+        A_diag = sp.identity(n, format="csr") * 3.0
+        solver.refactorize(A_diag)
+        b = np.ones(n)
+        x = solver.solve(b)
+        assert np.allclose(x, 1.0 / 3.0)
+
+    def test_super_pattern_rejected(self, stepping_pair):
+        A1, A2, g, n = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=1, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        bad = A2.tolil()
+        bad[0, n - 1] = 5.0
+        with pytest.raises(ValueError, match="outside"):
+            solver.refactorize(bad.tocsr())
+
+    def test_shape_mismatch_rejected(self, stepping_pair):
+        A1, _, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, leaf_size=24)
+        solver.factorize()
+        with pytest.raises(ValueError, match="shape"):
+            solver.refactorize(sp.identity(7, format="csr"))
+
+    def test_before_factorize_acts_fresh(self, stepping_pair):
+        A1, A2, g, n = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.refactorize(A2)  # no prior factorize(): full pipeline
+        b = np.ones(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(A2 @ x - b) < 1e-10
+
+    def test_with_equilibration(self, stepping_pair):
+        """Scalings are recomputed for the new values."""
+        A1, A2, g, n = stepping_pair
+        rng = np.random.default_rng(3)
+        D = sp.diags(10.0 ** rng.uniform(-3, 3, n))
+        B1 = (D @ A1 @ D).tocsr()
+        B2 = (D @ A2 @ D).tocsr()
+        solver = SparseLU3D(B1, geometry=g, px=2, py=2, pz=2, leaf_size=24,
+                            equil=True)
+        solver.factorize()
+        eq1 = solver.equ
+        solver.refactorize(B2)
+        assert solver.equ is not eq1
+        b = np.ones(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(B2 @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_time_stepping_sequence(self, stepping_pair):
+        """A realistic sequence of refactorizations stays exact."""
+        A1, _, g, n = stepping_pair
+        L, _ = grid2d_5pt(14)
+        I = sp.identity(n, format="csr")
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        b = np.random.default_rng(5).random(n)
+        for dt in (0.05, 0.2, 1.0):
+            A = (I + dt * L).tocsr()
+            solver.refactorize(A)
+            x = solver.solve(b)
+            assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-12
+
+
+class TestCholeskyRefactorize:
+    def test_spd_pattern_reuse(self, stepping_pair):
+        from repro.cholesky import SparseCholesky3D
+        A1, A2, g, n = stepping_pair
+        solver = SparseCholesky3D(A1, geometry=g, px=2, py=2, pz=2,
+                                  leaf_size=24)
+        solver.factorize()
+        sf = solver.sf
+        solver.refactorize(A2)
+        assert solver.sf is sf
+        b = np.ones(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(A2 @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_rejects_unsymmetric_update(self, stepping_pair):
+        import scipy.sparse as sp
+        from repro.cholesky import SparseCholesky3D
+        A1, _, g, n = stepping_pair
+        solver = SparseCholesky3D(A1, geometry=g, leaf_size=24)
+        solver.factorize()
+        bad = A1.tolil()
+        bad[0, 1] = bad[0, 1] + 3.0
+        with pytest.raises(ValueError, match="symmetric"):
+            solver.refactorize(bad.tocsr())

@@ -1,0 +1,68 @@
+"""Unit tests for the strong-scaling experiment module."""
+
+import pytest
+
+from repro.experiments.harness import PreparedMatrix
+from repro.experiments.matrices import paper_suite
+from repro.experiments.scaling import ScalingCurve, run_scaling, scaling_text
+
+
+@pytest.fixture(scope="module")
+def curve():
+    tm = {m.name: m for m in paper_suite("tiny")}["K2D5pt4096"]
+    return run_scaling(PreparedMatrix(tm), P_values=(24, 48, 96),
+                       pz_candidates=(1, 2, 4, 8))
+
+
+class TestRunScaling:
+    def test_curve_shape(self, curve):
+        assert curve.P == [24, 48, 96]
+        assert len(curve.t_2d) == len(curve.t_3d) == 3
+        assert all(t > 0 for t in curve.t_2d + curve.t_3d)
+
+    def test_3d_never_slower_than_2d(self, curve):
+        # best-over-pz includes pz=1, so by construction t_3d <= t_2d.
+        assert all(t3 <= t2 + 1e-15
+                   for t2, t3 in zip(curve.t_2d, curve.t_3d))
+
+    def test_best_pz_recorded(self, curve):
+        assert all(pz >= 1 for pz in curve.best_pz)
+        assert any(pz > 1 for pz in curve.best_pz)
+
+    def test_text_render(self, curve):
+        text = scaling_text(curve)
+        assert "Strong scaling" in text
+        assert "best Pz" in text
+
+
+class TestUsefulScalingLimit:
+    def _curve(self, times):
+        c = ScalingCurve("x")
+        c.P = [10 * 2 ** i for i in range(len(times))]
+        c.t_2d = times
+        c.t_3d = times
+        return c
+
+    def test_ideal_scaling_reaches_end(self):
+        c = self._curve([8.0, 4.0, 2.0, 1.0])
+        assert c.useful_scaling_limit(c.t_2d) == 80
+
+    def test_immediate_saturation(self):
+        c = self._curve([8.0, 7.9, 7.8])
+        assert c.useful_scaling_limit(c.t_2d) == 10
+
+    def test_mid_saturation(self):
+        c = self._curve([8.0, 4.0, 3.9, 3.8])
+        assert c.useful_scaling_limit(c.t_2d) == 20
+
+    def test_threshold_parameter(self):
+        c = self._curve([8.0, 7.0, 6.0])
+        assert c.useful_scaling_limit(c.t_2d, min_gain=0.10) == 40
+        assert c.useful_scaling_limit(c.t_2d, min_gain=0.20) == 10
+
+    def test_extra_scaling_factor(self):
+        c = ScalingCurve("x")
+        c.P = [10, 20, 40, 80]
+        c.t_2d = [8.0, 7.9, 7.8, 7.7]   # saturates at once
+        c.t_3d = [4.0, 2.0, 1.0, 0.5]   # ideal
+        assert c.extra_scaling_factor == pytest.approx(8.0)

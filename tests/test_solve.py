@@ -1,0 +1,172 @@
+"""Tests for triangular solves, iterative refinement, and the SparseLU3D facade."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solve import SparseLU3D, iterative_refinement
+from repro.sparse import grid2d_5pt, kkt_like
+
+
+class TestSparseLU3DFacade:
+    @pytest.mark.parametrize("pz", [1, 2, 4])
+    def test_solve_all_families(self, any_matrix, pz):
+        A, geom = any_matrix
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=pz, leaf_size=24)
+        solver.factorize()
+        rng = np.random.default_rng(0)
+        b = rng.random(A.shape[0])
+        x = solver.solve(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_solve_without_geometry(self, random_small):
+        A = random_small
+        solver = SparseLU3D(A, px=2, py=2, pz=2, leaf_size=20)
+        solver.factorize()
+        b = np.arange(A.shape[0], dtype=float)
+        x = solver.solve(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_multiple_rhs_reuse_factors(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=2, leaf_size=16)
+        solver.factorize()
+        for seed in range(3):
+            b = np.random.default_rng(seed).random(A.shape[0])
+            x = solver.solve(b)
+            assert np.linalg.norm(A @ x - b) < 1e-8
+
+    def test_solve_before_factorize_raises(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom)
+        with pytest.raises(RuntimeError, match="factorize"):
+            solver.solve(np.ones(A.shape[0]))
+
+    def test_cost_only_mode_refuses_solve(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=2,
+                            leaf_size=16, numeric=False)
+        solver.factorize()
+        assert solver.makespan > 0
+        with pytest.raises(RuntimeError, match="numeric"):
+            solver.solve(np.ones(A.shape[0]))
+
+    def test_bad_rhs_shape(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=1, py=1, leaf_size=16)
+        solver.factorize()
+        with pytest.raises(ValueError, match="shape"):
+            solver.solve(np.ones(7))
+
+    def test_bad_partition_name(self, planar_small):
+        A, geom = planar_small
+        with pytest.raises(ValueError, match="partition"):
+            SparseLU3D(A, geometry=geom, partition="magic")
+
+    def test_metrics_accessors(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=2, leaf_size=16)
+        with pytest.raises(RuntimeError, match="factorize"):
+            _ = solver.makespan
+        solver.factorize()
+        assert solver.makespan > 0
+        assert solver.comm_volume().shape == (8,)
+        assert solver.comm_volume("red").sum() > 0
+        assert (solver.peak_memory > 0).any()
+
+    def test_no_refinement_path(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=1, py=1, leaf_size=16)
+        solver.factorize()
+        b = np.ones(A.shape[0])
+        x = solver.solve(b, refine=False)
+        assert solver.last_refinement is None
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-8
+
+    def test_solve_matches_scipy(self, kkt_small):
+        A, geom = kkt_small
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        b = np.ones(A.shape[0])
+        x = solver.solve(b)
+        x_ref = sp.linalg.spsolve(A.tocsc(), b)
+        assert np.allclose(x, x_ref, atol=1e-8)
+
+
+class TestIterativeRefinement:
+    def _setup(self, n=40, cond_boost=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        D = rng.random((n, n)) + n * np.eye(n)
+        A = sp.csr_matrix(D)
+        x_true = rng.random(n)
+        b = A @ x_true
+        solve = lambda r: np.linalg.solve(D, r)
+        return A, b, x_true, solve
+
+    def test_converges_from_noisy_start(self):
+        A, b, x_true, solve = self._setup()
+        x0 = x_true + 1e-4 * np.ones_like(x_true)
+        res = iterative_refinement(A, b, x0, solve)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-10)
+        assert res.iterations >= 1
+
+    def test_exact_start_converges_immediately(self):
+        A, b, x_true, solve = self._setup()
+        res = iterative_refinement(A, b, x_true.copy(), solve)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_history_is_monotone_until_stop(self):
+        A, b, x_true, solve = self._setup(seed=3)
+        x0 = x_true + 1e-2
+        res = iterative_refinement(A, b, x0, solve)
+        h = res.berr_history
+        assert all(a >= b_ for a, b_ in zip(h, h[1:]))
+
+    def test_keeps_best_iterate_with_bad_solver(self):
+        """A deliberately wrong inner solver must not ruin the iterate."""
+        A, b, x_true, _ = self._setup()
+        bad_solve = lambda r: 0.9 * r  # not remotely A^{-1}
+        x0 = x_true + 1e-8
+        res = iterative_refinement(A, b, x0.copy(), bad_solve, max_iter=5)
+        start_err = np.abs(A @ x0 - b).max()
+        final_err = np.abs(A @ res.x - b).max()
+        assert final_err <= start_err * (1 + 1e-12)
+
+    def test_fixes_static_pivot_perturbation(self):
+        """The GESP scenario: perturbed factorization + refinement recovers
+        full accuracy (paper Section II-E / VII)."""
+        n = 30
+        rng = np.random.default_rng(5)
+        D = rng.random((n, n)) + n * np.eye(n)
+        D[0, 0] = 1e-30  # force a perturbed pivot in unpivoted LU
+        D[0, 1] = D[1, 0] = 2.0
+        A = sp.csr_matrix(D)
+        from repro.lu2d import getrf_nopiv
+        import scipy.linalg as la
+        M = D.copy()
+        assert getrf_nopiv(M, eps=1e-8) >= 1
+
+        def factored_solve(r):
+            y = la.solve_triangular(np.tril(M, -1) + np.eye(n), r, lower=True,
+                                    unit_diagonal=True)
+            return la.solve_triangular(np.triu(M), y)
+
+        b = np.ones(n)
+        x0 = factored_solve(b)
+        res = iterative_refinement(A, b, x0, factored_solve)
+        assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-12
+
+
+class TestSolveCommEvents:
+    def test_solve_emits_solve_phase_traffic(self, planar_small):
+        A, geom = planar_small
+        solver = SparseLU3D(A, geometry=geom, px=2, py=2, pz=2, leaf_size=16)
+        solver.factorize()
+        before = solver.sim.total_words_sent("solve")
+        solver.solve(np.ones(A.shape[0]), refine=False)
+        after = solver.sim.total_words_sent("solve")
+        assert after > before
+        assert solver.sim.total_words_sent("solve") == pytest.approx(
+            solver.sim.total_words_recv("solve"))

@@ -1,0 +1,73 @@
+"""Tests for sparsity-aware panel broadcasts (SuperLU's pruned BC trees)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.lu2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.sparse import BlockMatrix, grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+
+def _run2d(A, geom, sparse_bcast, numeric=True, p=(4, 4), leaf=16):
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    grid = ProcessGrid2D(*p)
+    sim = Simulator(grid.size, Machine.edison_like())
+    data = None
+    if numeric:
+        data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                    block_pattern=sf.fill.all_blocks())
+    factor_2d(sf, grid, sim, data=data,
+              options=FactorOptions(sparse_bcast=sparse_bcast))
+    return sf, sim, data
+
+
+class TestSparseBcast:
+    def test_numerics_identical(self, planar_small):
+        A, geom = planar_small
+        outs = {}
+        for sb in (False, True):
+            _, _, data = _run2d(A, geom, sb)
+            outs[sb] = data.to_dense()
+        assert np.array_equal(outs[False], outs[True])
+
+    def test_volume_strictly_reduced(self, planar_small):
+        A, geom = planar_small
+        vols = {}
+        for sb in (False, True):
+            _, sim, _ = _run2d(A, geom, sb, numeric=False)
+            vols[sb] = sim.total_words_sent()
+        assert vols[True] < vols[False]
+
+    def test_flops_unchanged(self, brick_small):
+        A, geom = brick_small
+        flops = {}
+        for sb in (False, True):
+            _, sim, _ = _run2d(A, geom, sb, numeric=False, leaf=32)
+            flops[sb] = sum(sim.flops[k].sum()
+                            for k in ("diag", "panel", "schur"))
+        assert flops[True] == pytest.approx(flops[False])
+
+    def test_conservation(self, planar_small):
+        A, geom = planar_small
+        _, sim, _ = _run2d(A, geom, True, numeric=False)
+        assert sim.total_words_sent() == pytest.approx(sim.total_words_recv())
+        assert sim.pending_messages() == 0
+
+    def test_works_through_3d(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 2)
+        res = factor_3d(sf, tf, ProcessGrid3D(2, 2, 2), Simulator(8),
+                        options=FactorOptions(sparse_bcast=True))
+        LU = res.factors().to_dense()
+        n = sf.n
+        L = np.tril(LU, -1) + np.eye(n)
+        assert np.abs(L @ np.triu(LU) - sf.A_perm.toarray()).max() < 1e-10
+
+    def test_single_rank_noop(self, planar_small):
+        A, geom = planar_small
+        _, sim, _ = _run2d(A, geom, True, numeric=False, p=(1, 1))
+        assert sim.total_words_sent() == 0.0

@@ -1,0 +1,172 @@
+"""Tests for block symbolic factorization and cost estimation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import BlockMatrix, grid2d_5pt, random_symmetric_pattern
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.fill import block_fill
+
+
+def _unpivoted_dense_lu(A: np.ndarray) -> np.ndarray:
+    M = A.copy()
+    n = M.shape[0]
+    for k in range(n - 1):
+        M[k + 1:, k] /= M[k, k]
+        M[k + 1:, k + 1:] -= np.outer(M[k + 1:, k], M[k, k + 1:])
+    return M
+
+
+def _fill_contained(sf, A) -> bool:
+    """True iff the numeric fill of unpivoted LU lies within sf's pattern."""
+    M = _unpivoted_dense_lu(sf.A_perm.toarray())
+    filled = np.abs(M) > 1e-12
+    blocks = sf.fill.all_blocks()
+    lay = sf.layout
+    rows, cols = np.nonzero(filled)
+    bi = lay.block_of_index(rows)
+    bj = lay.block_of_index(cols)
+    return all((int(i), int(j)) in blocks for i, j in zip(bi, bj))
+
+
+class TestBlockFill:
+    def test_fill_contains_numeric_fill(self, any_matrix):
+        A, geom = any_matrix
+        sf = symbolic_factorize(A, geom, leaf_size=24)
+        assert _fill_contained(sf, A)
+
+    @given(st.integers(min_value=5, max_value=80),
+           st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=20, deadline=None)
+    def test_fill_contains_numeric_fill_random(self, n, seed):
+        A = random_symmetric_pattern(n, avg_degree=3.0, seed=seed)
+        sf = symbolic_factorize(A, None, leaf_size=8)
+        assert _fill_contained(sf, A)
+
+    def test_fill_superset_of_A_pattern(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        blocks = sf.fill.all_blocks()
+        coo = sf.A_perm.tocoo()
+        bi = sf.layout.block_of_index(coo.row)
+        bj = sf.layout.block_of_index(coo.col)
+        assert all((int(i), int(j)) in blocks for i, j in zip(bi, bj))
+
+    def test_ancestor_closure_enforced(self, planar_small):
+        """Fill blocks only connect ancestor-related tree nodes."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        parent = sf.tree.parent
+
+        def is_ancestor(a, d):
+            while d != -1:
+                if d == a:
+                    return True
+                d = int(parent[d])
+            return False
+
+        for k in range(sf.nb):
+            for i in sf.fill.lpanel[k]:
+                assert is_ancestor(int(i), k)
+            for j in sf.fill.upanel[k]:
+                assert is_ancestor(int(j), k)
+
+    def test_closure_violation_detected(self):
+        """A shuffled (non-postorder-consistent) parent array must raise."""
+        A, geom = grid2d_5pt(8)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        bogus_parent = np.full(sf.nb, -1, dtype=np.int64)  # all roots
+        if any(len(p) for p in sf.fill.lpanel):
+            with pytest.raises(AssertionError, match="ancestor closure"):
+                block_fill(sf.A_perm, sf.layout, tree_parent=bogus_parent)
+
+    def test_schur_pairs(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        for k in range(sf.nb):
+            pairs = sf.fill.schur_pairs(k)
+            assert len(pairs) == len(sf.fill.lpanel[k]) * len(sf.fill.upanel[k])
+
+    def test_symmetric_pattern_gives_symmetric_fill(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        for k in range(sf.nb):
+            assert np.array_equal(sf.fill.lpanel[k], sf.fill.upanel[k])
+
+    def test_dimension_mismatch(self):
+        A, geom = grid2d_5pt(4)
+        sf = symbolic_factorize(A, geom, leaf_size=8)
+        with pytest.raises(ValueError, match="mismatch"):
+            block_fill(sp.identity(7, format="csr"), sf.layout)
+
+
+class TestCosts:
+    def test_total_flops_match_simulated_updates(self, planar_small):
+        """Symbolic flop totals must equal what the driver executes."""
+        from repro.comm import ProcessGrid2D, Simulator
+        from repro.lu2d import factor_2d
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        sim = Simulator(4)
+        factor_2d(sf, ProcessGrid2D(2, 2), sim)
+        executed = sum(f.sum() for f in sim.flops.values())
+        assert executed == pytest.approx(sf.costs.total_flops, rel=1e-12)
+
+    def test_flops_positive_and_finite(self, any_matrix):
+        A, geom = any_matrix
+        sf = symbolic_factorize(A, geom, leaf_size=24)
+        assert (sf.costs.node_flops > 0).all()
+        assert np.isfinite(sf.costs.total_flops)
+
+    def test_factor_words_lower_bound(self, planar_small):
+        """Factor storage at least covers the diagonal blocks."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        diag_words = (sf.layout.sizes().astype(float) ** 2).sum()
+        assert sf.costs.total_words >= diag_words
+
+    def test_subtree_flops_root_is_total(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        assert sf.subtree_flops(sf.tree.root) == pytest.approx(
+            sf.costs.total_flops)
+
+    def test_fill_ratio_ge_one_for_nd(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        assert sf.fill_ratio() > 1.0
+
+    def test_describe(self, planar_small):
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        text = sf.describe()
+        assert "n=256" in text and "nb=" in text
+
+
+class TestFactorizeEntry:
+    def test_precomputed_tree_reused(self, planar_small):
+        from repro.ordering import nested_dissection
+        A, geom = planar_small
+        tree = nested_dissection(A, geom, leaf_size=16)
+        sf = symbolic_factorize(A, tree=tree)
+        assert sf.tree is tree
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError):
+            symbolic_factorize(np.eye(4))
+
+    def test_numeric_factor_respects_pattern(self, planar_small):
+        """Blocks outside the fill pattern stay exactly zero during LU."""
+        A, geom = planar_small
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        M = _unpivoted_dense_lu(sf.A_perm.toarray())
+        lay = sf.layout
+        blocks = sf.fill.all_blocks()
+        for i in range(sf.nb):
+            for j in range(sf.nb):
+                if (i, j) not in blocks:
+                    assert np.abs(M[lay.range_of(i), lay.range_of(j)]).max() \
+                        < 1e-12

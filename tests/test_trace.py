@@ -1,0 +1,126 @@
+"""Tests for the event-trace module and its simulator integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Trace
+from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.lu3d import factor_3d
+from repro.sparse import grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+
+def _traced_run(pz=2, px=2, py=2):
+    A, g = grid2d_5pt(12)
+    sf = symbolic_factorize(A, g, leaf_size=16)
+    tf = greedy_partition(sf, pz)
+    grid3 = ProcessGrid3D(px, py, pz)
+    trace = Trace()
+    sim = Simulator(grid3.size, Machine.edison_like(), trace=trace)
+    factor_3d(sf, tf, grid3, sim, numeric=False)
+    return trace, sim
+
+
+class TestTraceBasics:
+    def test_record_validation(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.record(0, 2.0, 1.0, "schur", "fact")
+
+    def test_zero_duration_zero_words_dropped(self):
+        t = Trace()
+        t.record(0, 1.0, 1.0, "schur", "fact")
+        assert len(t.events) == 0
+        t.record(0, 1.0, 1.0, "send", "fact", words=5)
+        assert len(t.events) == 1
+
+    def test_by_rank_and_busy_time(self):
+        t = Trace()
+        t.record(0, 0.0, 1.0, "schur", "fact")
+        t.record(0, 1.0, 3.0, "panel", "fact")
+        t.record(1, 0.0, 0.5, "diag", "fact")
+        assert set(t.by_rank()) == {0, 1}
+        assert t.busy_time(0) == pytest.approx(3.0)
+        assert t.busy_time(0, kinds=("schur",)) == pytest.approx(1.0)
+
+    def test_time_by_kind(self):
+        t = Trace()
+        t.record(0, 0.0, 1.0, "schur", "fact")
+        t.record(1, 0.0, 2.0, "schur", "fact")
+        assert t.time_by_kind()["schur"] == pytest.approx(3.0)
+
+
+class TestSimulatorIntegration:
+    def test_events_cover_compute_ledger(self):
+        trace, sim = _traced_run()
+        for kind in ("diag", "panel", "schur"):
+            booked = sum(sim.t_compute[kind])
+            traced = sum(ev.duration for ev in trace.events
+                         if ev.kind == kind)
+            assert traced == pytest.approx(booked)
+
+    def test_events_are_per_rank_non_overlapping(self):
+        """A rank's clock is sequential: its events must not overlap."""
+        trace, sim = _traced_run()
+        for rank, events in trace.by_rank().items():
+            events = sorted(events, key=lambda ev: ev.start)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-15
+
+    def test_events_within_makespan(self):
+        trace, sim = _traced_run()
+        assert max(ev.end for ev in trace.events) <= sim.makespan + 1e-15
+
+    def test_recv_wait_matches_comm_time_bound(self):
+        """Total per-rank wait <= non-overlapped comm time accounting."""
+        trace, sim = _traced_run()
+        for rank in range(sim.nranks):
+            wait = trace.busy_time(rank, kinds=("recv_wait",))
+            send = trace.busy_time(rank, kinds=("send",))
+            assert wait + send <= sim.comm_time(rank) + 1e-12
+
+    def test_untraced_run_identical(self):
+        """Tracing must not perturb the simulation."""
+        _, sim_traced = _traced_run()
+        A, g = grid2d_5pt(12)
+        sf = symbolic_factorize(A, g, leaf_size=16)
+        tf = greedy_partition(sf, 2)
+        sim_plain = Simulator(8, Machine.edison_like())
+        factor_3d(sf, tf, ProcessGrid3D(2, 2, 2), sim_plain, numeric=False)
+        assert np.allclose(sim_plain.clock, sim_traced.clock)
+
+    def test_reduction_phase_traced(self):
+        trace, _ = _traced_run(pz=4, px=1, py=2)
+        red = [ev for ev in trace.events if ev.phase == "red"]
+        assert red, "expected reduction-phase events"
+        assert any(ev.kind == "send" for ev in red)
+        assert any(ev.kind == "reduce_add" for ev in red)
+
+
+class TestRendering:
+    def test_gantt_shape(self):
+        trace, sim = _traced_run()
+        chart = trace.gantt(sim.nranks, width=50)
+        lines = chart.splitlines()
+        assert len(lines) == sim.nranks
+        assert all(len(l) == len(lines[0]) for l in lines)
+        body = "".join(lines)
+        assert "S" in body  # Schur updates visible
+
+    def test_gantt_empty(self):
+        chart = Trace().gantt(3)
+        assert len(chart.splitlines()) == 3
+
+    def test_utilization(self):
+        trace, sim = _traced_run()
+        util = trace.utilization(sim.nranks, horizon=sim.makespan)
+        assert util.shape == (sim.nranks,)
+        assert (util >= 0).all() and (util <= 1 + 1e-12).all()
+        assert util.max() > 0
+
+    def test_to_rows_sorted(self):
+        trace, _ = _traced_run()
+        rows = trace.to_rows()
+        starts = [r[1] for r in rows]
+        assert starts == sorted(starts)

@@ -1,0 +1,123 @@
+"""Tests for the process-grid auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    circuit_like,
+    grid2d_5pt,
+    grid2d_9pt,
+    grid3d_7pt,
+    grid3d_27pt,
+    kkt_like,
+    random_symmetric_pattern,
+    thin_slab_7pt,
+)
+from repro.tune import (
+    classify_geometry,
+    estimate_separator_exponent,
+    suggest_grid,
+)
+from repro.utils import is_power_of_two
+
+
+class TestSeparatorExponent:
+    def test_planar_grids_measure_half(self):
+        for gen in (lambda: grid2d_5pt(64), lambda: grid2d_9pt(48),
+                    lambda: circuit_like(48)):
+            A, g = gen()
+            sigma = estimate_separator_exponent(A, g)
+            assert 0.35 < sigma < 0.55, sigma
+
+    def test_bricks_measure_two_thirds(self):
+        for gen in (lambda: grid3d_7pt(14), lambda: grid3d_27pt(12),
+                    lambda: kkt_like(12)):
+            A, g = gen()
+            sigma = estimate_separator_exponent(A, g)
+            assert 0.60 < sigma < 0.75, sigma
+
+    def test_slab_is_intermediate(self):
+        """The paper's ldoor observation: a thin 3D object partitions
+        between the two regimes."""
+        A, g = thin_slab_7pt(32, 32, 3)
+        sigma = estimate_separator_exponent(A, g)
+        planar_sigma = estimate_separator_exponent(*grid2d_5pt(32))
+        brick_sigma = estimate_separator_exponent(*grid3d_7pt(10))
+        assert planar_sigma < sigma < brick_sigma
+
+    def test_tiny_problem_defaults_planar(self):
+        A, g = grid2d_5pt(6)
+        assert estimate_separator_exponent(A, g) == 0.5
+
+    def test_works_without_geometry(self):
+        A = random_symmetric_pattern(400, 4.0, seed=2)
+        sigma = estimate_separator_exponent(A)
+        assert 0.0 < sigma < 1.2
+
+
+class TestClassify:
+    def test_bands(self):
+        assert classify_geometry(0.45) == "planar"
+        assert classify_geometry(0.58) == "intermediate"
+        assert classify_geometry(0.67) == "non-planar"
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            classify_geometry(float("nan"))
+
+
+class TestSuggestGrid:
+    def test_always_feasible(self):
+        """Suggested grid must multiply to P with a power-of-two Pz."""
+        for P in (16, 24, 96, 384, 7):
+            A, g = grid2d_5pt(32)
+            s = suggest_grid(A, P, geometry=g)
+            assert s.total == P
+            assert is_power_of_two(s.pz)
+            assert P % s.pz == 0
+            assert s.px <= s.py
+
+    def test_planar_gets_deeper_grid_than_nonplanar(self):
+        A2, g2 = grid2d_5pt(64)
+        A3, g3 = grid3d_7pt(16)
+        s2 = suggest_grid(A2, 96, geometry=g2)
+        s3 = suggest_grid(A3, 96, geometry=g3)
+        assert s2.pz >= s3.pz
+
+    def test_rationale_mentions_classification(self):
+        A, g = grid2d_5pt(64)
+        s = suggest_grid(A, 96, geometry=g)
+        assert "Eq. (8)" in s.rationale
+        assert s.classification == "planar"
+
+    def test_planar_pz_grows_with_n(self):
+        """Eq. (8): deeper grids pay off for bigger planar problems."""
+        A_small, g_small = grid2d_5pt(24)
+        A_big, g_big = grid2d_5pt(192)
+        small = suggest_grid(A_small, 1024, geometry=g_small)
+        big = suggest_grid(A_big, 1024, geometry=g_big)
+        assert big.pz >= small.pz
+
+    def test_suggestion_actually_good(self):
+        """The suggested grid must capture most of the 3D gain: at least
+        half the best sweep point's speedup over the 2D baseline. (Exact
+        argmin agreement is not expected — the tuner optimizes asymptotic
+        communication, the sweep measures modeled time at finite n.)"""
+        from repro.experiments.harness import PreparedMatrix, pz_sweep
+        from repro.experiments.matrices import TestMatrix
+        A, g = grid2d_5pt(48)
+        s = suggest_grid(A, 48, geometry=g)
+        tm = TestMatrix("t", A, g, True, 64, 0, 0, 0, 0)
+        pm = PreparedMatrix(tm)
+        recs = pz_sweep(pm, 48, (1, 2, 4, 8, 16))
+        times = {r.pz: r.metrics.makespan for r in recs}
+        best_speedup = times[1] / min(times.values())
+        suggested_speedup = times[1] / times[s.pz]
+        assert suggested_speedup >= max(best_speedup / 2, 1.2)
+
+    def test_p_validation(self):
+        A, g = grid2d_5pt(8)
+        with pytest.raises(ValueError):
+            suggest_grid(A, 0, geometry=g)
+
+

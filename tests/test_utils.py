@@ -1,0 +1,85 @@
+"""Tests for repro.utils validators and timing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import (
+    Timer,
+    check_positive_int,
+    check_power_of_two,
+    check_square_sparse,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(16):
+            assert is_power_of_two(2 ** k)
+
+    def test_non_powers(self):
+        for x in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(x)
+
+    def test_non_int(self):
+        assert not is_power_of_two(2.0)
+        assert not is_power_of_two("4")
+
+    def test_numpy_int(self):
+        assert is_power_of_two(np.int64(8))
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int32(7), "x") == 7
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError, match="x must be an int"):
+            check_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_returns_builtin_int(self):
+        assert type(check_positive_int(np.int64(3), "x")) is int
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(16, "pz") == 16
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two(12, "pz")
+
+
+class TestCheckSquareSparse:
+    def test_accepts_and_converts(self):
+        A = sp.coo_matrix(np.eye(3))
+        out = check_square_sparse(A)
+        assert sp.issparse(out) and out.format == "csr"
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError):
+            check_square_sparse(np.eye(3))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_sparse(sp.random(3, 4, format="csr"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_square_sparse(sp.csr_matrix((0, 0)))
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        sum(range(10000))
+    assert t.elapsed > 0.0
