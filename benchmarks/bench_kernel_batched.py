@@ -1,0 +1,138 @@
+"""Kernel bench: batched vs per-block Schur update, numeric and cost-only.
+
+GLU3.0's central observation is that supernodal sparse LU spends its time
+in thousands of small Schur GEMMs whose fixed per-call overhead dwarfs the
+arithmetic; batching them into panel-level products is the decisive
+kernel-level win. This bench times the repo's two Schur-update paths —
+the per-block loop (one GEMM + one simulator event per (i, j) pair) and
+the batched kernel (:func:`repro.lu2d.batched.batched_schur_update`: one
+gathered U panel, row-blocked GEMMs, scatter, one ``compute_batch``) — on
+a dense trailing-matrix supernodal profile, the long-panel regime at the
+top of the elimination tree where the driver's hybrid dispatch actually
+selects batching (``FactorOptions.batch_min_pairs``).
+
+Both paths must produce bit-identical simulator ledgers and factors equal
+within 1e-12 (asserted here, not just in the unit tests), so the speedup
+is a pure kernel-engineering result, not a model change. The measured
+record is written to ``BENCH_kernels.json`` at the repo root so the perf
+trajectory is tracked from PR 1 onward.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.comm import ProcessGrid2D, Simulator
+from repro.lu2d.batched import batched_schur_update
+from repro.sparse.blockmatrix import BlockLayout
+
+# (nb blocks, block size): ~nb^3/3 block pairs with panels of length
+# nb-1 .. 1 — the dense trailing-matrix profile.
+CONFIGS = {"tiny": (24, 12), "small": (48, 12), "medium": (72, 12)}
+# (numeric, cost-only) minimum speedups. At tiny the workload is too
+# small to amortize gather overhead fully, so the smoke bar is only
+# "batched must not lose".
+THRESHOLDS = {"tiny": (1.0, 1.2), "small": (2.0, 1.5), "medium": (2.0, 1.5)}
+REPS = 3  # best-of: one-shot timings jitter with machine load
+OUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _workload(nb: int, s: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    inv = 1.0 / (nb * s)  # keep repeated updates bounded
+    return {(i, j): rng.random((s, s)) * inv
+            for i in range(nb) for j in range(nb)}
+
+
+def _run(nb: int, s: int, grid: ProcessGrid2D, numeric: bool, batched: bool):
+    """One pass over all supernodes; returns (seconds, sim, data)."""
+    data = _workload(nb, s)
+    store = data if numeric else None
+    sizes = BlockLayout(np.arange(nb + 1) * s).sizes()
+    sim = Simulator(grid.size)
+    t0 = time.perf_counter()
+    for k in range(nb - 1):
+        lp = up = np.arange(k + 1, nb)
+        if batched:
+            batched_schur_update(store, k, lp, up, sizes, grid, sim)
+        else:
+            # Verbatim the driver's per-block loop path.
+            sk = int(sizes[k])
+            for i in lp:
+                i = int(i)
+                si = int(sizes[i])
+                Lik = store[(i, k)] if numeric else None
+                for j in up:
+                    j = int(j)
+                    sj = int(sizes[j])
+                    o = grid.owner(i, j)
+                    if numeric:
+                        store[(i, j)] -= Lik @ store[(k, j)]
+                    sim.compute(o, 2.0 * si * sk * sj, "schur",
+                                n_block_updates=1)
+    return time.perf_counter() - t0, sim, data
+
+
+def _best(nb, s, grid, numeric, batched):
+    runs = [_run(nb, s, grid, numeric, batched) for _ in range(REPS)]
+    return min(r[0] for r in runs), runs[-1][1], runs[-1][2]
+
+
+def _ledgers(sim: Simulator) -> list[np.ndarray]:
+    return ([sim.clock] + [sim.flops[k] for k in sorted(sim.flops)]
+            + [sim.t_compute[k] for k in sorted(sim.t_compute)])
+
+
+def test_kernel_batched(benchmark):
+    sc = scale()
+    nb, s = CONFIGS[sc]
+    need_num, need_cost = THRESHOLDS[sc]
+    grid = ProcessGrid2D(2, 2)
+
+    def experiment():
+        out = {}
+        for mode, numeric in (("numeric", True), ("cost_only", False)):
+            t_loop, sim_l, data_l = _best(nb, s, grid, numeric, False)
+            t_bat, sim_b, data_b = _best(nb, s, grid, numeric, True)
+            for a, b in zip(_ledgers(sim_l), _ledgers(sim_b)):
+                assert np.array_equal(a, b), "batched ledgers diverged"
+            diff = 0.0
+            if numeric:
+                diff = max(np.abs(data_l[key] - data_b[key]).max()
+                           for key in data_l)
+                assert diff < 1e-12, f"factors diverged: {diff}"
+            out[mode] = {"loop_s": round(t_loop, 6),
+                         "batched_s": round(t_bat, 6),
+                         "speedup": round(t_loop / t_bat, 3),
+                         "max_abs_diff": diff}
+        return out
+
+    rec = run_once(benchmark, experiment)
+    record = {
+        "bench": "bench_kernel_batched",
+        "scale": sc,
+        "workload": {"nb_blocks": nb, "block_size": s, "grid": "2x2",
+                     "block_pairs": int(sum((nb - k - 1) ** 2
+                                            for k in range(nb - 1))),
+                     "reps_best_of": REPS},
+        "numeric": rec["numeric"],
+        "cost_only": rec["cost_only"],
+        "ledgers_identical": True,
+        "thresholds": {"numeric": need_num, "cost_only": need_cost},
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(f"batched Schur kernel @ {sc} (nb={nb}, s={s}, best of {REPS}):")
+    for mode in ("numeric", "cost_only"):
+        r = rec[mode]
+        print(f"  {mode:9s}: loop {r['loop_s']:.3f}s  batched "
+              f"{r['batched_s']:.3f}s  -> {r['speedup']:.2f}x")
+    print(f"  record written to {OUT.name}")
+
+    assert rec["numeric"]["speedup"] >= need_num, \
+        f"numeric batched speedup {rec['numeric']['speedup']} < {need_num}"
+    assert rec["cost_only"]["speedup"] >= need_cost, \
+        f"cost-only batched speedup {rec['cost_only']['speedup']} < {need_cost}"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf smoke gate (~20 s): the batched Schur kernel must not lose to the
+# per-block loop (bench_kernel_batched.py asserts batched >= loop and
+# bit-identical ledgers at REPRO_SCALE=tiny), and one headline paper
+# bench must still pass end-to-end. The fig9 bench runs at the default
+# small scale because its Pz-shape assertions (the paper's non-planar
+# Pz=16 retreat) only emerge once the proxy matrices are big enough.
+# Exits non-zero on any failure.
+#
+# Usage: benchmarks/run_smoke.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_kernel_batched.py \
+    --benchmark-only --benchmark-disable-gc -q -s
+REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
+    --benchmark-only --benchmark-disable-gc -q
+
+echo "smoke OK: batched kernel >= loop at tiny scale, fig9 bench green"

@@ -10,7 +10,8 @@ benchmark harnesses.
 """
 
 from repro.analysis.metrics import FactorizationMetrics
-from repro.analysis.report import format_table
+from repro.analysis.report import format_kernel_counters, format_table
 from repro.analysis.trace import Trace, TraceEvent
 
-__all__ = ["FactorizationMetrics", "Trace", "TraceEvent", "format_table"]
+__all__ = ["FactorizationMetrics", "Trace", "TraceEvent", "format_table",
+           "format_kernel_counters"]

@@ -6,7 +6,7 @@ and shows them with ``-s``); this module keeps the formatting in one place.
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_si"]
+__all__ = ["format_table", "format_si", "format_kernel_counters"]
 
 
 def format_si(x: float, digits: int = 3) -> str:
@@ -50,3 +50,24 @@ def format_table(headers: list[str], rows: list[list], title: str = "",
     out.append(line(["-" * w for w in widths]))
     out.extend(line(r) for r in str_rows)
     return "\n".join(out)
+
+
+def format_kernel_counters(sim, result, title: str = "kernel counters") -> str:
+    """Summarize the batched-kernel perf counters of a factorization run.
+
+    ``sim`` is the :class:`repro.comm.Simulator` that executed the run and
+    ``result`` a ``Factor2DResult`` or ``Factor3DResult``. Shows the
+    batched-GEMM count and fill ratio (how much of each gathered
+    ``W = L @ U`` product landed in a destination block) next to the
+    simulator's per-kind event counts, so a bench can see at a glance how
+    much of the Schur work went through the batched path and what event
+    mix the run produced.
+    """
+    rows: list[list] = [
+        ["batched panel GEMMs", getattr(result, "n_batched_gemms", 0)],
+        ["schur block updates", getattr(result, "schur_block_updates", 0)],
+        ["batch fill ratio", float(getattr(result, "batch_fill_ratio", 0.0))],
+    ]
+    for kind in sorted(sim.event_counts):
+        rows.append([f"events[{kind}]", int(sim.event_counts[kind])])
+    return format_table(["counter", "value"], rows, title=title)

@@ -27,7 +27,7 @@ class TraceEvent:
     rank: int
     start: float
     end: float
-    kind: str        # compute kind, 'send', 'recv_wait'
+    kind: str        # compute kind, 'send', 'recv_wait', 'offload'
     phase: str       # 'fact' | 'red' | 'solve'
     words: float = 0.0
 
@@ -72,7 +72,7 @@ class Trace:
         if horizon <= 0:
             return util
         for ev in self.events:
-            if ev.kind not in ("send", "recv_wait"):
+            if ev.kind not in ("send", "recv_wait", "offload"):
                 util[ev.rank] += ev.duration
         return util / horizon
 
@@ -90,7 +90,7 @@ class Trace:
     # -- rendering -------------------------------------------------------------
 
     _GLYPHS = {"diag": "D", "panel": "P", "schur": "S", "reduce_add": "R",
-               "solve": "V", "send": ">", "recv_wait": "."}
+               "solve": "V", "send": ">", "recv_wait": ".", "offload": "O"}
 
     def gantt(self, nranks: int, width: int = 72) -> str:
         """Text Gantt chart: one row per rank, one glyph per time bucket.

@@ -19,12 +19,14 @@ change.
 
 from __future__ import annotations
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.collectives import bcast
 from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
 from repro.comm.simulator import Simulator
 from repro.cholesky.kernels import chol_panel_solve, potrf_shifted
+from repro.lu2d.batched import batched_syrk_update
 from repro.lu2d.factor2d import Factor2DResult, FactorOptions
 from repro.lu3d.factor3d import Factor3DResult, factor_3d
 from repro.symbolic.symbolic_factor import SymbolicFactorization
@@ -62,8 +64,13 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
     nodes = sorted(int(k) for k in nodes)
     node_set = set(nodes)
     layout = sf.layout
+    sizes = layout.sizes()
     lpanel = sf.fill.lpanel
     result = Factor2DResult(nodes=nodes)
+    use_batched = opts.batched_schur and sim.accelerator is None
+    buf_current = np.zeros(sim.nranks)
+    fill_used = 0.0
+    fill_total = 0.0
 
     # Lookahead bookkeeping (same scheme as the LU engine).
     anc_in_list: dict[int, list[int]] = {}
@@ -109,6 +116,9 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
                     if r != root:
                         sim.alloc(r, words)
                         bufs.append((r, words))
+                        buf_current[r] += words
+                        if buf_current[r] > result.buffer_peak_words:
+                            result.buffer_peak_words = float(buf_current[r])
 
         if len(lp):
             # L_kk down the process column for the panel solves.
@@ -130,20 +140,33 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
         result.panel_steps += 1
 
     def do_schur(k: int) -> None:
-        s = layout.block_size(k)
-        lp = [int(i) for i in lpanel[k]]
-        for a, i in enumerate(lp):
-            si = layout.block_size(i)
-            for j in lp[:a + 1]:  # j <= i: lower triangle only
-                sj = layout.block_size(j)
-                o = grid.owner(i, j)
-                flops = float(si * s * sj) if i == j else 2.0 * si * s * sj
-                if numeric:
-                    data[(i, j)] -= data[(i, k)] @ data[(j, k)].T
-                sim.compute(o, flops, "schur", n_block_updates=1)
-                result.schur_block_updates += 1
+        nonlocal fill_used, fill_total
+        npanel = len(lpanel[k])
+        if use_batched and \
+                npanel * (npanel + 1) // 2 >= opts.batch_min_pairs:
+            nupd, used, total = batched_syrk_update(
+                data if numeric else None, k, lpanel[k], sizes, grid, sim)
+            if nupd:
+                result.schur_block_updates += nupd
+                result.n_batched_gemms += 1
+                fill_used += used
+                fill_total += total
+        else:
+            s = int(sizes[k])
+            lp = [int(i) for i in lpanel[k]]
+            for a, i in enumerate(lp):
+                si = int(sizes[i])
+                for j in lp[:a + 1]:  # j <= i: lower triangle only
+                    sj = int(sizes[j])
+                    o = grid.owner(i, j)
+                    flops = float(si * s * sj) if i == j else 2.0 * si * s * sj
+                    if numeric:
+                        data[(i, j)] -= data[(i, k)] @ data[(j, k)].T
+                    sim.compute(o, flops, "schur", n_block_updates=1)
+                    result.schur_block_updates += 1
         for r, words in buffers.pop(k, []):
             sim.free(r, words)
+            buf_current[r] -= words
         for a in anc_in_list[k]:
             pending[a] -= 1
 
@@ -155,6 +178,8 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
                 do_panel(m)
         do_schur(k)
 
+    if fill_total > 0:
+        result.batch_fill_ratio = fill_used / fill_total
     return result
 
 

@@ -10,6 +10,8 @@ supernode-level 2D block-cyclic scheme (Fig. 3a).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.utils import check_positive_int, check_power_of_two
 
 __all__ = ["ProcessGrid2D", "ProcessGrid3D", "near_square_grid"]
@@ -36,12 +38,20 @@ class ProcessGrid2D:
         self.py = check_positive_int(py, "py")
         self.base = int(base)
         self.size = self.px * self.py
+        # Memoized lookup tables: owner/row_ranks/col_ranks sit in the
+        # drivers' innermost loops, so they must not recompute per call.
+        # The cached lists are shared — callers must not mutate them.
+        self._ranks = [[self.base + pi * self.py + pj
+                        for pj in range(self.py)] for pi in range(self.px)]
+        self._row_ranks = [list(row) for row in self._ranks]
+        self._col_ranks = [[self._ranks[pi][pj] for pi in range(self.px)]
+                           for pj in range(self.py)]
 
     def rank(self, pi: int, pj: int) -> int:
         """Global rank of grid coordinate ``(pi, pj)``."""
         if not (0 <= pi < self.px and 0 <= pj < self.py):
             raise ValueError(f"coordinate ({pi}, {pj}) outside {self.px}x{self.py}")
-        return self.base + pi * self.py + pj
+        return self._ranks[pi][pj]
 
     def coords(self, rank: int) -> tuple[int, int]:
         local = rank - self.base
@@ -51,20 +61,36 @@ class ProcessGrid2D:
 
     def owner(self, i: int, j: int) -> int:
         """Rank owning block ``(i, j)`` under 2D block-cyclic distribution."""
-        return self.rank(i % self.px, j % self.py)
+        return self._ranks[i % self.px][j % self.py]
+
+    def owner_map(self, rows, cols) -> np.ndarray:
+        """Vectorized :meth:`owner`: ranks of the ``rows × cols`` block set.
+
+        Returns a ``(len(rows), len(cols))`` int array with
+        ``out[a, b] == owner(rows[a], cols[b])`` — the scatter map the
+        batched Schur kernel uses to book a whole panel of updates at once.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return (self.base + (rows % self.px)[:, None] * self.py
+                + (cols % self.py)[None, :])
 
     def owner_coords(self, i: int, j: int) -> tuple[int, int]:
         return (i % self.px, j % self.py)
 
     def row_ranks(self, i: int) -> list[int]:
-        """Ranks of the process row owning block-row ``i`` (paper's Px(k))."""
-        pi = i % self.px
-        return [self.rank(pi, pj) for pj in range(self.py)]
+        """Ranks of the process row owning block-row ``i`` (paper's Px(k)).
+
+        The returned list is memoized and shared; do not mutate it.
+        """
+        return self._row_ranks[i % self.px]
 
     def col_ranks(self, j: int) -> list[int]:
-        """Ranks of the process column owning block-column ``j``."""
-        pj = j % self.py
-        return [self.rank(pi, pj) for pi in range(self.px)]
+        """Ranks of the process column owning block-column ``j``.
+
+        The returned list is memoized and shared; do not mutate it.
+        """
+        return self._col_ranks[j % self.py]
 
     def all_ranks(self) -> list[int]:
         return list(range(self.base, self.base + self.size))

@@ -11,7 +11,10 @@ simulated runtime:
 3. *Panel solve* — triangular solves producing the L and U panels;
 4. *Panel broadcast* — L-panel blocks along process rows, U-panel blocks
    along process columns;
-5. *Schur-complement update* — dense GEMM per (i, j) block pair, owner-only.
+5. *Schur-complement update* — by default one gathered panel GEMM per
+   supernode with a scatter-subtract into the destination blocks
+   (:mod:`repro.lu2d.batched`); ``FactorOptions(batched_schur=False)``
+   falls back to one dense GEMM per (i, j) block pair, owner-only.
 
 A lookahead window pipelines the panel work of upcoming independent
 supernodes with the current Schur update (Section II-F), which is what lets
@@ -19,6 +22,8 @@ communication hide behind computation in the simulator's timing model.
 """
 
 from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
+from repro.lu2d.batched import (batched_schur_update, batched_syrk_update,
+                                gather_panels, panel_offsets)
 from repro.lu2d.factor2d import FactorOptions, Factor2DResult, factor_2d, factor_nodes_2d
 from repro.lu2d.storage import allocate_factor_storage, factor_words_per_rank
 
@@ -26,10 +31,14 @@ __all__ = [
     "Factor2DResult",
     "FactorOptions",
     "allocate_factor_storage",
+    "batched_schur_update",
+    "batched_syrk_update",
     "factor_2d",
     "factor_nodes_2d",
     "factor_words_per_rank",
+    "gather_panels",
     "getrf_nopiv",
+    "panel_offsets",
     "solve_lower_panel",
     "solve_upper_panel",
 ]

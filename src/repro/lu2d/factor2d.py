@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.comm.collectives import bcast
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import Simulator
+from repro.lu2d.batched import batched_schur_update
 from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
 from repro.lu2d.storage import allocate_factor_storage
 from repro.symbolic.symbolic_factor import SymbolicFactorization
@@ -46,12 +49,26 @@ class FactorOptions:
         update target (SuperLU_DIST builds its BC/RD trees over exactly
         those ranks). ``False`` broadcasts along whole process rows/
         columns — the flat model Section IV analyzes.
+    batched_schur:
+        Apply each supernode's Schur update as one gathered panel GEMM +
+        scatter (:mod:`repro.lu2d.batched`) instead of one GEMM per block
+        pair. Numerically identical to roundoff and books bit-identical
+        simulator ledgers; automatically falls back to the per-block loop
+        when an accelerator is attached (offload decisions are per block).
+    batch_min_pairs:
+        Hybrid cutoff: panels with fewer than this many (i, j) block pairs
+        take the per-block loop even when ``batched_schur`` is on — below
+        ~32 pairs the gather/scatter fixed overhead exceeds the per-event
+        savings. Both paths book identical ledgers, so the cutoff affects
+        wall-clock only. Set to ``0`` to batch every panel.
     """
 
     lookahead: int = 8
     pivot_eps: float = 1e-10
     track_buffers: bool = True
     sparse_bcast: bool = False
+    batched_schur: bool = True
+    batch_min_pairs: int = 32
 
     def __post_init__(self):
         if self.lookahead < 0:
@@ -62,13 +79,23 @@ class FactorOptions:
 
 @dataclass
 class Factor2DResult:
-    """Outcome of one ``factor_nodes_2d`` call."""
+    """Outcome of one ``factor_nodes_2d`` call.
+
+    ``buffer_peak_words`` is the peak *transient* panel-receive-buffer
+    footprint on any rank — static L/U factor storage is excluded.
+    ``n_batched_gemms`` counts gathered panel GEMMs issued by the batched
+    Schur path; ``batch_fill_ratio`` is the fraction of the gathered
+    ``W = L @ U`` products' entries that land in a destination block
+    (1.0 for LU, < 1 for the symmetric Cholesky variant).
+    """
 
     nodes: list[int]
     perturbed_pivots: int = 0
     panel_steps: int = 0
     schur_block_updates: int = 0
     buffer_peak_words: float = 0.0
+    n_batched_gemms: int = 0
+    batch_fill_ratio: float = 0.0
     extras: dict = field(default_factory=dict)
 
 
@@ -95,8 +122,10 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     nodes = sorted(int(k) for k in nodes)
     node_set = set(nodes)
     layout = sf.layout
+    sizes = layout.sizes()
     lpanel, upanel = sf.fill.lpanel, sf.fill.upanel
     costs = sf.costs
+    use_batched = opts.batched_schur and sim.accelerator is None
 
     # In-list ancestor chains: for lookahead readiness and completion counts.
     anc_in_list: dict[int, list[int]] = {}
@@ -114,9 +143,14 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     panel_done: set[int] = set()
     buffers: dict[int, list[tuple[int, float]]] = {}  # node -> [(rank, words)]
     result = Factor2DResult(nodes=nodes)
+    # Transient panel-receive buffers only; sim.mem_peak also counts the
+    # static L/U storage, which buffer_peak_words must exclude.
+    buf_current = np.zeros(sim.nranks)
+    fill_used = 0.0
+    fill_total = 0.0
 
     def do_panel(k: int) -> None:
-        s = layout.block_size(k)
+        s = int(sizes[k])
         lp, up = lpanel[k], upanel[k]
         owner_kk = grid.owner(k, k)
         # Pending offloaded updates may target this supernode's blocks:
@@ -143,6 +177,9 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
                     if r != root:
                         sim.alloc(r, words)
                         bufs.append((r, words))
+                        buf_current[r] += words
+                        if buf_current[r] > result.buffer_peak_words:
+                            result.buffer_peak_words = float(buf_current[r])
 
         if opts.sparse_bcast:
             # SuperLU's BC trees span only ranks owning an update target:
@@ -162,7 +199,7 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
 
         for j in up:
             j = int(j)
-            sj = layout.block_size(j)
+            sj = int(sizes[j])
             o = grid.owner(k, j)
             if numeric:
                 store[(k, j)][:] = solve_upper_panel(store[(k, k)], store[(k, j)])
@@ -174,7 +211,7 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
             _bcast(o, ranks, float(s * sj))
         for i in lp:
             i = int(i)
-            si = layout.block_size(i)
+            si = int(sizes[i])
             o = grid.owner(i, k)
             if numeric:
                 store[(i, k)][:] = solve_lower_panel(store[(k, k)], store[(i, k)])
@@ -188,34 +225,44 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
         buffers[k] = bufs
         panel_done.add(k)
         result.panel_steps += 1
-        if opts.track_buffers:
-            result.buffer_peak_words = max(result.buffer_peak_words,
-                                           float(sim.mem_peak.max()))
 
     def do_schur(k: int) -> None:
-        s = layout.block_size(k)
-        for i in lpanel[k]:
-            i = int(i)
-            si = layout.block_size(i)
-            Lik = store[(i, k)] if numeric else None
-            for j in upanel[k]:
-                j = int(j)
-                sj = layout.block_size(j)
-                o = grid.owner(i, j)
-                if numeric:
-                    store[(i, j)] -= Lik @ store[(k, j)]
-                flops = 2.0 * si * s * sj
-                if sim.accelerator is not None and \
-                        sim.accelerator.should_offload(flops):
-                    # HALO: big GEMMs go to the device (operands + result
-                    # cross PCIe); small ones stay on the host.
-                    words = float(si * s + s * sj + si * sj)
-                    sim.offload_gemm(o, flops, words)
-                else:
-                    sim.compute(o, flops, "schur", n_block_updates=1)
-                result.schur_block_updates += 1
+        nonlocal fill_used, fill_total
+        if use_batched and \
+                len(lpanel[k]) * len(upanel[k]) >= opts.batch_min_pairs:
+            nupd, used, total = batched_schur_update(
+                data if numeric else None, k, lpanel[k], upanel[k], sizes,
+                grid, sim)
+            if nupd:
+                result.schur_block_updates += nupd
+                result.n_batched_gemms += 1
+                fill_used += used
+                fill_total += total
+        else:
+            s = int(sizes[k])
+            for i in lpanel[k]:
+                i = int(i)
+                si = int(sizes[i])
+                Lik = store[(i, k)] if numeric else None
+                for j in upanel[k]:
+                    j = int(j)
+                    sj = int(sizes[j])
+                    o = grid.owner(i, j)
+                    if numeric:
+                        store[(i, j)] -= Lik @ store[(k, j)]
+                    flops = 2.0 * si * s * sj
+                    if sim.accelerator is not None and \
+                            sim.accelerator.should_offload(flops):
+                        # HALO: big GEMMs go to the device (operands + result
+                        # cross PCIe); small ones stay on the host.
+                        words = float(si * s + s * sj + si * sj)
+                        sim.offload_gemm(o, flops, words)
+                    else:
+                        sim.compute(o, flops, "schur", n_block_updates=1)
+                    result.schur_block_updates += 1
         for r, words in buffers.pop(k, []):
             sim.free(r, words)
+            buf_current[r] -= words
         for a in anc_in_list[k]:
             pending[a] -= 1
 
@@ -231,6 +278,8 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     if sim.accelerator is not None:
         for r in grid.all_ranks():
             sim.accel_sync(r)
+    if fill_total > 0:
+        result.batch_fill_ratio = fill_used / fill_total
     return result
 
 

@@ -38,6 +38,7 @@ class Factor3DResult:
     tf: TreeForest
     perturbed_pivots: int = 0
     schur_block_updates: int = 0
+    n_batched_gemms: int = 0
     reduction_messages: int = 0
     reduction_words: float = 0.0
     replicas: ReplicaManager | None = None
@@ -114,6 +115,7 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
                             data=data, options=opts)
             result.perturbed_pivots += r2d.perturbed_pivots
             result.schur_block_updates += r2d.schur_block_updates
+            result.n_batched_gemms += r2d.n_batched_gemms
 
         if lvl > 0:
             sim.set_phase("red")

@@ -90,6 +90,7 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
                                   options=opts)
             result.schur_block_updates += r2d.schur_block_updates
             result.perturbed_pivots += r2d.perturbed_pivots
+            result.n_batched_gemms += r2d.n_batched_gemms
 
         if lvl > 0:
             sim.set_phase("red")

@@ -38,6 +38,7 @@ class BlockLayout:
         if off[0] != 0 or np.any(np.diff(off) <= 0):
             raise ValueError("offsets must start at 0 and be strictly increasing")
         object.__setattr__(self, "offsets", off)
+        object.__setattr__(self, "_sizes", np.diff(off))
 
     @property
     def nblocks(self) -> int:
@@ -51,7 +52,8 @@ class BlockLayout:
         return int(self.offsets[i + 1] - self.offsets[i])
 
     def sizes(self) -> np.ndarray:
-        return np.diff(self.offsets)
+        """Per-block sizes; memoized — callers must not mutate the array."""
+        return self._sizes
 
     def range_of(self, i: int) -> slice:
         return slice(int(self.offsets[i]), int(self.offsets[i + 1]))

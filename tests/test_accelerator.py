@@ -65,9 +65,15 @@ class TestSimulatorOffload:
 
 class TestHaloFactorization:
     def test_numeric_unchanged_by_offload(self):
-        """Offload is a cost-model decision; the numerics are identical."""
+        """Offload is a cost-model decision; the numerics are identical.
+
+        Both runs use the per-block Schur loop (an attached accelerator
+        forces it anyway, since offload decisions are per block) so the
+        comparison isolates the offload effect from kernel batching.
+        """
         A, g = grid3d_7pt(7)
         sf = symbolic_factorize(A, g, leaf_size=32)
+        opts = FactorOptions(batched_schur=False)
         results = {}
         for accel in (False, True):
             sim = Simulator(4)
@@ -75,7 +81,7 @@ class TestHaloFactorization:
                 sim.attach_accelerator(Accelerator(min_flops=1e4))
             data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
                                         block_pattern=sf.fill.all_blocks())
-            factor_2d(sf, ProcessGrid2D(2, 2), sim, data=data)
+            factor_2d(sf, ProcessGrid2D(2, 2), sim, data=data, options=opts)
             results[accel] = data.to_dense()
         assert np.array_equal(results[False], results[True])
 

@@ -1,0 +1,296 @@
+"""Equivalence tests: batched Schur kernel and vectorized ledger paths.
+
+The batched paths (gathered panel GEMM, ``Simulator.compute_batch``,
+closed-form broadcast) are performance rewrites of the per-event loops;
+these tests pin down the contract that makes them safe to enable by
+default — factors within 1e-12 of the loop kernel, and simulator ledgers
+*bit-for-bit* identical to the per-event bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Trace
+from repro.cholesky import factor_nodes_chol_2d
+from repro.comm import (CommError, ProcessGrid2D, ProcessGrid3D, Simulator,
+                        UniformTopology)
+from repro.comm.accelerator import Accelerator
+from repro.comm.collectives import bcast
+from repro.lu2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.sparse import (BlockMatrix, delaunay_mesh_2d, grid2d_5pt,
+                          grid3d_7pt)
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+
+def ledger_snapshot(sim: Simulator) -> dict[str, np.ndarray]:
+    """Every per-rank ledger array, copied."""
+    snap = {
+        "clock": sim.clock.copy(),
+        "mem_current": sim.mem_current.copy(),
+        "mem_peak": sim.mem_peak.copy(),
+    }
+    for k, v in sim.flops.items():
+        snap[f"flops/{k}"] = v.copy()
+    for k, v in sim.t_compute.items():
+        snap[f"t_compute/{k}"] = v.copy()
+    for p in sim.words_sent:
+        snap[f"words_sent/{p}"] = sim.words_sent[p].copy()
+        snap[f"words_recv/{p}"] = sim.words_recv[p].copy()
+        snap[f"msgs_sent/{p}"] = sim.msgs_sent[p].copy()
+        snap[f"msgs_recv/{p}"] = sim.msgs_recv[p].copy()
+    return snap
+
+
+def assert_ledgers_identical(sim_a: Simulator, sim_b: Simulator) -> None:
+    """Bitwise equality of every ledger array (no tolerances)."""
+    a, b = ledger_snapshot(sim_a), ledger_snapshot(sim_b)
+    assert a.keys() == b.keys()
+    for key in a:
+        assert np.array_equal(a[key], b[key]), f"ledger mismatch: {key}"
+    assert dict(sim_a.event_counts) == dict(sim_b.event_counts)
+
+
+def _fixtures():
+    A, g = grid3d_7pt(7)
+    yield "grid3d", A, g
+    A, g = delaunay_mesh_2d(150, seed=3)
+    yield "delaunay", A, g
+
+
+class TestFactor2DEquivalence:
+    @pytest.mark.parametrize("name,A,geom", list(_fixtures()),
+                             ids=lambda v: v if isinstance(v, str) else "")
+    def test_batched_matches_loop(self, name, A, geom):
+        """Same factors (1e-12) and bit-identical ledgers, both modes."""
+        sf = symbolic_factorize(A, geom, leaf_size=24)
+        grid = ProcessGrid2D(2, 2)
+        runs = {}
+        for batched in (False, True):
+            sim = Simulator(4)
+            data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                        block_pattern=sf.fill.all_blocks())
+            res = factor_2d(sf, grid, sim, data=data,
+                            options=FactorOptions(batched_schur=batched,
+                                                  batch_min_pairs=0))
+            runs[batched] = (data.to_dense(), sim, res)
+        dense_loop, sim_loop, res_loop = runs[False]
+        dense_bat, sim_bat, res_bat = runs[True]
+        scale = np.abs(dense_loop).max()
+        assert np.allclose(dense_bat, dense_loop, atol=1e-12 * max(scale, 1))
+        assert_ledgers_identical(sim_loop, sim_bat)
+        assert res_bat.schur_block_updates == res_loop.schur_block_updates
+        assert res_bat.buffer_peak_words == res_loop.buffer_peak_words
+        assert res_loop.n_batched_gemms == 0
+        assert res_bat.n_batched_gemms > 0
+        assert res_bat.batch_fill_ratio == 1.0  # LU scatters every W tile
+
+    def test_cost_only_ledgers_identical(self):
+        A, g = grid2d_5pt(14)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+        sims = {}
+        for batched in (False, True):
+            sim = Simulator(4)
+            factor_2d(sf, ProcessGrid2D(2, 2), sim,
+                      options=FactorOptions(batched_schur=batched,
+                                                  batch_min_pairs=0))
+            sims[batched] = sim
+        assert_ledgers_identical(sims[False], sims[True])
+
+    def test_event_counts_match_result_counters(self):
+        A, g = grid2d_5pt(12)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+        sim = Simulator(4)
+        res = factor_2d(sf, ProcessGrid2D(2, 2), sim)
+        assert sim.event_counts["schur"] == res.schur_block_updates
+        assert sim.event_counts["diag"] == res.panel_steps
+        assert sim.event_counts["send"] == sim.event_counts["recv"]
+        assert sim.event_counts["send"] > 0
+
+
+class TestFactor3DEquivalence:
+    def test_batched_matches_loop_3d(self):
+        A, g = grid3d_7pt(8)
+        sf = symbolic_factorize(A, g, leaf_size=32)
+        tf = greedy_partition(sf, 2)
+        runs = {}
+        for batched in (False, True):
+            sim = Simulator(8)
+            res = factor_3d(sf, tf, ProcessGrid3D(2, 2, 2), sim,
+                            numeric=True,
+                            options=FactorOptions(batched_schur=batched,
+                                                  batch_min_pairs=0))
+            runs[batched] = (res.factors().to_dense(), sim, res)
+        dense_loop, sim_loop, res_loop = runs[False]
+        dense_bat, sim_bat, res_bat = runs[True]
+        scale = np.abs(dense_loop).max()
+        assert np.allclose(dense_bat, dense_loop, atol=1e-12 * max(scale, 1))
+        assert_ledgers_identical(sim_loop, sim_bat)
+        assert res_bat.schur_block_updates == res_loop.schur_block_updates
+        assert res_bat.n_batched_gemms > 0 and res_loop.n_batched_gemms == 0
+
+
+class TestCholeskyEquivalence:
+    def test_batched_matches_loop_chol(self):
+        A, g = grid2d_5pt(14)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+        import scipy.sparse as sp
+        nodes = list(range(sf.nb))
+        runs = {}
+        for batched in (False, True):
+            sim = Simulator(4)
+            sim.set_phase("fact")
+            data = BlockMatrix.from_csr(sp.tril(sf.A_perm).tocsr(), sf.layout,
+                                        block_pattern=sf.fill.all_blocks())
+            res = factor_nodes_chol_2d(sf, nodes, ProcessGrid2D(2, 2), sim,
+                                       data=data,
+                                       options=FactorOptions(
+                                           batched_schur=batched,
+                                           batch_min_pairs=0))
+            runs[batched] = (data.to_dense(), sim, res)
+        dense_loop, sim_loop, res_loop = runs[False]
+        dense_bat, sim_bat, res_bat = runs[True]
+        scale = np.abs(dense_loop).max()
+        assert np.allclose(np.tril(dense_bat), np.tril(dense_loop),
+                           atol=1e-12 * max(scale, 1))
+        assert_ledgers_identical(sim_loop, sim_bat)
+        assert res_bat.schur_block_updates == res_loop.schur_block_updates
+        assert res_bat.n_batched_gemms > 0
+        # Only the lower triangle of W = P P^T is scattered.
+        assert 0.0 < res_bat.batch_fill_ratio < 1.0
+
+
+class TestComputeBatch:
+    def test_matches_event_loop_bitwise(self):
+        rng = np.random.default_rng(7)
+        ranks = rng.integers(0, 6, size=200)
+        flops = rng.random(200) * 1e7
+        sim_loop, sim_batch = Simulator(6), Simulator(6)
+        for r, f in zip(ranks, flops):
+            sim_loop.compute(int(r), float(f), "schur", n_block_updates=1)
+        sim_batch.compute_batch(ranks, flops, "schur", n_block_updates=1)
+        assert_ledgers_identical(sim_loop, sim_batch)
+
+    def test_traced_fallback_matches(self):
+        ranks = np.array([0, 1, 0, 2])
+        flops = np.array([1e6, 2e6, 3e6, 4e6])
+        sims = []
+        for _ in range(2):
+            sim = Simulator(3, trace=Trace())
+            sims.append(sim)
+        for r, f in zip(ranks, flops):
+            sims[0].compute(int(r), float(f), "panel")
+        sims[1].compute_batch(ranks, flops, "panel")
+        assert_ledgers_identical(sims[0], sims[1])
+        assert len(sims[0].trace.events) == len(sims[1].trace.events)
+
+    def test_validation(self):
+        sim = Simulator(4)
+        with pytest.raises(CommError):
+            sim.compute_batch([0, 1], [1.0], "schur")
+        with pytest.raises(CommError):
+            sim.compute_batch([0], [1.0], "nope")
+        with pytest.raises(CommError):
+            sim.compute_batch([4], [1.0], "schur")
+        with pytest.raises(CommError):
+            sim.compute_batch([0], [-1.0], "schur")
+        sim.compute_batch([], [], "schur")  # empty batch is a no-op
+        assert sim.clock.max() == 0.0
+
+
+class TestClosedFormBcast:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13])
+    def test_matches_event_path(self, p):
+        """UniformTopology forces the event path with identical link costs."""
+        sim_cf = Simulator(16)
+        sim_ev = Simulator(16, topology=UniformTopology())
+        ranks = list(range(3, 3 + p))
+        for root in (ranks[0], ranks[-1], ranks[p // 2]):
+            bcast(sim_cf, root, ranks, 512.0)
+            bcast(sim_ev, root, ranks, 512.0)
+        assert_ledgers_identical(sim_cf, sim_ev)
+
+    def test_traced_run_takes_event_path(self):
+        sim = Simulator(4, trace=Trace())
+        bcast(sim, 0, [0, 1, 2, 3], 64.0)
+        kinds = {ev.kind for ev in sim.trace.events}
+        assert "send" in kinds  # events were recorded, not short-circuited
+
+    def test_conservation(self):
+        sim = Simulator(8)
+        bcast(sim, 2, list(range(8)), 100.0)
+        ws = sim.words_sent["fact"]
+        wr = sim.words_recv["fact"]
+        assert ws.sum() == wr.sum() == 700.0
+        assert sim.event_counts["send"] == sim.event_counts["recv"] == 7
+
+
+class TestOffloadTrace:
+    def test_offload_recorded_with_own_kind(self):
+        sim = Simulator(2, trace=Trace())
+        sim.attach_accelerator(Accelerator())
+        sim.offload_gemm(1, 5e6, 1e4)
+        evs = [ev for ev in sim.trace.events if ev.kind == "offload"]
+        assert len(evs) == 1
+        assert evs[0].rank == 1 and evs[0].words == 1e4
+        assert sim.event_counts["offload"] == 1
+        # Offload host-side time is overhead, not compute utilization.
+        assert sim.trace.utilization(2)[1] == 0.0
+
+
+class TestBufferPeak:
+    def test_excludes_static_storage(self):
+        A, g = grid2d_5pt(14)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+
+        def run(charge):
+            sim = Simulator(4)
+            res = factor_2d(sf, ProcessGrid2D(2, 2), sim,
+                            charge_storage=charge)
+            return res, sim
+
+        res_charged, sim_charged = run(True)
+        res_plain, sim_plain = run(False)
+        # Transient peak is charge-independent and well below the total
+        # footprint once static L/U storage is on the ledgers.
+        assert res_charged.buffer_peak_words == res_plain.buffer_peak_words
+        assert 0 < res_charged.buffer_peak_words < sim_charged.mem_peak.max()
+        # Without static charges the memory ledger sees only the transient
+        # buffers, so the two peaks must agree exactly.
+        assert res_plain.buffer_peak_words == sim_plain.mem_peak.max()
+
+
+class TestGridMemoization:
+    def test_owner_map_matches_owner(self):
+        grid = ProcessGrid2D(3, 5, base=11)
+        rows = np.array([0, 2, 7, 9])
+        cols = np.array([1, 4, 5])
+        om = grid.owner_map(rows, cols)
+        for a, i in enumerate(rows):
+            for b, j in enumerate(cols):
+                assert om[a, b] == grid.owner(int(i), int(j))
+
+    def test_row_col_ranks_memoized(self):
+        grid = ProcessGrid2D(2, 3)
+        assert grid.row_ranks(0) is grid.row_ranks(2)
+        assert grid.col_ranks(1) is grid.col_ranks(4)
+        assert grid.row_ranks(1) == [grid.rank(1, pj) for pj in range(3)]
+        assert grid.col_ranks(2) == [grid.rank(pi, 2) for pi in range(2)]
+
+
+class TestKernelCountersReport:
+    def test_format_kernel_counters(self):
+        from repro.analysis import format_kernel_counters
+
+        A, g = grid2d_5pt(14)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+        sim = Simulator(4)
+        res = factor_2d(sf, ProcessGrid2D(2, 2), sim,
+                        options=FactorOptions(batch_min_pairs=0))
+        text = format_kernel_counters(sim, res)
+        assert "batched panel GEMMs" in text
+        assert str(res.n_batched_gemms) in text
+        # Every event kind the run produced appears as a row.
+        for kind in sim.event_counts:
+            assert f"events[{kind}]" in text
