@@ -15,7 +15,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_kernel_batched.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Parallel fan-out divergence gate: the scaling bench asserts bit-identical
+# ledgers and 1e-12 factor agreement across worker counts unconditionally
+# (the speedup bar itself only applies on >= 4-core hosts).
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_parallel_scaling.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
     --benchmark-only --benchmark-disable-gc -q
 
-echo "smoke OK: batched kernel >= loop at tiny scale, fig9 bench green"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, fig9 green"

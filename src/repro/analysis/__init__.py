@@ -10,8 +10,12 @@ benchmark harnesses.
 """
 
 from repro.analysis.metrics import FactorizationMetrics
-from repro.analysis.report import format_kernel_counters, format_table
+from repro.analysis.report import (
+    format_kernel_counters,
+    format_parallel_stats,
+    format_table,
+)
 from repro.analysis.trace import Trace, TraceEvent
 
 __all__ = ["FactorizationMetrics", "Trace", "TraceEvent", "format_table",
-           "format_kernel_counters"]
+           "format_kernel_counters", "format_parallel_stats"]

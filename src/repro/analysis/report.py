@@ -6,7 +6,8 @@ and shows them with ``-s``); this module keeps the formatting in one place.
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_si", "format_kernel_counters"]
+__all__ = ["format_table", "format_si", "format_kernel_counters",
+           "format_parallel_stats"]
 
 
 def format_si(x: float, digits: int = 3) -> str:
@@ -71,3 +72,24 @@ def format_kernel_counters(sim, result, title: str = "kernel counters") -> str:
     for kind in sorted(sim.event_counts):
         rows.append([f"events[{kind}]", int(sim.event_counts[kind])])
     return format_table(["counter", "value"], rows, title=title)
+
+
+def format_parallel_stats(result, title: str = "parallel execution") -> str:
+    """Per-level worker utilization of a fanned-out 3D factorization.
+
+    ``result`` is a ``Factor3DResult``; its ``parallel_stats`` holds one
+    :class:`repro.parallel.LevelStats` per level that actually fanned out
+    (levels with a single runnable grid stay serial and do not appear).
+    Utilization is summed task seconds over ``workers x wall``; the serial
+    fraction is the Amdahl share of fork/export + merge/import time.
+    """
+    stats = getattr(result, "parallel_stats", None) or []
+    if not stats:
+        return title + "\n(serial run: no levels fanned out)"
+    rows = [[st.level, st.n_tasks, st.n_workers, st.backend,
+             st.wall_seconds * 1e3, st.task_seconds * 1e3,
+             st.utilization, st.serial_fraction]
+            for st in stats]
+    return format_table(
+        ["level", "grids", "workers", "backend", "wall [ms]",
+         "task [ms]", "util", "serial frac"], rows, title=title)

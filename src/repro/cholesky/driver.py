@@ -31,7 +31,9 @@ class SparseCholesky3D:
     Same constructor contract as :class:`repro.solve.SparseLU3D`; the input
     must be symmetric positive definite (mildly indefinite diagonals are
     absorbed by shifted-Cholesky + iterative refinement, and reported via
-    ``result.perturbed_pivots``).
+    ``result.perturbed_pivots``). ``options.n_workers`` flows through
+    :func:`repro.lu3d.factor3d.factor_3d` unchanged, so the Cholesky
+    engine fans its per-level grids out to the same worker pool as LU.
     """
 
     def __init__(self, A: sp.spmatrix, geometry: GridGeometry | None = None,

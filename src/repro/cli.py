@@ -20,8 +20,13 @@ import sys
 
 import numpy as np
 
-from repro.analysis import FactorizationMetrics, format_table
+from repro.analysis import (
+    FactorizationMetrics,
+    format_parallel_stats,
+    format_table,
+)
 from repro.comm import Machine
+from repro.lu2d.factor2d import FactorOptions
 from repro.sparse import (
     GridGeometry,
     circuit_like,
@@ -82,7 +87,8 @@ def cmd_solve(args) -> int:
     else:
         from repro.solve import SparseLU3D as Solver
     solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
-                    leaf_size=args.leaf_size, machine=Machine.edison_like())
+                    leaf_size=args.leaf_size, machine=Machine.edison_like(),
+                    options=FactorOptions(n_workers=args.workers))
     solver.factorize()
     n = A.shape[0]
     rng = np.random.default_rng(0)
@@ -98,6 +104,8 @@ def cmd_solve(args) -> int:
     print(f"per-rank comm volume: {m.w_total_max:.4g} words "
           f"(fact {m.w_fact_max:.4g}, red {m.w_red_max:.4g})")
     print(f"per-rank peak memory: {m.mem_peak_max:.4g} words")
+    if args.workers != 1:
+        print(format_parallel_stats(solver.result))
     if args.x_out:
         np.savetxt(args.x_out, x)
         print(f"solution written to {args.x_out}")
@@ -198,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--rhs", choices=("ones", "random"), default="ones")
     s.add_argument("--cholesky", action="store_true",
                    help="use the SPD Cholesky engine")
+    s.add_argument("--workers", type=int, default=1,
+                   help="host worker processes for the per-level grid "
+                        "fan-out (0 = one per core, 1 = serial); ledgers "
+                        "and factors are identical at any setting")
     s.add_argument("--tol", type=float, default=1e-8,
                    help="residual threshold for exit status")
     s.add_argument("--x-out", default=None, help="write solution vector here")

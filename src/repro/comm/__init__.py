@@ -19,7 +19,7 @@ the factorization's real message/compute schedule against virtual ranks:
 """
 
 from repro.comm.machine import Machine
-from repro.comm.simulator import Simulator, CommError
+from repro.comm.simulator import Simulator, CommError, LedgerDelta
 from repro.comm.grid import ProcessGrid2D, ProcessGrid3D, near_square_grid
 from repro.comm.collectives import bcast, reduce_pairwise
 from repro.comm.topology import DragonflyTopology, Torus3D, UniformTopology
@@ -27,6 +27,7 @@ from repro.comm.topology import DragonflyTopology, Torus3D, UniformTopology
 __all__ = [
     "CommError",
     "DragonflyTopology",
+    "LedgerDelta",
     "Machine",
     "ProcessGrid2D",
     "ProcessGrid3D",

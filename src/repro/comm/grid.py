@@ -75,6 +75,17 @@ class ProcessGrid2D:
         return (self.base + (rows % self.px)[:, None] * self.py
                 + (cols % self.py)[None, :])
 
+    def owner_pairs(self, rows, cols) -> np.ndarray:
+        """Elementwise :meth:`owner`: ``out[a] == owner(rows[a], cols[a])``.
+
+        The pairwise companion of :meth:`owner_map` — used by the batched
+        Ancestor-Reduction to map a whole level's ``(i, j)`` block list to
+        source/destination ranks in one shot.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return self.base + (rows % self.px) * self.py + (cols % self.py)
+
     def owner_coords(self, i: int, j: int) -> tuple[int, int]:
         return (i % self.px, j % self.py)
 

@@ -61,6 +61,15 @@ class FactorOptions:
         ~32 pairs the gather/scatter fixed overhead exceeds the per-event
         savings. Both paths book identical ledgers, so the cutoff affects
         wall-clock only. Set to ``0`` to batch every panel.
+    n_workers:
+        Host worker processes for the 3D drivers' per-level fan-out
+        (:mod:`repro.parallel`). ``1`` (default) keeps the serial in-place
+        schedule with no pool; ``0`` means one worker per host core.
+        Ledgers and factors are identical either way — the fan-out merges
+        forked sub-simulator ledgers deterministically in grid order.
+    parallel_backend:
+        ``'process'`` (real multi-core), ``'thread'`` (BLAS-overlap only),
+        or ``'serial'`` (the fork/merge path run inline — test hook).
     """
 
     lookahead: int = 8
@@ -69,12 +78,19 @@ class FactorOptions:
     sparse_bcast: bool = False
     batched_schur: bool = True
     batch_min_pairs: int = 32
+    n_workers: int = 1
+    parallel_backend: str = "process"
 
     def __post_init__(self):
         if self.lookahead < 0:
             raise ValueError("lookahead must be non-negative")
         if self.pivot_eps <= 0:
             raise ValueError("pivot_eps must be positive")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative (0 = auto)")
+        if self.parallel_backend not in ("process", "thread", "serial"):
+            raise ValueError(
+                f"unknown parallel_backend {self.parallel_backend!r}")
 
 
 @dataclass
@@ -183,11 +199,34 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
 
         if opts.sparse_bcast:
             # SuperLU's BC trees span only ranks owning an update target:
-            # panel rows {i mod Px} and panel columns {j mod Py}.
-            target_rows = sorted({int(i) % grid.px for i in lp})
-            target_cols = sorted({int(j) % grid.py for j in up})
-            diag_row = [grid.rank(k % grid.px, pj) for pj in target_cols]
-            diag_col = [grid.rank(pi, k % grid.py) for pi in target_rows]
+            # panel rows {i mod Px} and panel columns {j mod Py}. The target
+            # coordinate sets are fixed per node, and distinct panel blocks
+            # sharing a grid coordinate broadcast to the same rank list, so
+            # both are built once here and the lists memoized by coordinate
+            # (np.unique == sorted-set ordering, so ledgers are unchanged).
+            target_rows = np.unique(
+                np.asarray(lp, dtype=np.int64) % grid.px).tolist()
+            target_cols = np.unique(
+                np.asarray(up, dtype=np.int64) % grid.py).tolist()
+            row_rank_cache: dict[int, list[int]] = {}
+            col_rank_cache: dict[int, list[int]] = {}
+
+            def ranks_in_row(ic: int) -> list[int]:
+                ranks = row_rank_cache.get(ic)
+                if ranks is None:
+                    ranks = [grid.rank(ic, pj) for pj in target_cols]
+                    row_rank_cache[ic] = ranks
+                return ranks
+
+            def ranks_in_col(jc: int) -> list[int]:
+                ranks = col_rank_cache.get(jc)
+                if ranks is None:
+                    ranks = [grid.rank(pi, jc) for pi in target_rows]
+                    col_rank_cache[jc] = ranks
+                return ranks
+
+            diag_row = ranks_in_row(k % grid.px)
+            diag_col = ranks_in_col(k % grid.py)
         else:
             diag_row = grid.row_ranks(k)
             diag_col = grid.col_ranks(k)
@@ -205,7 +244,7 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
                 store[(k, j)][:] = solve_upper_panel(store[(k, k)], store[(k, j)])
             sim.compute(o, s * s * sj, "panel")
             if opts.sparse_bcast:
-                ranks = [grid.rank(pi, j % grid.py) for pi in target_rows]
+                ranks = ranks_in_col(j % grid.py)
             else:
                 ranks = grid.col_ranks(j)
             _bcast(o, ranks, float(s * sj))
@@ -217,7 +256,7 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
                 store[(i, k)][:] = solve_lower_panel(store[(k, k)], store[(i, k)])
             sim.compute(o, s * s * si, "panel")
             if opts.sparse_bcast:
-                ranks = [grid.rank(i % grid.px, pj) for pj in target_cols]
+                ranks = ranks_in_row(i % grid.px)
             else:
                 ranks = grid.row_ranks(i)
             _bcast(o, ranks, float(si * s))

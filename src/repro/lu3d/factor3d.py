@@ -10,20 +10,30 @@ Communication in the reduction step is point-to-point between ranks with
 the same (x, y) coordinate in the sender and receiver layers, booked under
 the ``'red'`` phase so the benchmarks can split ``W_fact`` / ``W_red``
 exactly as Fig. 10 does.
+
+With ``FactorOptions(n_workers != 1)`` the active grids of each level run
+*concurrently* on a host worker pool (:mod:`repro.parallel`): each grid's
+2D factorization executes against a forked sub-simulator and an exported
+replica view, and the parent merges the returned ledger deltas in grid
+order — bit-for-bit identical to the serial schedule, because the grids'
+rank sets are disjoint. Levels with a single runnable grid, and
+simulators that cannot fork (trace/topology/accelerator attached), take
+the serial in-place path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.collectives import reduce_pairwise
 from repro.comm.grid import ProcessGrid3D
 from repro.comm.simulator import Simulator
 from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
 from repro.lu2d.storage import node_blocks
 from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
+from repro.parallel.engine import GridTask, ParallelExecutor, resolve_workers
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -43,6 +53,9 @@ class Factor3DResult:
     reduction_words: float = 0.0
     replicas: ReplicaManager | None = None
     per_level_makespan: list[float] = field(default_factory=list)
+    #: One :class:`repro.parallel.LevelStats` per fanned-out level (empty
+    #: for serial runs) — worker utilization and serial fraction.
+    parallel_stats: list = field(default_factory=list)
 
     def factors(self) -> BlockMatrix:
         """Assembled L\\U factors (numeric runs only)."""
@@ -103,32 +116,93 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         base = BlockMatrix.from_csr(A_vals, sf.layout, block_pattern=pattern)
         result.replicas = ReplicaManager(sf, tf, base, blocks_fn=blocks_fn)
 
-    for lvl in range(l, -1, -1):
-        stride = 2 ** (l - lvl)
-        sim.set_phase("fact")
-        for g in range(0, tf.pz, stride):
-            nodes = tf.forest_of_grid(g, lvl)
-            if not nodes:
-                continue
-            data = result.replicas.view(g) if numeric else None
-            r2d = factor_fn(sf, nodes, grid3.layer(g), sim,
-                            data=data, options=opts)
-            result.perturbed_pivots += r2d.perturbed_pivots
-            result.schur_block_updates += r2d.schur_block_updates
-            result.n_batched_gemms += r2d.n_batched_gemms
+    engine = _make_engine(opts, sim, sf, factor_fn)
+    try:
+        for lvl in range(l, -1, -1):
+            stride = 2 ** (l - lvl)
+            sim.set_phase("fact")
+            work = [(g, nodes) for g in range(0, tf.pz, stride)
+                    if (nodes := tf.forest_of_grid(g, lvl))]
+            if engine is not None and len(work) >= 2:
+                _fan_out_level(engine, sf, grid3, sim, result, lvl, work,
+                               numeric)
+            else:
+                for g, nodes in work:
+                    data = result.replicas.view(g) if numeric else None
+                    r2d = factor_fn(sf, nodes, grid3.layer(g), sim,
+                                    data=data, options=opts)
+                    _absorb_2d(result, r2d)
 
-        if lvl > 0:
-            sim.set_phase("red")
-            half = 2 ** (l - lvl)
-            for g in range(0, tf.pz, 2 * half):
-                src = g + half
-                _reduce_ancestors(sf, tf, grid3, sim, result,
-                                  dst_grid=g, src_grid=src, below_level=lvl,
-                                  numeric=numeric, blocks_fn=blocks_fn)
-        result.per_level_makespan.append(sim.makespan)
+            if lvl > 0:
+                sim.set_phase("red")
+                half = 2 ** (l - lvl)
+                for g in range(0, tf.pz, 2 * half):
+                    src = g + half
+                    _reduce_ancestors(sf, tf, grid3, sim, result,
+                                      dst_grid=g, src_grid=src,
+                                      below_level=lvl, numeric=numeric,
+                                      blocks_fn=blocks_fn)
+            result.per_level_makespan.append(sim.makespan)
+    finally:
+        if engine is not None:
+            engine.close()
+    if engine is not None:
+        result.parallel_stats = engine.stats
 
     sim.set_phase("fact")
     return result
+
+
+def _make_engine(opts: FactorOptions, sim: Simulator, sf, factor_fn
+                 ) -> ParallelExecutor | None:
+    """The level fan-out engine, or ``None`` for the serial in-place path.
+
+    ``n_workers = 1`` (the default) never constructs an engine — no pool
+    is spawned, the schedule runs exactly as before. A simulator that
+    cannot fork (trace, topology or accelerator attached) also stays
+    serial: those features need globally ordered events.
+    """
+    if opts.n_workers == 1 or not sim.can_fork():
+        return None
+    if resolve_workers(opts.n_workers) <= 1:
+        return None
+    return ParallelExecutor(opts.n_workers, opts.parallel_backend,
+                            sf, factor_fn, opts)
+
+
+def _absorb_2d(result: Factor3DResult, r2d) -> None:
+    result.perturbed_pivots += r2d.perturbed_pivots
+    result.schur_block_updates += r2d.schur_block_updates
+    result.n_batched_gemms += r2d.n_batched_gemms
+
+
+def _fan_out_level(engine: ParallelExecutor, sf, grid3: ProcessGrid3D,
+                   sim: Simulator, result: Factor3DResult, lvl: int,
+                   work: list[tuple[int, list[int]]], numeric: bool) -> None:
+    """Run one level's active grids on the worker pool and merge back.
+
+    Fork order, submission order and merge order are all ascending grid
+    id; together with the disjoint per-grid rank sets this makes the
+    merged ledgers independent of worker scheduling.
+    """
+    t0 = time.perf_counter()
+    tasks = []
+    for g, nodes in work:
+        layer = grid3.layer(g)
+        sub = sim.fork(layer.all_ranks())
+        blocks = result.replicas.export_view(g, nodes) if numeric else None
+        tasks.append(GridTask(g=g, nodes=list(nodes), px=layer.px,
+                              py=layer.py, base=layer.base, sub=sub,
+                              blocks=blocks))
+    outcomes = engine.run_level(lvl, tasks,
+                                prep_seconds=time.perf_counter() - t0)
+    t1 = time.perf_counter()
+    for out in outcomes:  # ascending grid id (engine sorts)
+        sim.merge_delta(out.delta)
+        if numeric:
+            result.replicas.import_view(out.g, out.blocks)
+        _absorb_2d(result, out.result)
+    engine.add_merge_seconds(time.perf_counter() - t1)
 
 
 def _reduce_ancestors(sf: SymbolicFactorization, tf: TreeForest,
@@ -142,17 +216,35 @@ def _reduce_ancestors(sf: SymbolicFactorization, tf: TreeForest,
     local forests at levels ``0 .. below_level-1`` (identical to src's —
     both grids lie in the same forest range at those levels). Each block
     travels between the two ranks sharing its (x, y) owner coordinate.
+
+    The whole exchange is booked in one :meth:`Simulator.sendrecv_batch`
+    call: the ``(i, j, w)`` triples are gathered per level pair, owners
+    come from the vectorized block-cyclic map, and the batch replays the
+    per-message ``reduce_pairwise`` loop bit-for-bit.
     """
     blocks_fn = blocks_fn or node_blocks
     src_layer = grid3.layer(src_grid)
     dst_layer = grid3.layer(dst_grid)
+    rows: list[int] = []
+    cols: list[int] = []
+    sizes: list[float] = []
     for la in range(below_level - 1, -1, -1):
         for s_node in tf.forest_of_grid(dst_grid, la):
             for i, j, w in blocks_fn(sf, s_node):
-                src_rank = src_layer.owner(i, j)
-                dst_rank = dst_layer.owner(i, j)
-                reduce_pairwise(sim, src_rank, dst_rank, float(w))
-                result.reduction_messages += 1
-                result.reduction_words += w
-                if numeric:
-                    result.replicas.accumulate(dst_grid, src_grid, i, j)
+                rows.append(i)
+                cols.append(j)
+                sizes.append(float(w))
+    if not rows:
+        return
+    ii = np.asarray(rows, dtype=np.int64)
+    jj = np.asarray(cols, dtype=np.int64)
+    words = np.asarray(sizes, dtype=np.float64)
+    sim.sendrecv_batch(src_layer.owner_pairs(ii, jj),
+                       dst_layer.owner_pairs(ii, jj),
+                       words, reduce_kind="reduce_add")
+    result.reduction_messages += len(rows)
+    result.reduction_words += float(words.sum())
+    if numeric:
+        accumulate = result.replicas.accumulate
+        for i, j in zip(rows, cols):
+            accumulate(dst_grid, src_grid, i, j)

@@ -26,13 +26,16 @@ no-op (its messages remain, for the cost ledgers).
 
 from __future__ import annotations
 
+import time
+
 from repro.comm.collectives import reduce_pairwise
 from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
 from repro.comm.simulator import Simulator
 from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
 from repro.lu2d.storage import node_blocks
-from repro.lu3d.factor3d import Factor3DResult
+from repro.lu3d.factor3d import Factor3DResult, _absorb_2d, _make_engine
 from repro.lu3d.replication import replica_words_per_rank
+from repro.parallel.engine import GridTask
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -59,7 +62,13 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
                      options: FactorOptions | None = None,
                      charge_storage: bool = True,
                      numeric: bool = False) -> Factor3DResult:
-    """Algorithm 1 with merged-grid ancestor levels."""
+    """Algorithm 1 with merged-grid ancestor levels.
+
+    ``FactorOptions(n_workers != 1)`` fans the per-forest factorizations
+    of each level out to the :mod:`repro.parallel` worker pool in
+    cost-only mode; numeric mode stays serial because its single global
+    block copy is shared across sibling forests (see the in-line note).
+    """
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
     l = tf.l
@@ -78,30 +87,59 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
-    for lvl in range(l, -1, -1):
-        width = 2 ** (l - lvl)
-        sim.set_phase("fact")
-        for b in range(2 ** lvl):
-            nodes = tf.forests[(lvl, b)]
-            if not nodes:
-                continue
-            merged = _merged_grid(grid3, b * width, width)
-            r2d = factor_nodes_2d(sf, nodes, merged, sim, data=data,
-                                  options=opts)
-            result.schur_block_updates += r2d.schur_block_updates
-            result.perturbed_pivots += r2d.perturbed_pivots
-            result.n_batched_gemms += r2d.n_batched_gemms
+    # The merged variant keeps ONE global copy of every block in numeric
+    # mode, so sibling forests at a level accumulate into shared ancestor
+    # blocks — that cross-task overlap rules out the fork/merge fan-out.
+    # Cost-only runs have no shared data and parallelize like Algorithm 1
+    # (the merged grids of a level span disjoint contiguous rank ranges).
+    engine = _make_engine(opts, sim, sf, factor_nodes_2d) \
+        if data is None else None
+    try:
+        for lvl in range(l, -1, -1):
+            width = 2 ** (l - lvl)
+            sim.set_phase("fact")
+            work = [(b, nodes) for b in range(2 ** lvl)
+                    if (nodes := tf.forests[(lvl, b)])]
+            if engine is not None and len(work) >= 2:
+                t0 = time.perf_counter()
+                tasks = []
+                for b, nodes in work:
+                    merged = _merged_grid(grid3, b * width, width)
+                    sub = sim.fork(merged.all_ranks())
+                    tasks.append(GridTask(g=b, nodes=list(nodes),
+                                          px=merged.px, py=merged.py,
+                                          base=merged.base, sub=sub,
+                                          blocks=None))
+                outcomes = engine.run_level(
+                    lvl, tasks, prep_seconds=time.perf_counter() - t0)
+                t1 = time.perf_counter()
+                for out in outcomes:  # ascending forest id (engine sorts)
+                    sim.merge_delta(out.delta)
+                    _absorb_2d(result, out.result)
+                engine.add_merge_seconds(time.perf_counter() - t1)
+            else:
+                for b, nodes in work:
+                    merged = _merged_grid(grid3, b * width, width)
+                    r2d = factor_nodes_2d(sf, nodes, merged, sim, data=data,
+                                          options=opts)
+                    _absorb_2d(result, r2d)
 
-        if lvl > 0:
-            sim.set_phase("red")
-            for b2 in range(2 ** (lvl - 1)):
-                left_first = b2 * 2 * width
-                left = _merged_grid(grid3, left_first, width)
-                right = _merged_grid(grid3, left_first + width, width)
-                target = _merged_grid(grid3, left_first, 2 * width)
-                _merged_reduce(sf, tf, sim, result, left, right, target,
-                               below_level=lvl, grid_for_forests=left_first)
-        result.per_level_makespan.append(sim.makespan)
+            if lvl > 0:
+                sim.set_phase("red")
+                for b2 in range(2 ** (lvl - 1)):
+                    left_first = b2 * 2 * width
+                    left = _merged_grid(grid3, left_first, width)
+                    right = _merged_grid(grid3, left_first + width, width)
+                    target = _merged_grid(grid3, left_first, 2 * width)
+                    _merged_reduce(sf, tf, sim, result, left, right, target,
+                                   below_level=lvl,
+                                   grid_for_forests=left_first)
+            result.per_level_makespan.append(sim.makespan)
+    finally:
+        if engine is not None:
+            engine.close()
+    if engine is not None:
+        result.parallel_stats = engine.stats
 
     sim.set_phase("fact")
     return result

@@ -19,7 +19,33 @@ from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
 from repro.lu2d.storage import node_blocks
 
-__all__ = ["ReplicaManager", "GridStoreView", "replica_words_per_rank"]
+__all__ = ["ReplicaManager", "GridStoreView", "replica_words_per_rank",
+           "touched_block_keys"]
+
+
+def touched_block_keys(sf: SymbolicFactorization, nodes,
+                       blocks_fn=None) -> set[tuple[int, int]]:
+    """Conservative superset of the blocks factoring ``nodes`` touches.
+
+    Covers the nodes' own panels (``blocks_fn``), the LU Schur targets
+    (``lpanel × upanel``) and the symmetric engines' lower-triangle
+    targets (``i >= j`` pairs of the L panel). Used to build the compact
+    per-grid view shipped to pool workers: intersecting this set with a
+    grid's replica store yields every block the 2D engine can read or
+    write for ``nodes`` (Schur targets are ancestors, and ancestor
+    replication domains nest, so the grid holds them all).
+    """
+    blocks_fn = blocks_fn or node_blocks
+    lpanel, upanel = sf.fill.lpanel, sf.fill.upanel
+    keys: set[tuple[int, int]] = set()
+    for v in nodes:
+        v = int(v)
+        keys.update((i, j) for i, j, _w in blocks_fn(sf, v))
+        rows = [int(i) for i in lpanel[v]]
+        cols = [int(j) for j in upanel[v]]
+        keys.update((i, j) for i in rows for j in cols)
+        keys.update((i, j) for a, i in enumerate(rows) for j in rows[:a + 1])
+    return keys
 
 
 class GridStoreView:
@@ -88,6 +114,31 @@ class ReplicaManager:
 
     def view(self, g: int) -> GridStoreView:
         return GridStoreView(self, g)
+
+    # -- worker transport --------------------------------------------------
+
+    def export_view(self, g: int, nodes) -> dict[tuple[int, int], np.ndarray]:
+        """Copy grid ``g``'s replicas of the blocks ``nodes`` may touch.
+
+        The returned plain dict is self-contained (safe to pickle to a
+        pool worker, safe to mutate from a thread) and supports the same
+        mapping protocol the 2D engines use on :class:`GridStoreView`.
+        """
+        store = self._store
+        return {key: store[(g, *key)].copy()
+                for key in touched_block_keys(self.sf, nodes, self.blocks_fn)
+                if (g, *key) in store}
+
+    def import_view(self, g: int,
+                    blocks: dict[tuple[int, int], np.ndarray]) -> None:
+        """Write a worker's mutated blocks back into grid ``g``'s replicas.
+
+        In-place copies, so views and the home-grid aliasing into the
+        original :class:`BlockMatrix` stay valid.
+        """
+        store = self._store
+        for (i, j), arr in blocks.items():
+            store[(g, i, j)][:] = arr
 
     def accumulate(self, g_dst: int, g_src: int, i: int, j: int) -> None:
         """One Ancestor-Reduction hop: ``dst-copy += src-copy``."""

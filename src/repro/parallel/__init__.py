@@ -1,0 +1,17 @@
+"""Parallel z-grid execution engine.
+
+Algorithm 1's active grids at a level factor disjoint forests on disjoint
+rank sets — embarrassing parallelism the simulator's host loop used to
+serialize. :class:`repro.parallel.ParallelExecutor` fans those per-grid 2D
+factorizations out to a worker pool while keeping every simulator ledger
+bit-for-bit identical to the serial schedule (fork/merge of per-rank
+ledger state; see ``docs/simulator.md``). Enabled with
+``FactorOptions(n_workers=...)`` or ``--workers`` on the CLI.
+"""
+
+from repro.parallel.engine import (BACKENDS, GridOutcome, GridTask,
+                                   LevelStats, ParallelExecutor,
+                                   resolve_workers)
+
+__all__ = ["BACKENDS", "GridOutcome", "GridTask", "LevelStats",
+           "ParallelExecutor", "resolve_workers"]

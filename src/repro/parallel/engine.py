@@ -1,0 +1,225 @@
+"""Multi-core fan-out of Algorithm 1's independent per-grid factorizations.
+
+The paper's central structural claim is that the ``Pz`` subtree-forests of
+a level factor *independently* on their own 2D grids. The simulator's
+driver used to walk them in a Python loop, so host wall-clock grew
+linearly in ``Pz`` — the opposite of what the algorithm promises. This
+module restores the missing concurrency at the host level:
+
+* the 3D level scheduler forks one sub-simulator per active grid
+  (:meth:`repro.comm.Simulator.fork` — the grid's exact per-rank ledger
+  state, nothing else) and, in numeric mode, exports the grid's replica
+  blocks the level's nodes touch
+  (:meth:`repro.lu3d.replication.ReplicaManager.export_view`);
+* a worker pool (``ProcessPoolExecutor`` by default, with thread and
+  in-process serial fallbacks) runs the ordinary 2D engine —
+  ``factor_nodes_2d`` or any ``factor_fn`` plug-in — against each fork;
+* each worker returns a :class:`repro.comm.LedgerDelta` plus its mutated
+  blocks, and the parent merges them **in grid order**, so ledgers and
+  factors are bit-for-bit identical to the serial schedule no matter how
+  the OS schedules the workers.
+
+Determinism holds because the per-level rank sets are disjoint (each
+z-layer is a contiguous rank block) and each fork starts from the exact
+parent-side state: the merged arrays are copies of what the serial loop
+would have written, and the only shared counters are integers.
+
+The pool is created lazily on the first level with ≥ 2 runnable grids and
+reused across levels; ``n_workers = 1`` (the default) never touches this
+module, and ``n_workers = 0`` means one worker per host core.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid2D
+from repro.comm.simulator import LedgerDelta, Simulator
+
+__all__ = ["BACKENDS", "GridTask", "GridOutcome", "LevelStats",
+           "ParallelExecutor", "resolve_workers"]
+
+#: Recognized execution backends. ``process`` is the real multi-core
+#: engine; ``thread`` still overlaps the BLAS portions (dgemm releases the
+#: GIL); ``serial`` runs the identical fork/merge machinery inline and
+#: exists so tests can exercise the transport path without a pool.
+BACKENDS = ("process", "thread", "serial")
+
+
+def resolve_workers(n_workers: int) -> int:
+    """``0`` means one worker per host core; otherwise the value itself."""
+    if n_workers < 0:
+        raise ValueError("n_workers must be non-negative")
+    return n_workers if n_workers else max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class GridTask:
+    """One grid's share of a level, self-contained for worker transport.
+
+    The 2D grid is shipped as its ``(px, py, base)`` triple (cheaper than
+    pickling the memoized rank tables); ``sub`` is the forked simulator
+    carrying the grid's ledger state; ``blocks`` the exported replica
+    view (``None`` in cost-only mode).
+    """
+
+    g: int
+    nodes: list[int]
+    px: int
+    py: int
+    base: int
+    sub: Simulator
+    blocks: dict | None
+
+
+@dataclass
+class GridOutcome:
+    """What a worker hands back: the ledger delta, the mutated blocks and
+    the engine's own result object (``Factor2DResult`` for the built-in
+    engines)."""
+
+    g: int
+    delta: LedgerDelta
+    blocks: dict | None
+    result: object
+    task_seconds: float
+
+
+@dataclass
+class LevelStats:
+    """Host-side parallel-efficiency counters for one fanned-out level."""
+
+    level: int
+    n_tasks: int
+    n_workers: int
+    backend: str
+    wall_seconds: float    # parallel region (submit -> last result)
+    task_seconds: float    # sum of per-task busy time inside workers
+    serial_seconds: float  # parent-side fork/export + merge/import time
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool kept busy during the fan-out."""
+        cap = self.n_workers * self.wall_seconds
+        return self.task_seconds / cap if cap > 0 else 0.0
+
+    @property
+    def serial_fraction(self) -> float:
+        """Amdahl share: parent-side serialized time over total level time."""
+        total = self.serial_seconds + self.wall_seconds
+        return self.serial_seconds / total if total > 0 else 0.0
+
+
+# Per-process worker state, installed once per pool worker by
+# ``_worker_init`` so the symbolic factorization and engine are shipped
+# (or inherited, under the fork start method) once instead of per task.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(sf, factor_fn, options) -> None:
+    _WORKER_STATE["sf"] = sf
+    _WORKER_STATE["factor_fn"] = factor_fn
+    _WORKER_STATE["options"] = options
+
+
+def _worker_run(task: GridTask) -> GridOutcome:
+    return _execute(_WORKER_STATE["sf"], _WORKER_STATE["factor_fn"],
+                    _WORKER_STATE["options"], task)
+
+
+def _execute(sf, factor_fn, options, task: GridTask) -> GridOutcome:
+    """Run one grid's 2D factorization against its forked simulator."""
+    t0 = time.perf_counter()
+    grid = ProcessGrid2D(task.px, task.py, base=task.base)
+    r2d = factor_fn(sf, task.nodes, grid, task.sub, data=task.blocks,
+                    options=options)
+    ranks = np.arange(task.base, task.base + task.px * task.py)
+    delta = task.sub.extract_delta(ranks)
+    return GridOutcome(g=task.g, delta=delta, blocks=task.blocks,
+                       result=r2d, task_seconds=time.perf_counter() - t0)
+
+
+class ParallelExecutor:
+    """Worker-pool lifecycle plus the per-level fan-out/merge protocol.
+
+    Use as a context manager (the 3D drivers do) so the pool is torn down
+    even when a worker raises — the exception propagates to the caller
+    unchanged after remaining tasks are cancelled.
+    """
+
+    def __init__(self, n_workers: int, backend: str, sf, factor_fn, options):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown parallel backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        self.n_workers = resolve_workers(n_workers)
+        self.backend = backend
+        self._sf = sf
+        self._factor_fn = factor_fn
+        self._options = options
+        self._pool = None
+        self.stats: list[LevelStats] = []
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None and self.backend == "process":
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, initializer=_worker_init,
+                initargs=(self._sf, self._factor_fn, self._options))
+        elif self._pool is None and self.backend == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- level fan-out ----------------------------------------------------
+
+    def run_level(self, level: int, tasks: list[GridTask],
+                  prep_seconds: float = 0.0) -> list[GridOutcome]:
+        """Execute a level's tasks concurrently; outcomes in grid order.
+
+        ``prep_seconds`` is the parent-side time already spent forking
+        simulators and exporting views for these tasks; it is folded into
+        the level's serialized share together with the merge time the
+        caller reports via :meth:`add_merge_seconds`.
+        """
+        t0 = time.perf_counter()
+        if self.backend == "serial":
+            outcomes = [_execute(self._sf, self._factor_fn, self._options, t)
+                        for t in tasks]
+        elif self.backend == "thread":
+            pool = self._ensure_pool()
+            futures = [pool.submit(_execute, self._sf, self._factor_fn,
+                                   self._options, t) for t in tasks]
+            outcomes = [f.result() for f in futures]
+        else:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_worker_run, t) for t in tasks]
+            outcomes = [f.result() for f in futures]
+        wall = time.perf_counter() - t0
+        outcomes.sort(key=lambda o: o.g)
+        self.stats.append(LevelStats(
+            level=level, n_tasks=len(tasks), n_workers=self.n_workers,
+            backend=self.backend, wall_seconds=wall,
+            task_seconds=sum(o.task_seconds for o in outcomes),
+            serial_seconds=prep_seconds))
+        return outcomes
+
+    def add_merge_seconds(self, seconds: float) -> None:
+        """Charge parent-side merge/import time to the last level's stats."""
+        if self.stats:
+            self.stats[-1].serial_seconds += seconds
