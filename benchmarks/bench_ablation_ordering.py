@@ -14,9 +14,8 @@ Checks:
   when MD's fill (and flop count) is comparable or lower.
 """
 
-import numpy as np
 
-from benchmarks.conftest import run_once, scale
+from benchmarks.conftest import run_once
 from repro.analysis import FactorizationMetrics, format_table
 from repro.comm import Machine, ProcessGrid3D, Simulator
 from repro.experiments.matrices import paper_suite

@@ -8,7 +8,6 @@ continuous optimum (Section IV-C, ~2.89x reduction) is compared with the
 measured best total-volume reduction.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once, scale
 from repro.analysis.report import format_table

@@ -13,8 +13,7 @@ suite, the Cholesky engine plugged into the *same* Algorithm 1 schedule
 
 from benchmarks.conftest import run_once, scale
 from repro.analysis import FactorizationMetrics, format_table
-from repro.cholesky import cholesky_node_blocks, factor_chol_3d, \
-    factor_nodes_chol_2d
+from repro.cholesky import factor_chol_3d
 from repro.comm import Machine, ProcessGrid3D, Simulator
 from repro.experiments.harness import PreparedMatrix
 from repro.experiments.matrices import paper_suite

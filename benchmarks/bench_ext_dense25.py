@@ -15,7 +15,6 @@ matrices all three are within noise of each other — tiny separators leave
 nothing to accelerate.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once, scale
 from repro.analysis import FactorizationMetrics, format_table

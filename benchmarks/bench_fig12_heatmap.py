@@ -14,7 +14,6 @@ modeled time — the paper's normalization). Reproduced claims:
   2.1-3.3x) for non-planar.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once, scale
 from repro.experiments.fig12 import fig12_text, run_fig12

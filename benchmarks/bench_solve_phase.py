@@ -17,7 +17,7 @@ serialize. This bench measures that inheritance:
 
 import numpy as np
 
-from benchmarks.conftest import run_once, scale
+from benchmarks.conftest import run_once
 from repro.analysis import format_table
 from repro.comm import Machine
 from repro.experiments.matrices import paper_suite

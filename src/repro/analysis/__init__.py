@@ -10,6 +10,7 @@ benchmark harnesses.
 """
 
 from repro.analysis.metrics import FactorizationMetrics
+from repro.analysis.planstats import PlanStats, format_plan_summary, task_cost
 from repro.analysis.report import (
     format_kernel_counters,
     format_parallel_stats,
@@ -17,5 +18,6 @@ from repro.analysis.report import (
 )
 from repro.analysis.trace import Trace, TraceEvent
 
-__all__ = ["FactorizationMetrics", "Trace", "TraceEvent", "format_table",
-           "format_kernel_counters", "format_parallel_stats"]
+__all__ = ["FactorizationMetrics", "PlanStats", "Trace", "TraceEvent",
+           "format_table", "format_kernel_counters", "format_parallel_stats",
+           "format_plan_summary", "task_cost"]

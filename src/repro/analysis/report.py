@@ -79,17 +79,30 @@ def format_parallel_stats(result, title: str = "parallel execution") -> str:
 
     ``result`` is a ``Factor3DResult``; its ``parallel_stats`` holds one
     :class:`repro.parallel.LevelStats` per level that actually fanned out
-    (levels with a single runnable grid stay serial and do not appear).
-    Utilization is summed task seconds over ``workers x wall``; the serial
-    fraction is the Amdahl share of fork/export + merge/import time.
+    (levels with a single runnable grid stay serial and do not appear),
+    plus a :class:`repro.parallel.ParallelFallback` when workers were
+    requested but the run stayed serial — that reason is printed here so
+    the decision is never silent. Utilization is summed task seconds over
+    ``workers x wall``; the serial fraction is the Amdahl share of
+    fork/export + merge/import time.
     """
     stats = getattr(result, "parallel_stats", None) or []
-    if not stats:
-        return title + "\n(serial run: no levels fanned out)"
-    rows = [[st.level, st.n_tasks, st.n_workers, st.backend,
-             st.wall_seconds * 1e3, st.task_seconds * 1e3,
-             st.utilization, st.serial_fraction]
-            for st in stats]
-    return format_table(
-        ["level", "grids", "workers", "backend", "wall [ms]",
-         "task [ms]", "util", "serial frac"], rows, title=title)
+    levels = [st for st in stats if hasattr(st, "utilization")]
+    fallbacks = [st for st in stats if hasattr(st, "reason")]
+    out: list[str] = []
+    if levels:
+        rows = [[st.level, st.n_tasks, st.n_workers, st.backend,
+                 st.wall_seconds * 1e3, st.task_seconds * 1e3,
+                 st.utilization, st.serial_fraction]
+                for st in levels]
+        out.append(format_table(
+            ["level", "grids", "workers", "backend", "wall [ms]",
+             "task [ms]", "util", "serial frac"], rows, title=title))
+    else:
+        out.append(title)
+    for fb in fallbacks:
+        out.append(f"serial fallback ({fb.requested_workers} workers "
+                   f"requested, backend={fb.backend}): {fb.reason}")
+    if not levels and not fallbacks:
+        out.append("(serial run: no levels fanned out)")
+    return "\n".join(out)

@@ -12,41 +12,29 @@ Per supernode ``k`` (lower triangle only):
 5. symmetric Schur update: ``A_ij -= L_ik L_jk^T`` for panel pairs with
    ``i >= j`` (SYRK on the diagonal, GEMM below it).
 
-The 3D driver is :func:`repro.lu3d.factor_3d` itself, called with this
-engine and the lower-triangle block enumerator — Algorithm 1 does not
-change.
+Since the :mod:`repro.plan` refactor these five steps live in the
+``cholesky`` kernel backend (:class:`repro.plan.backends.CholeskyBackend`)
+and this module is a thin wrapper: the plan builder and interpreter are
+the exact ones the LU drivers use, which is the point — the schedule
+(lookahead pipeline, Algorithm 1 levels, ancestor reduction) is
+variant-independent and now shared rather than duplicated.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
-from repro.comm.collectives import bcast
 from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
 from repro.comm.simulator import Simulator
-from repro.cholesky.kernels import chol_panel_solve, potrf_shifted
-from repro.lu2d.batched import batched_syrk_update
-from repro.lu2d.factor2d import Factor2DResult, FactorOptions
+from repro.lu2d.options import Factor2DResult, FactorOptions
 from repro.lu3d.factor3d import Factor3DResult, factor_3d
+from repro.plan.backends import cholesky_node_blocks
+from repro.plan.build import build_grid_plan
+from repro.plan.interpret import execute_grid_plan
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
 
 __all__ = ["cholesky_node_blocks", "factor_nodes_chol_2d", "factor_chol_3d"]
-
-
-def cholesky_node_blocks(sf: SymbolicFactorization, k: int
-                         ) -> list[tuple[int, int, int]]:
-    """Lower-triangle blocks of supernode ``k``: diagonal + L panel.
-
-    The Cholesky analogue of ``node_blocks`` — half the storage, half the
-    replication, half the reduction traffic.
-    """
-    s = sf.layout.block_size(k)
-    out = [(k, k, s * (s + 1) // 2)]
-    for i in sf.fill.lpanel[k]:
-        out.append((int(i), k, sf.layout.block_size(int(i)) * s))
-    return out
 
 
 def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
@@ -60,126 +48,11 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
     diagonal shifts.
     """
     opts = options or FactorOptions()
-    numeric = data is not None
-    nodes = sorted(int(k) for k in nodes)
-    node_set = set(nodes)
-    layout = sf.layout
-    sizes = layout.sizes()
-    lpanel = sf.fill.lpanel
-    result = Factor2DResult(nodes=nodes)
-    use_batched = opts.batched_schur and sim.accelerator is None
-    buf_current = np.zeros(sim.nranks)
-    fill_used = 0.0
-    fill_total = 0.0
-
-    # Lookahead bookkeeping (same scheme as the LU engine).
-    anc_in_list: dict[int, list[int]] = {}
-    pending = {k: 0 for k in nodes}
-    for u in nodes:
-        chain = []
-        p = int(sf.tree.parent[u])
-        while p != -1:
-            if p in node_set:
-                chain.append(p)
-                pending[p] += 1
-            p = int(sf.tree.parent[p])
-        anc_in_list[u] = chain
-
-    panel_done: set[int] = set()
-    buffers: dict[int, list[tuple[int, float]]] = {}
-
-    def do_panel(k: int) -> None:
-        s = layout.block_size(k)
-        lp = lpanel[k]
-        owner_kk = grid.owner(k, k)
-        if numeric:
-            L, nshift = potrf_shifted(data[(k, k)], opts.pivot_eps)
-            data[(k, k)][:] = L
-            result.perturbed_pivots += nshift
-        sim.compute(owner_kk, s ** 3 / 3.0, "diag")
-
-        bufs: list[tuple[int, float]] = []
-
-        def _bcast(root, ranks, words):
-            # The transposed-panel broadcast enters a communicator the
-            # owner is not part of (owner of (i,k) lives in column k%py,
-            # the consumers in column i%py): route through the diagonal
-            # rank first, as pdpotrf's transpose-and-broadcast does.
-            if root not in ranks:
-                entry = ranks[0]
-                sim.send(root, entry, words)
-                sim.recv(entry, root)
-                root = entry
-            bcast(sim, root, ranks, words)
-            if opts.track_buffers:
-                for r in ranks:
-                    if r != root:
-                        sim.alloc(r, words)
-                        bufs.append((r, words))
-                        buf_current[r] += words
-                        if buf_current[r] > result.buffer_peak_words:
-                            result.buffer_peak_words = float(buf_current[r])
-
-        if len(lp):
-            # L_kk down the process column for the panel solves.
-            _bcast(owner_kk, grid.col_ranks(k), s * (s + 1) / 2.0)
-        for i in lp:
-            i = int(i)
-            si = layout.block_size(i)
-            o = grid.owner(i, k)
-            if numeric:
-                data[(i, k)][:] = chol_panel_solve(data[(k, k)], data[(i, k)])
-            sim.compute(o, float(s * s * si), "panel")
-            # Left operand for block-row i; transposed right operand for
-            # block-column i.
-            _bcast(o, grid.row_ranks(i), float(si * s))
-            _bcast(o, grid.col_ranks(i), float(si * s))
-
-        buffers[k] = bufs
-        panel_done.add(k)
-        result.panel_steps += 1
-
-    def do_schur(k: int) -> None:
-        nonlocal fill_used, fill_total
-        npanel = len(lpanel[k])
-        if use_batched and \
-                npanel * (npanel + 1) // 2 >= opts.batch_min_pairs:
-            nupd, used, total = batched_syrk_update(
-                data if numeric else None, k, lpanel[k], sizes, grid, sim)
-            if nupd:
-                result.schur_block_updates += nupd
-                result.n_batched_gemms += 1
-                fill_used += used
-                fill_total += total
-        else:
-            s = int(sizes[k])
-            lp = [int(i) for i in lpanel[k]]
-            for a, i in enumerate(lp):
-                si = int(sizes[i])
-                for j in lp[:a + 1]:  # j <= i: lower triangle only
-                    sj = int(sizes[j])
-                    o = grid.owner(i, j)
-                    flops = float(si * s * sj) if i == j else 2.0 * si * s * sj
-                    if numeric:
-                        data[(i, j)] -= data[(i, k)] @ data[(j, k)].T
-                    sim.compute(o, flops, "schur", n_block_updates=1)
-                    result.schur_block_updates += 1
-        for r, words in buffers.pop(k, []):
-            sim.free(r, words)
-            buf_current[r] -= words
-        for a in anc_in_list[k]:
-            pending[a] -= 1
-
-    for pos, k in enumerate(nodes):
-        if k not in panel_done:
-            do_panel(k)
-        for m in nodes[pos + 1: pos + 1 + opts.lookahead]:
-            if m not in panel_done and pending[m] == 0:
-                do_panel(m)
-        do_schur(k)
-
-    if fill_total > 0:
-        result.batch_fill_ratio = fill_used / fill_total
+    plan = build_grid_plan(sf, nodes, grid, opts, backend="cholesky",
+                           accelerated=sim.accelerator is not None)
+    result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
+                               grid=grid)
+    result.extras["plan"] = plan
     return result
 
 
@@ -187,7 +60,7 @@ def factor_chol_3d(sf: SymbolicFactorization, tf: TreeForest,
                    grid3: ProcessGrid3D, sim: Simulator, numeric: bool = True,
                    options: FactorOptions | None = None,
                    charge_storage: bool = True) -> Factor3DResult:
-    """Algorithm 1 with the Cholesky engine plugged in.
+    """Algorithm 1 with the Cholesky kernel backend plugged in.
 
     In numeric mode the SYRK update of an ``i == j`` diagonal block also
     writes its (unreferenced) strict upper triangle; correctness tests
@@ -195,6 +68,5 @@ def factor_chol_3d(sf: SymbolicFactorization, tf: TreeForest,
     """
     matrix = sp.tril(sf.A_perm).tocsr() if numeric else None
     return factor_3d(sf, tf, grid3, sim, numeric=numeric, options=options,
-                     charge_storage=charge_storage,
-                     factor_fn=factor_nodes_chol_2d,
+                     charge_storage=charge_storage, backend="cholesky",
                      blocks_fn=cholesky_node_blocks, matrix=matrix)

@@ -22,7 +22,9 @@ import numpy as np
 
 from repro.analysis import (
     FactorizationMetrics,
+    PlanStats,
     format_parallel_stats,
+    format_plan_summary,
     format_table,
 )
 from repro.comm import Machine
@@ -106,6 +108,11 @@ def cmd_solve(args) -> int:
     print(f"per-rank peak memory: {m.mem_peak_max:.4g} words")
     if args.workers != 1:
         print(format_parallel_stats(solver.result))
+    if args.dump_plan:
+        stats = PlanStats.from_plan(solver.result.plan,
+                                    machine=solver.sim.machine)
+        print(format_plan_summary(
+            stats, title=f"execution plan ({solver.result.plan.backend})"))
     if args.x_out:
         np.savetxt(args.x_out, x)
         print(f"solution written to {args.x_out}")
@@ -210,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="host worker processes for the per-level grid "
                         "fan-out (0 = one per core, 1 = serial); ledgers "
                         "and factors are identical at any setting")
+    s.add_argument("--dump-plan", action="store_true",
+                   help="print the execution plan's task-kind totals and "
+                        "critical-path length (tasks + modeled alpha-beta "
+                        "cost)")
     s.add_argument("--tol", type=float, default=1e-8,
                    help="residual threshold for exit status")
     s.add_argument("--x-out", default=None, help="write solution vector here")

@@ -6,120 +6,24 @@ of the local elimination tree-forest when called from the 3D driver) on a
 simulator and — in numeric mode — performing the real block arithmetic
 in place on a :class:`repro.sparse.blockmatrix.BlockMatrix`-like store.
 
-The lookahead pipeline factors panels of upcoming *ready* supernodes (all
-their in-list descendants' Schur updates applied — for leaves of the node
-list, immediately) before performing the current node's Schur update, so
-panel broadcasts travel while GEMMs run, exactly the overlap scheme of
-Section II-F.
+Since the :mod:`repro.plan` refactor this module is a thin wrapper: it
+builds the node list's task plan (:func:`repro.plan.build.build_grid_plan`
+— which replays the Section II-F lookahead pipeline at build time) and
+hands it to the shared interpreter with the LU kernel backend. The emitted
+simulator events are bit-identical to the historical imperative loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.comm.collectives import bcast
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import Simulator
-from repro.lu2d.batched import batched_schur_update
-from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
+from repro.lu2d.options import Factor2DResult, FactorOptions
 from repro.lu2d.storage import allocate_factor_storage
+from repro.plan.build import build_grid_plan
+from repro.plan.interpret import execute_grid_plan
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 
 __all__ = ["FactorOptions", "Factor2DResult", "factor_nodes_2d", "factor_2d"]
-
-
-@dataclass(frozen=True)
-class FactorOptions:
-    """Tunables of the factorization drivers.
-
-    Attributes
-    ----------
-    lookahead:
-        Pipeline window in supernodes; SuperLU_DIST uses 8-20 (Section
-        II-F). ``0`` disables pipelining (strictly synchronous steps).
-    pivot_eps:
-        GESP threshold: diagonal pivots below ``pivot_eps * ||A_kk||_max``
-        are perturbed to that magnitude.
-    track_buffers:
-        Charge transient panel receive buffers to the memory ledgers.
-    sparse_bcast:
-        Prune broadcast receiver sets to the ranks that actually own an
-        update target (SuperLU_DIST builds its BC/RD trees over exactly
-        those ranks). ``False`` broadcasts along whole process rows/
-        columns — the flat model Section IV analyzes.
-    batched_schur:
-        Apply each supernode's Schur update as one gathered panel GEMM +
-        scatter (:mod:`repro.lu2d.batched`) instead of one GEMM per block
-        pair. Numerically identical to roundoff and books bit-identical
-        simulator ledgers; automatically falls back to the per-block loop
-        when an accelerator is attached (offload decisions are per block).
-    batch_min_pairs:
-        Hybrid cutoff: panels with fewer than this many (i, j) block pairs
-        take the per-block loop even when ``batched_schur`` is on — below
-        ~32 pairs the gather/scatter fixed overhead exceeds the per-event
-        savings. Both paths book identical ledgers, so the cutoff affects
-        wall-clock only. Set to ``0`` to batch every panel.
-    n_workers:
-        Host worker processes for the 3D drivers' per-level fan-out
-        (:mod:`repro.parallel`). ``1`` (default) keeps the serial in-place
-        schedule with no pool; ``0`` means one worker per host core.
-        Ledgers and factors are identical either way — the fan-out merges
-        forked sub-simulator ledgers deterministically in grid order.
-    parallel_backend:
-        ``'process'`` (real multi-core), ``'thread'`` (BLAS-overlap only),
-        or ``'serial'`` (the fork/merge path run inline — test hook).
-    """
-
-    lookahead: int = 8
-    pivot_eps: float = 1e-10
-    track_buffers: bool = True
-    sparse_bcast: bool = False
-    batched_schur: bool = True
-    batch_min_pairs: int = 32
-    n_workers: int = 1
-    parallel_backend: str = "process"
-
-    def __post_init__(self):
-        if self.lookahead < 0:
-            raise ValueError("lookahead must be non-negative")
-        if self.pivot_eps <= 0:
-            raise ValueError("pivot_eps must be positive")
-        if self.n_workers < 0:
-            raise ValueError("n_workers must be non-negative (0 = auto)")
-        if self.parallel_backend not in ("process", "thread", "serial"):
-            raise ValueError(
-                f"unknown parallel_backend {self.parallel_backend!r}")
-
-
-@dataclass
-class Factor2DResult:
-    """Outcome of one ``factor_nodes_2d`` call.
-
-    ``buffer_peak_words`` is the peak *transient* panel-receive-buffer
-    footprint on any rank — static L/U factor storage is excluded.
-    ``n_batched_gemms`` counts gathered panel GEMMs issued by the batched
-    Schur path; ``batch_fill_ratio`` is the fraction of the gathered
-    ``W = L @ U`` products' entries that land in a destination block
-    (1.0 for LU, < 1 for the symmetric Cholesky variant).
-    """
-
-    nodes: list[int]
-    perturbed_pivots: int = 0
-    panel_steps: int = 0
-    schur_block_updates: int = 0
-    buffer_peak_words: float = 0.0
-    n_batched_gemms: int = 0
-    batch_fill_ratio: float = 0.0
-    extras: dict = field(default_factory=dict)
-
-
-class _NullStore:
-    """Cost-only mode: block lookups succeed but carry no data."""
-
-    def __contains__(self, key) -> bool:  # pragma: no cover - trivial
-        return False
 
 
 def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
@@ -131,194 +35,16 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     every block the nodes touch (their panels and all Schur-update targets);
     pass ``None`` for cost-only simulation. Blocks are overwritten with the
     packed L\\U factors.
+
+    The emitted plan is stored on ``result.extras['plan']`` so callers can
+    inspect the schedule (:class:`repro.analysis.PlanStats`).
     """
     opts = options or FactorOptions()
-    numeric = data is not None
-    store = data if numeric else _NullStore()
-    nodes = sorted(int(k) for k in nodes)
-    node_set = set(nodes)
-    layout = sf.layout
-    sizes = layout.sizes()
-    lpanel, upanel = sf.fill.lpanel, sf.fill.upanel
-    costs = sf.costs
-    use_batched = opts.batched_schur and sim.accelerator is None
-
-    # In-list ancestor chains: for lookahead readiness and completion counts.
-    anc_in_list: dict[int, list[int]] = {}
-    pending = {k: 0 for k in nodes}
-    for u in nodes:
-        chain = []
-        p = int(sf.tree.parent[u])
-        while p != -1:
-            if p in node_set:
-                chain.append(p)
-                pending[p] += 1
-            p = int(sf.tree.parent[p])
-        anc_in_list[u] = chain
-
-    panel_done: set[int] = set()
-    buffers: dict[int, list[tuple[int, float]]] = {}  # node -> [(rank, words)]
-    result = Factor2DResult(nodes=nodes)
-    # Transient panel-receive buffers only; sim.mem_peak also counts the
-    # static L/U storage, which buffer_peak_words must exclude.
-    buf_current = np.zeros(sim.nranks)
-    fill_used = 0.0
-    fill_total = 0.0
-
-    def do_panel(k: int) -> None:
-        s = int(sizes[k])
-        lp, up = lpanel[k], upanel[k]
-        owner_kk = grid.owner(k, k)
-        # Pending offloaded updates may target this supernode's blocks:
-        # drain the involved ranks' accelerators first (HALO sync point).
-        if sim.accelerator is not None:
-            sim.accel_sync(owner_kk)
-            for j in up:
-                sim.accel_sync(grid.owner(k, int(j)))
-            for i in lp:
-                sim.accel_sync(grid.owner(int(i), k))
-        if numeric:
-            result.perturbed_pivots += getrf_nopiv(store[(k, k)], opts.pivot_eps)
-        sim.compute(owner_kk, costs.factor_flops[k], "diag")
-
-        tri_words = s * (s + 1) / 2.0
-        bufs: list[tuple[int, float]] = []
-
-        def _bcast(root: int, ranks: list[int], words: float) -> None:
-            if root not in ranks:
-                ranks = [root] + ranks
-            bcast(sim, root, ranks, words)
-            if opts.track_buffers:
-                for r in ranks:
-                    if r != root:
-                        sim.alloc(r, words)
-                        bufs.append((r, words))
-                        buf_current[r] += words
-                        if buf_current[r] > result.buffer_peak_words:
-                            result.buffer_peak_words = float(buf_current[r])
-
-        if opts.sparse_bcast:
-            # SuperLU's BC trees span only ranks owning an update target:
-            # panel rows {i mod Px} and panel columns {j mod Py}. The target
-            # coordinate sets are fixed per node, and distinct panel blocks
-            # sharing a grid coordinate broadcast to the same rank list, so
-            # both are built once here and the lists memoized by coordinate
-            # (np.unique == sorted-set ordering, so ledgers are unchanged).
-            target_rows = np.unique(
-                np.asarray(lp, dtype=np.int64) % grid.px).tolist()
-            target_cols = np.unique(
-                np.asarray(up, dtype=np.int64) % grid.py).tolist()
-            row_rank_cache: dict[int, list[int]] = {}
-            col_rank_cache: dict[int, list[int]] = {}
-
-            def ranks_in_row(ic: int) -> list[int]:
-                ranks = row_rank_cache.get(ic)
-                if ranks is None:
-                    ranks = [grid.rank(ic, pj) for pj in target_cols]
-                    row_rank_cache[ic] = ranks
-                return ranks
-
-            def ranks_in_col(jc: int) -> list[int]:
-                ranks = col_rank_cache.get(jc)
-                if ranks is None:
-                    ranks = [grid.rank(pi, jc) for pi in target_rows]
-                    col_rank_cache[jc] = ranks
-                return ranks
-
-            diag_row = ranks_in_row(k % grid.px)
-            diag_col = ranks_in_col(k % grid.py)
-        else:
-            diag_row = grid.row_ranks(k)
-            diag_col = grid.col_ranks(k)
-
-        if len(up):
-            _bcast(owner_kk, diag_row, tri_words)  # L_kk to U-panel owners
-        if len(lp):
-            _bcast(owner_kk, diag_col, tri_words)  # U_kk to L-panel owners
-
-        for j in up:
-            j = int(j)
-            sj = int(sizes[j])
-            o = grid.owner(k, j)
-            if numeric:
-                store[(k, j)][:] = solve_upper_panel(store[(k, k)], store[(k, j)])
-            sim.compute(o, s * s * sj, "panel")
-            if opts.sparse_bcast:
-                ranks = ranks_in_col(j % grid.py)
-            else:
-                ranks = grid.col_ranks(j)
-            _bcast(o, ranks, float(s * sj))
-        for i in lp:
-            i = int(i)
-            si = int(sizes[i])
-            o = grid.owner(i, k)
-            if numeric:
-                store[(i, k)][:] = solve_lower_panel(store[(k, k)], store[(i, k)])
-            sim.compute(o, s * s * si, "panel")
-            if opts.sparse_bcast:
-                ranks = ranks_in_row(i % grid.px)
-            else:
-                ranks = grid.row_ranks(i)
-            _bcast(o, ranks, float(si * s))
-
-        buffers[k] = bufs
-        panel_done.add(k)
-        result.panel_steps += 1
-
-    def do_schur(k: int) -> None:
-        nonlocal fill_used, fill_total
-        if use_batched and \
-                len(lpanel[k]) * len(upanel[k]) >= opts.batch_min_pairs:
-            nupd, used, total = batched_schur_update(
-                data if numeric else None, k, lpanel[k], upanel[k], sizes,
-                grid, sim)
-            if nupd:
-                result.schur_block_updates += nupd
-                result.n_batched_gemms += 1
-                fill_used += used
-                fill_total += total
-        else:
-            s = int(sizes[k])
-            for i in lpanel[k]:
-                i = int(i)
-                si = int(sizes[i])
-                Lik = store[(i, k)] if numeric else None
-                for j in upanel[k]:
-                    j = int(j)
-                    sj = int(sizes[j])
-                    o = grid.owner(i, j)
-                    if numeric:
-                        store[(i, j)] -= Lik @ store[(k, j)]
-                    flops = 2.0 * si * s * sj
-                    if sim.accelerator is not None and \
-                            sim.accelerator.should_offload(flops):
-                        # HALO: big GEMMs go to the device (operands + result
-                        # cross PCIe); small ones stay on the host.
-                        words = float(si * s + s * sj + si * sj)
-                        sim.offload_gemm(o, flops, words)
-                    else:
-                        sim.compute(o, flops, "schur", n_block_updates=1)
-                    result.schur_block_updates += 1
-        for r, words in buffers.pop(k, []):
-            sim.free(r, words)
-            buf_current[r] -= words
-        for a in anc_in_list[k]:
-            pending[a] -= 1
-
-    for pos, k in enumerate(nodes):
-        if k not in panel_done:
-            do_panel(k)
-        # Lookahead: factor panels of upcoming ready nodes.
-        for m in nodes[pos + 1: pos + 1 + opts.lookahead]:
-            if m not in panel_done and pending[m] == 0:
-                do_panel(m)
-        do_schur(k)
-
-    if sim.accelerator is not None:
-        for r in grid.all_ranks():
-            sim.accel_sync(r)
-    if fill_total > 0:
-        result.batch_fill_ratio = fill_used / fill_total
+    plan = build_grid_plan(sf, nodes, grid, opts, backend="lu",
+                           accelerated=sim.accelerator is not None)
+    result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
+                               grid=grid)
+    result.extras["plan"] = plan
     return result
 
 

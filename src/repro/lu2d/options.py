@@ -1,0 +1,98 @@
+"""Shared driver options and per-grid result records.
+
+These live in their own module (rather than in ``factor2d``) because both
+the drivers and the :mod:`repro.plan` layer need them: the plan builders
+read the options, the plan interpreter fills the result, and keeping them
+here breaks the import cycle between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FactorOptions", "Factor2DResult"]
+
+
+@dataclass(frozen=True)
+class FactorOptions:
+    """Tunables of the factorization drivers.
+
+    Attributes
+    ----------
+    lookahead:
+        Pipeline window in supernodes; SuperLU_DIST uses 8-20 (Section
+        II-F). ``0`` disables pipelining (strictly synchronous steps).
+    pivot_eps:
+        GESP threshold: diagonal pivots below ``pivot_eps * ||A_kk||_max``
+        are perturbed to that magnitude.
+    track_buffers:
+        Charge transient panel receive buffers to the memory ledgers.
+    sparse_bcast:
+        Prune broadcast receiver sets to the ranks that actually own an
+        update target (SuperLU_DIST builds its BC/RD trees over exactly
+        those ranks). ``False`` broadcasts along whole process rows/
+        columns — the flat model Section IV analyzes.
+    batched_schur:
+        Apply each supernode's Schur update as one gathered panel GEMM +
+        scatter (:mod:`repro.lu2d.batched`) instead of one GEMM per block
+        pair. Numerically identical to roundoff and books bit-identical
+        simulator ledgers; automatically falls back to the per-block loop
+        when an accelerator is attached (offload decisions are per block).
+    batch_min_pairs:
+        Hybrid cutoff: panels with fewer than this many (i, j) block pairs
+        take the per-block loop even when ``batched_schur`` is on — below
+        ~32 pairs the gather/scatter fixed overhead exceeds the per-event
+        savings. Both paths book identical ledgers, so the cutoff affects
+        wall-clock only. Set to ``0`` to batch every panel.
+    n_workers:
+        Host worker processes for the 3D drivers' per-level fan-out
+        (:mod:`repro.parallel`). ``1`` (default) keeps the serial in-place
+        schedule with no pool; ``0`` means one worker per host core.
+        Ledgers and factors are identical either way — the fan-out merges
+        forked sub-simulator ledgers deterministically in grid order.
+    parallel_backend:
+        ``'process'`` (real multi-core), ``'thread'`` (BLAS-overlap only),
+        or ``'serial'`` (the fork/merge path run inline — test hook).
+    """
+
+    lookahead: int = 8
+    pivot_eps: float = 1e-10
+    track_buffers: bool = True
+    sparse_bcast: bool = False
+    batched_schur: bool = True
+    batch_min_pairs: int = 32
+    n_workers: int = 1
+    parallel_backend: str = "process"
+
+    def __post_init__(self):
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        if self.pivot_eps <= 0:
+            raise ValueError("pivot_eps must be positive")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative (0 = auto)")
+        if self.parallel_backend not in ("process", "thread", "serial"):
+            raise ValueError(
+                f"unknown parallel_backend {self.parallel_backend!r}")
+
+
+@dataclass
+class Factor2DResult:
+    """Outcome of one per-grid (2D) factorization.
+
+    ``buffer_peak_words`` is the peak *transient* panel-receive-buffer
+    footprint on any rank — static L/U factor storage is excluded.
+    ``n_batched_gemms`` counts gathered panel GEMMs issued by the batched
+    Schur path; ``batch_fill_ratio`` is the fraction of the gathered
+    ``W = L @ U`` products' entries that land in a destination block
+    (1.0 for LU, < 1 for the symmetric Cholesky variant).
+    """
+
+    nodes: list[int]
+    perturbed_pivots: int = 0
+    panel_steps: int = 0
+    schur_block_updates: int = 0
+    buffer_peak_words: float = 0.0
+    n_batched_gemms: int = 0
+    batch_fill_ratio: float = 0.0
+    extras: dict = field(default_factory=dict)

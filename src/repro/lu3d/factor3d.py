@@ -6,19 +6,24 @@ Level-by-level schedule over the elimination tree-forest ``E_f``::
         active grids g ≡ 0 (mod 2^{l-lvl}) run dSparseLU2D on E_f[lvl]
         if lvl > 0: pairwise Ancestor-Reduction along z
 
-Communication in the reduction step is point-to-point between ranks with
-the same (x, y) coordinate in the sender and receiver layers, booked under
-the ``'red'`` phase so the benchmarks can split ``W_fact`` / ``W_red``
-exactly as Fig. 10 does.
+Since the :mod:`repro.plan` refactor, this module no longer encodes that
+schedule imperatively: :func:`repro.plan.build.build_3d_plan` emits it
+once as an explicit task DAG (grid plans, ``AncestorReduce`` tasks,
+``LevelBarrier`` markers) and :func:`_execute_plan3d` — shared with the
+merged-grid variant — walks it. Communication in the reduction step is
+point-to-point between ranks with the same (x, y) coordinate in the
+sender and receiver layers, booked under the ``'red'`` phase so the
+benchmarks can split ``W_fact`` / ``W_red`` exactly as Fig. 10 does.
 
 With ``FactorOptions(n_workers != 1)`` the active grids of each level run
 *concurrently* on a host worker pool (:mod:`repro.parallel`): each grid's
-2D factorization executes against a forked sub-simulator and an exported
-replica view, and the parent merges the returned ledger deltas in grid
-order — bit-for-bit identical to the serial schedule, because the grids'
-rank sets are disjoint. Levels with a single runnable grid, and
-simulators that cannot fork (trace/topology/accelerator attached), take
-the serial in-place path.
+sub-plan executes against a forked sub-simulator and an exported replica
+view, and the parent merges the returned ledger deltas in grid order —
+bit-for-bit identical to the serial schedule, because the grids' rank
+sets are disjoint. When the pool cannot engage (a simulator that cannot
+fork, a worker count resolving to 1), the run falls back to the serial
+path and records *why* on ``Factor3DResult.parallel_stats`` as a
+:class:`repro.parallel.ParallelFallback` — no more silent fallbacks.
 """
 
 from __future__ import annotations
@@ -28,12 +33,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.grid import ProcessGrid3D
+from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
 from repro.comm.simulator import Simulator
-from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
+from repro.lu2d.options import FactorOptions
 from repro.lu2d.storage import node_blocks
 from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
-from repro.parallel.engine import GridTask, ParallelExecutor, resolve_workers
+from repro.parallel.engine import (
+    GridTask,
+    ParallelExecutor,
+    ParallelFallback,
+    resolve_workers,
+)
+from repro.plan.build import build_3d_plan
+from repro.plan.interpret import execute_grid_plan, execute_reduce
+from repro.plan.tasks import Plan3D
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -53,9 +66,14 @@ class Factor3DResult:
     reduction_words: float = 0.0
     replicas: ReplicaManager | None = None
     per_level_makespan: list[float] = field(default_factory=list)
-    #: One :class:`repro.parallel.LevelStats` per fanned-out level (empty
-    #: for serial runs) — worker utilization and serial fraction.
+    #: One :class:`repro.parallel.LevelStats` per fanned-out level, plus a
+    #: :class:`repro.parallel.ParallelFallback` record when workers were
+    #: requested but the run stayed serial (empty for plain serial runs).
     parallel_stats: list = field(default_factory=list)
+    #: The executed task-graph plan (:class:`repro.plan.Plan3D`); ``None``
+    #: only for legacy ``factor_fn`` plug-ins' grid work, whose per-grid
+    #: task lists are empty stubs.
+    plan: Plan3D | None = None
 
     def factors(self) -> BlockMatrix:
         """Assembled L\\U factors (numeric runs only)."""
@@ -64,11 +82,64 @@ class Factor3DResult:
         return self.replicas.home_view().to_block_matrix()
 
 
+# -- data strategies -------------------------------------------------------
+# What the interpreter reads/writes per grid: nothing (cost-only), the
+# per-grid replica views (standard numeric), or one shared global store
+# (merged numeric). Keeping this a small strategy object is what lets the
+# standard and merged drivers share one plan executor.
+
+class CostOnlyData:
+    """No numeric content: every view is ``None``, reductions book only."""
+
+    accumulate = None
+
+    def view(self, gp):
+        return None
+
+    def export(self, gp):
+        return None
+
+    def import_back(self, g, blocks) -> None:
+        pass
+
+
+class ReplicaData(CostOnlyData):
+    """Standard numeric mode: per-grid replica views + z-axis summation."""
+
+    def __init__(self, replicas: ReplicaManager):
+        self.replicas = replicas
+        self.accumulate = replicas.accumulate
+
+    def view(self, gp):
+        return self.replicas.view(gp.g)
+
+    def export(self, gp):
+        return self.replicas.export_view(gp.g, gp.nodes)
+
+    def import_back(self, g, blocks) -> None:
+        self.replicas.import_view(g, blocks)
+
+
+class GlobalStoreData(CostOnlyData):
+    """Merged numeric mode: one global block copy shared by every grid.
+
+    The shared copy rules out the fork/merge fan-out (sibling forests
+    accumulate into the same ancestor blocks), and makes the reduction's
+    numeric content a no-op — its messages remain, for the cost ledgers.
+    """
+
+    def __init__(self, store):
+        self.store = store
+
+    def view(self, gp):
+        return self.store
+
+
 def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
               sim: Simulator, numeric: bool = True,
               options: FactorOptions | None = None,
               charge_storage: bool = True, factor_fn=None, blocks_fn=None,
-              matrix=None) -> Factor3DResult:
+              matrix=None, backend: str = "lu") -> Factor3DResult:
     """Run Algorithm 1 on the 3D process grid.
 
     Parameters
@@ -85,23 +156,31 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         Execute real block arithmetic (and enable :meth:`Factor3DResult.factors`).
     charge_storage:
         Charge static factor + replica storage to the memory ledgers.
+    backend:
+        Kernel backend executed by the shared plan interpreter: ``'lu'``
+        (default) or ``'cholesky'`` (paper Section VII's "these principles
+        could be applied to other variants"). Algorithm 1 itself — the
+        level schedule and the pairwise reduction — is variant-independent,
+        which the shared plan makes literal.
 
-    ``factor_fn`` / ``blocks_fn`` plug in a different per-grid engine: the
-    defaults are the LU routines; the Cholesky variant (paper Section VII's
-    "these principles could be applied to other variants") passes its own
-    2D factorization and lower-triangle block enumerator. Algorithm 1
-    itself — the level schedule and the pairwise reduction — is variant-
-    independent, which this parameterization makes literal.
+    ``factor_fn`` / ``blocks_fn`` remain as a legacy plug-in point for
+    custom per-grid engines: when ``factor_fn`` is given, the 3D plan is
+    built structure-only and each grid's work is delegated to the callable
+    instead of the plan interpreter.
 
     With ``pz == 1`` this degenerates exactly to the baseline 2D algorithm
     (one layer, no reduction) — tests rely on that equivalence.
     """
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
-    factor_fn = factor_fn or factor_nodes_2d
-    blocks_fn = blocks_fn or node_blocks
-    l = tf.l
     opts = options or FactorOptions()
+    custom = factor_fn is not None
+    if blocks_fn is None:
+        if custom:
+            blocks_fn = node_blocks
+        else:
+            from repro.plan.backends import get_backend
+            blocks_fn = get_backend(backend).node_blocks
     result = Factor3DResult(tf=tf)
 
     if charge_storage:
@@ -116,58 +195,50 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         base = BlockMatrix.from_csr(A_vals, sf.layout, block_pattern=pattern)
         result.replicas = ReplicaManager(sf, tf, base, blocks_fn=blocks_fn)
 
-    engine = _make_engine(opts, sim, sf, factor_fn)
-    try:
-        for lvl in range(l, -1, -1):
-            stride = 2 ** (l - lvl)
-            sim.set_phase("fact")
-            work = [(g, nodes) for g in range(0, tf.pz, stride)
-                    if (nodes := tf.forest_of_grid(g, lvl))]
-            if engine is not None and len(work) >= 2:
-                _fan_out_level(engine, sf, grid3, sim, result, lvl, work,
-                               numeric)
-            else:
-                for g, nodes in work:
-                    data = result.replicas.view(g) if numeric else None
-                    r2d = factor_fn(sf, nodes, grid3.layer(g), sim,
-                                    data=data, options=opts)
-                    _absorb_2d(result, r2d)
+    engine, fallback = _make_engine(opts, sim, sf,
+                                    factor_fn if custom else None)
+    if fallback is not None:
+        result.parallel_stats.append(fallback)
 
-            if lvl > 0:
-                sim.set_phase("red")
-                half = 2 ** (l - lvl)
-                for g in range(0, tf.pz, 2 * half):
-                    src = g + half
-                    _reduce_ancestors(sf, tf, grid3, sim, result,
-                                      dst_grid=g, src_grid=src,
-                                      below_level=lvl, numeric=numeric,
-                                      blocks_fn=blocks_fn)
-            result.per_level_makespan.append(sim.makespan)
-    finally:
-        if engine is not None:
-            engine.close()
-    if engine is not None:
-        result.parallel_stats = engine.stats
-
-    sim.set_phase("fact")
+    plan3 = build_3d_plan(sf, tf, grid3, opts,
+                          backend=None if custom else backend, merged=False,
+                          accelerated=sim.accelerator is not None,
+                          blocks_fn=blocks_fn)
+    result.plan = plan3
+    data = ReplicaData(result.replicas) if numeric else CostOnlyData()
+    _execute_plan3d(plan3, sf, sim, result, opts, engine, data,
+                    factor_fn=factor_fn)
     return result
 
 
 def _make_engine(opts: FactorOptions, sim: Simulator, sf, factor_fn
-                 ) -> ParallelExecutor | None:
-    """The level fan-out engine, or ``None`` for the serial in-place path.
+                 ) -> tuple[ParallelExecutor | None, ParallelFallback | None]:
+    """The level fan-out engine, or ``(None, why)`` for the serial path.
 
     ``n_workers = 1`` (the default) never constructs an engine — no pool
-    is spawned, the schedule runs exactly as before. A simulator that
-    cannot fork (trace, topology or accelerator attached) also stays
-    serial: those features need globally ordered events.
+    is spawned, no fallback is recorded: the serial schedule is what was
+    asked for. When workers *were* requested but cannot engage, the reason
+    is returned as a :class:`ParallelFallback` so the run reports it
+    instead of silently ignoring the pool.
     """
-    if opts.n_workers == 1 or not sim.can_fork():
-        return None
+    if opts.n_workers == 1:
+        return None, None
+
+    def fallback(reason: str) -> ParallelFallback:
+        return ParallelFallback(reason=reason,
+                                requested_workers=opts.n_workers,
+                                backend=opts.parallel_backend)
+
+    if not sim.can_fork():
+        return None, fallback(
+            "simulator cannot fork: trace, topology or accelerator "
+            "attached (these need globally ordered events)")
     if resolve_workers(opts.n_workers) <= 1:
-        return None
+        return None, fallback(
+            f"n_workers={opts.n_workers} resolves to a single worker "
+            "on this host")
     return ParallelExecutor(opts.n_workers, opts.parallel_backend,
-                            sf, factor_fn, opts)
+                            sf, factor_fn, opts), None
 
 
 def _absorb_2d(result: Factor3DResult, r2d) -> None:
@@ -176,10 +247,52 @@ def _absorb_2d(result: Factor3DResult, r2d) -> None:
     result.n_batched_gemms += r2d.n_batched_gemms
 
 
-def _fan_out_level(engine: ParallelExecutor, sf, grid3: ProcessGrid3D,
-                   sim: Simulator, result: Factor3DResult, lvl: int,
-                   work: list[tuple[int, list[int]]], numeric: bool) -> None:
-    """Run one level's active grids on the worker pool and merge back.
+def _execute_plan3d(plan3: Plan3D, sf, sim: Simulator,
+                    result: Factor3DResult, opts: FactorOptions,
+                    engine: ParallelExecutor | None, data,
+                    factor_fn=None) -> None:
+    """Walk the 3D plan level by level (shared by standard and merged).
+
+    ``data`` is one of the data strategies above. Levels with ≥ 2 grid
+    plans fan out to the engine when one is present; everything else runs
+    inline through the shared interpreter (or the legacy ``factor_fn`` for
+    structure-only plans).
+    """
+    try:
+        for step in plan3.levels:
+            sim.set_phase("fact")
+            if engine is not None and len(step.grid_plans) >= 2:
+                _fan_out_level(engine, sf, sim, result, step, data)
+            else:
+                for gp in step.grid_plans:
+                    grid = ProcessGrid2D(gp.px, gp.py, base=gp.base)
+                    if gp.backend is None:
+                        r2d = factor_fn(sf, gp.nodes, grid, sim,
+                                        data=data.view(gp), options=opts)
+                    else:
+                        r2d = execute_grid_plan(gp, sf, sim,
+                                                data=data.view(gp),
+                                                options=opts, grid=grid)
+                    _absorb_2d(result, r2d)
+
+            if step.level > 0:
+                sim.set_phase("red")
+                for red in step.reduces:
+                    execute_reduce(red, sim, result,
+                                   accumulate=data.accumulate)
+            result.per_level_makespan.append(sim.makespan)
+    finally:
+        if engine is not None:
+            engine.close()
+    if engine is not None:
+        result.parallel_stats.extend(engine.stats)
+
+    sim.set_phase("fact")
+
+
+def _fan_out_level(engine: ParallelExecutor, sf, sim: Simulator,
+                   result: Factor3DResult, step, data) -> None:
+    """Run one level's grid plans on the worker pool and merge back.
 
     Fork order, submission order and merge order are all ascending grid
     id; together with the disjoint per-grid rank sets this makes the
@@ -187,64 +300,18 @@ def _fan_out_level(engine: ParallelExecutor, sf, grid3: ProcessGrid3D,
     """
     t0 = time.perf_counter()
     tasks = []
-    for g, nodes in work:
-        layer = grid3.layer(g)
-        sub = sim.fork(layer.all_ranks())
-        blocks = result.replicas.export_view(g, nodes) if numeric else None
-        tasks.append(GridTask(g=g, nodes=list(nodes), px=layer.px,
-                              py=layer.py, base=layer.base, sub=sub,
-                              blocks=blocks))
-    outcomes = engine.run_level(lvl, tasks,
+    for gp in step.grid_plans:
+        sub = sim.fork(list(range(gp.base, gp.base + gp.px * gp.py)))
+        tasks.append(GridTask(g=gp.g, nodes=list(gp.nodes), px=gp.px,
+                              py=gp.py, base=gp.base, sub=sub,
+                              blocks=data.export(gp),
+                              plan=gp if gp.backend is not None else None))
+    outcomes = engine.run_level(step.level, tasks,
                                 prep_seconds=time.perf_counter() - t0)
     t1 = time.perf_counter()
     for out in outcomes:  # ascending grid id (engine sorts)
         sim.merge_delta(out.delta)
-        if numeric:
-            result.replicas.import_view(out.g, out.blocks)
+        if out.blocks is not None:
+            data.import_back(out.g, out.blocks)
         _absorb_2d(result, out.result)
     engine.add_merge_seconds(time.perf_counter() - t1)
-
-
-def _reduce_ancestors(sf: SymbolicFactorization, tf: TreeForest,
-                      grid3: ProcessGrid3D, sim: Simulator,
-                      result: Factor3DResult, dst_grid: int, src_grid: int,
-                      below_level: int, numeric: bool,
-                      blocks_fn=None) -> None:
-    """Send every common-ancestor block of ``src_grid`` to ``dst_grid``.
-
-    The common ancestors of the (dst, src) pair are the nodes of dst's
-    local forests at levels ``0 .. below_level-1`` (identical to src's —
-    both grids lie in the same forest range at those levels). Each block
-    travels between the two ranks sharing its (x, y) owner coordinate.
-
-    The whole exchange is booked in one :meth:`Simulator.sendrecv_batch`
-    call: the ``(i, j, w)`` triples are gathered per level pair, owners
-    come from the vectorized block-cyclic map, and the batch replays the
-    per-message ``reduce_pairwise`` loop bit-for-bit.
-    """
-    blocks_fn = blocks_fn or node_blocks
-    src_layer = grid3.layer(src_grid)
-    dst_layer = grid3.layer(dst_grid)
-    rows: list[int] = []
-    cols: list[int] = []
-    sizes: list[float] = []
-    for la in range(below_level - 1, -1, -1):
-        for s_node in tf.forest_of_grid(dst_grid, la):
-            for i, j, w in blocks_fn(sf, s_node):
-                rows.append(i)
-                cols.append(j)
-                sizes.append(float(w))
-    if not rows:
-        return
-    ii = np.asarray(rows, dtype=np.int64)
-    jj = np.asarray(cols, dtype=np.int64)
-    words = np.asarray(sizes, dtype=np.float64)
-    sim.sendrecv_batch(src_layer.owner_pairs(ii, jj),
-                       dst_layer.owner_pairs(ii, jj),
-                       words, reduce_kind="reduce_add")
-    result.reduction_messages += len(rows)
-    result.reduction_words += float(words.sum())
-    if numeric:
-        accumulate = result.replicas.accumulate
-        for i, j in zip(rows, cols):
-            accumulate(dst_grid, src_grid, i, j)

@@ -16,6 +16,12 @@ paper reduces, in the simulator, to a redistribution step folded into the
 ancestor reduction: both halves' copies of every ancestor block move to
 their owner in the doubled layout and are summed there.
 
+Structurally this is :func:`repro.plan.build.build_3d_plan` with
+``merged=True``: the same level schedule, with grid plans on merged grids
+and ``AncestorReduce`` tasks carrying explicit redistribution ops. The
+executor is the one shared with the standard driver
+(:func:`repro.lu3d.factor3d._execute_plan3d`).
+
 Numeric mode works too, through a deliberately simple data strategy: one
 *global* copy of every block. The driver is sequential, Schur updates are
 pure accumulations, and merging means every rank of a range works on the
@@ -26,35 +32,26 @@ no-op (its messages remain, for the cost ledgers).
 
 from __future__ import annotations
 
-import time
+import numpy as np
 
-from repro.comm.collectives import reduce_pairwise
-from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
+from repro.comm.grid import ProcessGrid3D
 from repro.comm.simulator import Simulator
-from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
-from repro.lu2d.storage import node_blocks
-from repro.lu3d.factor3d import Factor3DResult, _absorb_2d, _make_engine
+from repro.lu2d.options import FactorOptions
+from repro.lu3d.factor3d import (
+    CostOnlyData,
+    Factor3DResult,
+    GlobalStoreData,
+    _execute_plan3d,
+    _make_engine,
+)
 from repro.lu3d.replication import replica_words_per_rank
-from repro.parallel.engine import GridTask
+from repro.parallel.engine import ParallelFallback
+from repro.plan.build import _merged_grid, build_3d_plan
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
 
-import numpy as np
-
-__all__ = ["factor_3d_merged"]
-
-
-def _merged_grid(grid3: ProcessGrid3D, first_layer: int, nlayers: int
-                 ) -> ProcessGrid2D:
-    """The union of ``nlayers`` consecutive z-layers as one 2D grid.
-
-    Layer ``g``'s rank ``(pi, pj)`` is global rank
-    ``g*Pxy + pi*Py + pj = (g*Px + pi)*Py + pj``, so stacking layers along
-    the x axis yields exactly the contiguous rank span — no renumbering.
-    """
-    return ProcessGrid2D(nlayers * grid3.px, grid3.py,
-                         base=first_layer * grid3.pxy)
+__all__ = ["factor_3d_merged", "_merged_grid"]
 
 
 def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
@@ -67,18 +64,19 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
     ``FactorOptions(n_workers != 1)`` fans the per-forest factorizations
     of each level out to the :mod:`repro.parallel` worker pool in
     cost-only mode; numeric mode stays serial because its single global
-    block copy is shared across sibling forests (see the in-line note).
+    block copy is shared across sibling forests (see the in-line note),
+    and records that decision as a :class:`ParallelFallback` on
+    ``parallel_stats``.
     """
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
-    l = tf.l
     opts = options or FactorOptions()
     result = Factor3DResult(tf=tf)
-    data = None
+    store = None
     if numeric:
-        data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
-                                    block_pattern=sf.fill.all_blocks())
-        result.merged_blocks = data  # global-copy store (numeric mode)
+        store = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                     block_pattern=sf.fill.all_blocks())
+        result.merged_blocks = store  # global-copy store (numeric mode)
 
     if charge_storage:
         # Same static replica storage as the standard algorithm: merging
@@ -92,80 +90,23 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
     # blocks — that cross-task overlap rules out the fork/merge fan-out.
     # Cost-only runs have no shared data and parallelize like Algorithm 1
     # (the merged grids of a level span disjoint contiguous rank ranges).
-    engine = _make_engine(opts, sim, sf, factor_nodes_2d) \
-        if data is None else None
-    try:
-        for lvl in range(l, -1, -1):
-            width = 2 ** (l - lvl)
-            sim.set_phase("fact")
-            work = [(b, nodes) for b in range(2 ** lvl)
-                    if (nodes := tf.forests[(lvl, b)])]
-            if engine is not None and len(work) >= 2:
-                t0 = time.perf_counter()
-                tasks = []
-                for b, nodes in work:
-                    merged = _merged_grid(grid3, b * width, width)
-                    sub = sim.fork(merged.all_ranks())
-                    tasks.append(GridTask(g=b, nodes=list(nodes),
-                                          px=merged.px, py=merged.py,
-                                          base=merged.base, sub=sub,
-                                          blocks=None))
-                outcomes = engine.run_level(
-                    lvl, tasks, prep_seconds=time.perf_counter() - t0)
-                t1 = time.perf_counter()
-                for out in outcomes:  # ascending forest id (engine sorts)
-                    sim.merge_delta(out.delta)
-                    _absorb_2d(result, out.result)
-                engine.add_merge_seconds(time.perf_counter() - t1)
-            else:
-                for b, nodes in work:
-                    merged = _merged_grid(grid3, b * width, width)
-                    r2d = factor_nodes_2d(sf, nodes, merged, sim, data=data,
-                                          options=opts)
-                    _absorb_2d(result, r2d)
+    if numeric:
+        engine = None
+        if opts.n_workers != 1:
+            result.parallel_stats.append(ParallelFallback(
+                reason="merged numeric mode keeps a single global block "
+                       "copy shared across sibling forests; grid fan-out "
+                       "would race on it",
+                requested_workers=opts.n_workers,
+                backend=opts.parallel_backend))
+    else:
+        engine, fallback = _make_engine(opts, sim, sf, None)
+        if fallback is not None:
+            result.parallel_stats.append(fallback)
 
-            if lvl > 0:
-                sim.set_phase("red")
-                for b2 in range(2 ** (lvl - 1)):
-                    left_first = b2 * 2 * width
-                    left = _merged_grid(grid3, left_first, width)
-                    right = _merged_grid(grid3, left_first + width, width)
-                    target = _merged_grid(grid3, left_first, 2 * width)
-                    _merged_reduce(sf, tf, sim, result, left, right, target,
-                                   below_level=lvl,
-                                   grid_for_forests=left_first)
-            result.per_level_makespan.append(sim.makespan)
-    finally:
-        if engine is not None:
-            engine.close()
-    if engine is not None:
-        result.parallel_stats = engine.stats
-
-    sim.set_phase("fact")
+    plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu", merged=True,
+                          accelerated=sim.accelerator is not None)
+    result.plan = plan3
+    data = GlobalStoreData(store) if numeric else CostOnlyData()
+    _execute_plan3d(plan3, sf, sim, result, opts, engine, data)
     return result
-
-
-def _merged_reduce(sf: SymbolicFactorization, tf: TreeForest, sim: Simulator,
-                   result: Factor3DResult, left: ProcessGrid2D,
-                   right: ProcessGrid2D, target: ProcessGrid2D,
-                   below_level: int, grid_for_forests: int) -> None:
-    """Reduce + redistribute ancestor blocks into the doubled layout.
-
-    The right half's copy always travels (reduce); the left half's copy
-    travels only when its owner changes under the doubled grid
-    (redistribution). Sums are booked on the target owner.
-    """
-    for la in range(below_level - 1, -1, -1):
-        for s_node in tf.forest_of_grid(grid_for_forests, la):
-            for i, j, w in node_blocks(sf, s_node):
-                dst = target.owner(i, j)
-                src_r = right.owner(i, j)
-                reduce_pairwise(sim, src_r, dst, float(w))
-                result.reduction_messages += 1
-                result.reduction_words += w
-                src_l = left.owner(i, j)
-                if src_l != dst:
-                    sim.send(src_l, dst, float(w))
-                    sim.recv(dst, src_l)
-                    result.reduction_messages += 1
-                    result.reduction_words += w

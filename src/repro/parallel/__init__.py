@@ -11,7 +11,7 @@ ledger state; see ``docs/simulator.md``). Enabled with
 
 from repro.parallel.engine import (BACKENDS, GridOutcome, GridTask,
                                    LevelStats, ParallelExecutor,
-                                   resolve_workers)
+                                   ParallelFallback, resolve_workers)
 
 __all__ = ["BACKENDS", "GridOutcome", "GridTask", "LevelStats",
-           "ParallelExecutor", "resolve_workers"]
+           "ParallelExecutor", "ParallelFallback", "resolve_workers"]

@@ -34,7 +34,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import LedgerDelta, Simulator
 
 __all__ = ["BACKENDS", "GridTask", "GridOutcome", "LevelStats",
-           "ParallelExecutor", "resolve_workers"]
+           "ParallelExecutor", "ParallelFallback", "resolve_workers"]
 
 #: Recognized execution backends. ``process`` is the real multi-core
 #: engine; ``thread`` still overlaps the BLAS portions (dgemm releases the
@@ -75,6 +75,11 @@ class GridTask:
     base: int
     sub: Simulator
     blocks: dict | None
+    #: The grid's :class:`repro.plan.GridPlan`, executed by the shared
+    #: plan interpreter in the worker; ``None`` falls back to the legacy
+    #: ``factor_fn`` plug-in path. The plan names its kernel backend as a
+    #: string, so shipping it to a process worker needs no callables.
+    plan: object | None = None
 
 
 @dataclass
@@ -115,6 +120,20 @@ class LevelStats:
         return self.serial_seconds / total if total > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class ParallelFallback:
+    """Why a run that requested workers stayed serial.
+
+    Appended to ``Factor3DResult.parallel_stats`` by the 3D drivers so the
+    decision is reportable (:func:`repro.analysis.format_parallel_stats`)
+    instead of silent.
+    """
+
+    reason: str
+    requested_workers: int
+    backend: str
+
+
 # Per-process worker state, installed once per pool worker by
 # ``_worker_init`` so the symbolic factorization and engine are shipped
 # (or inherited, under the fork start method) once instead of per task.
@@ -136,8 +155,13 @@ def _execute(sf, factor_fn, options, task: GridTask) -> GridOutcome:
     """Run one grid's 2D factorization against its forked simulator."""
     t0 = time.perf_counter()
     grid = ProcessGrid2D(task.px, task.py, base=task.base)
-    r2d = factor_fn(sf, task.nodes, grid, task.sub, data=task.blocks,
-                    options=options)
+    if task.plan is not None:
+        from repro.plan.interpret import execute_grid_plan
+        r2d = execute_grid_plan(task.plan, sf, task.sub, data=task.blocks,
+                                options=options, grid=grid)
+    else:
+        r2d = factor_fn(sf, task.nodes, grid, task.sub, data=task.blocks,
+                        options=options)
     ranks = np.arange(task.base, task.base + task.px * task.py)
     delta = task.sub.extract_delta(ranks)
     return GridOutcome(g=task.g, delta=delta, blocks=task.blocks,

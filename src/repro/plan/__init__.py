@@ -1,0 +1,67 @@
+"""Task-graph execution plans for the factorization drivers.
+
+The paper's Algorithm 1 is a dependency structure — per-forest 2D
+eliminations, pairwise ancestor reductions, level-wise grid growth — and
+this package makes that structure a first-class object. A *builder*
+(:mod:`repro.plan.build`) walks the symbolic factorization and tree-forest
+once and emits a typed DAG of tasks (:mod:`repro.plan.tasks`); a single
+*interpreter* (:mod:`repro.plan.interpret`) executes any plan against a
+pluggable kernel backend (:mod:`repro.plan.backends` — LU or Cholesky,
+numeric or cost-only). Every driver (2D baseline, 3D, merged-grid,
+Cholesky) is a thin wrapper over this machinery, and the parallel engine
+ships per-grid sub-plans to its workers instead of re-deriving driver
+structure.
+
+Plan list order replays the historical drivers' exact event schedule, so
+ledgers are bit-identical to the pre-plan code; the dependency edges feed
+the critical-path instrumentation in :mod:`repro.analysis.planstats`.
+"""
+
+from repro.plan.backends import (
+    CholeskyBackend,
+    KernelBackend,
+    LUBackend,
+    cholesky_node_blocks,
+    get_backend,
+)
+from repro.plan.build import build_3d_plan, build_grid_plan, sink_tids
+from repro.plan.interpret import execute_grid_plan, execute_reduce
+from repro.plan.tasks import (
+    AncestorReduce,
+    BcastSpec,
+    GridPlan,
+    LevelBarrier,
+    LevelStep,
+    PanelBcast,
+    PanelFactor,
+    Plan3D,
+    SchurUpdate,
+    Task,
+    task_comm,
+    task_flops,
+)
+
+__all__ = [
+    "AncestorReduce",
+    "BcastSpec",
+    "CholeskyBackend",
+    "GridPlan",
+    "KernelBackend",
+    "LUBackend",
+    "LevelBarrier",
+    "LevelStep",
+    "PanelBcast",
+    "PanelFactor",
+    "Plan3D",
+    "SchurUpdate",
+    "Task",
+    "build_3d_plan",
+    "build_grid_plan",
+    "cholesky_node_blocks",
+    "execute_grid_plan",
+    "execute_reduce",
+    "get_backend",
+    "sink_tids",
+    "task_comm",
+    "task_flops",
+]

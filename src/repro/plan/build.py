@@ -1,0 +1,290 @@
+"""Plan builders: walk the symbolic factorization once, emit the task DAG.
+
+:func:`build_grid_plan` turns one node list on one 2D grid into an ordered
+:class:`~repro.plan.tasks.GridPlan`. The list order *is* the schedule the
+historical imperative drivers executed — including the Section II-F
+lookahead interleave, which is replayed here at build time with the same
+``pending``/``panel_done`` bookkeeping the drivers carried at run time. The
+``deps`` edges are pure data dependencies layered on top:
+
+* ``PanelBcast(k) -> PanelFactor(k)`` (solves consume the diagonal);
+* ``SchurUpdate(k) -> PanelBcast(k, *)`` (updates consume the panels);
+* ``PanelFactor(a) -> SchurUpdate(u)`` for every in-list child ``u``
+  whose nearest in-list ancestor is ``a`` (a panel is ready only when all
+  descendant updates have landed — the lookahead readiness condition);
+* level roots -> previous :class:`LevelBarrier`; reduces -> the sink
+  tasks of their two grids' plans; barriers -> everything in the level.
+
+:func:`build_3d_plan` stacks per-grid plans into Algorithm 1's level
+schedule (standard per-layer grids or the merged-grid variant) with
+``AncestorReduce`` tasks whose payloads — block lists, owner-rank arrays,
+merged redistribution ops — are fully resolved at build time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
+from repro.lu2d.options import FactorOptions
+from repro.plan.backends import BuildContext, get_backend
+from repro.plan.tasks import (
+    AncestorReduce,
+    GridPlan,
+    LevelBarrier,
+    LevelStep,
+    Plan3D,
+)
+
+__all__ = ["TidCounter", "build_grid_plan", "build_3d_plan", "sink_tids"]
+
+
+class TidCounter:
+    """Monotone task-id allocator shared across a whole plan."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next(self) -> int:
+        tid = self._next
+        self._next += 1
+        return tid
+
+
+def sink_tids(plan: GridPlan) -> tuple[int, ...]:
+    """Tids of ``plan``'s sink tasks (consumed by no later task in it)."""
+    referenced: set[int] = set()
+    for t in plan.tasks:
+        referenced.update(t.deps)
+    return tuple(t.tid for t in plan.tasks if t.tid not in referenced)
+
+
+def build_grid_plan(sf, nodes, grid: ProcessGrid2D,
+                    options: FactorOptions | None = None, *,
+                    backend: str = "lu", accelerated: bool = False,
+                    counter: TidCounter | None = None, g: int = 0,
+                    level: int = 0,
+                    barrier_dep: int | None = None) -> GridPlan:
+    """Emit one grid's ordered task list for ``nodes`` (ascending ids).
+
+    ``accelerated`` mirrors the execution-time condition that disables
+    batched Schur updates (offload decisions are per block). ``barrier_dep``
+    is the previous level's barrier tid in a 3D plan: tasks with no
+    in-plan data dependency anchor to it, keeping the DAG connected across
+    levels.
+    """
+    opts = options or FactorOptions()
+    be = get_backend(backend)
+    b = BuildContext(sf, grid, opts, counter or TidCounter(), accelerated)
+    nodes = sorted(int(k) for k in nodes)
+    node_set = set(nodes)
+
+    # In-list ancestor chains: the drivers' lookahead-readiness counters,
+    # replayed here so the emitted order equals the executed order.
+    anc_in_list: dict[int, list[int]] = {}
+    pending = {k: 0 for k in nodes}
+    for u in nodes:
+        chain = []
+        p = int(sf.tree.parent[u])
+        while p != -1:
+            if p in node_set:
+                chain.append(p)
+                pending[p] += 1
+            p = int(sf.tree.parent[p])
+        anc_in_list[u] = chain
+
+    # Children by nearest in-list ancestor: PanelFactor(a) data-depends on
+    # exactly these nodes' SchurUpdates.
+    children: dict[int, list[int]] = {}
+    for u, chain in anc_in_list.items():
+        if chain:
+            children.setdefault(chain[0], []).append(u)
+
+    tasks = []
+    panel_done: set[int] = set()
+    panel_sink_tids: dict[int, tuple[int, ...]] = {}
+    schur_tid: dict[int, int] = {}
+
+    def emit_panel(k: int) -> None:
+        deps = tuple(schur_tid[u] for u in children.get(k, ()))
+        if not deps and barrier_dep is not None:
+            deps = (barrier_dep,)
+        pf, pbs = be.build_node(b, k, deps)
+        tasks.append(pf)
+        tasks.extend(pbs)
+        panel_sink_tids[k] = tuple(t.tid for t in pbs) or (pf.tid,)
+        panel_done.add(k)
+
+    for pos, k in enumerate(nodes):
+        if k not in panel_done:
+            emit_panel(k)
+        # Lookahead: panels of upcoming ready nodes interleave here.
+        for m in nodes[pos + 1: pos + 1 + opts.lookahead]:
+            if m not in panel_done and pending[m] == 0:
+                emit_panel(m)
+        su = be.build_schur(b, k, panel_sink_tids[k])
+        tasks.append(su)
+        schur_tid[k] = su.tid
+        for a in anc_in_list[k]:
+            pending[a] -= 1
+
+    return GridPlan(backend=backend, g=g, level=level, px=grid.px,
+                    py=grid.py, base=grid.base, nodes=nodes, tasks=tasks)
+
+
+def _merged_grid(grid3: ProcessGrid3D, first_layer: int, nlayers: int
+                 ) -> ProcessGrid2D:
+    """The union of ``nlayers`` consecutive z-layers as one 2D grid.
+
+    Layer ``g``'s rank ``(pi, pj)`` is global rank
+    ``g*Pxy + pi*Py + pj = (g*Px + pi)*Py + pj``, so stacking layers along
+    the x axis yields exactly the contiguous rank span — no renumbering.
+    """
+    return ProcessGrid2D(nlayers * grid3.px, grid3.py,
+                         base=first_layer * grid3.pxy)
+
+
+def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
+                  options: FactorOptions | None = None, *,
+                  backend: str | None = "lu", merged: bool = False,
+                  accelerated: bool = False, blocks_fn=None) -> Plan3D:
+    """Emit Algorithm 1's full level schedule as a :class:`Plan3D`.
+
+    ``backend=None`` builds a structure-only plan for a legacy
+    ``factor_fn`` plug-in: the level/grid decomposition and the reductions
+    are planned, but each grid's task list is empty and the 3D executor
+    calls the plug-in instead of the interpreter.
+    """
+    opts = options or FactorOptions()
+    if blocks_fn is None:
+        from repro.lu2d.storage import node_blocks
+        blocks_fn = get_backend(backend).node_blocks if backend \
+            else node_blocks
+    l = tf.l
+    counter = TidCounter()
+    prev_barrier: int | None = None
+    levels: list[LevelStep] = []
+
+    for lvl in range(l, -1, -1):
+        width = 2 ** (l - lvl)
+        if merged:
+            work = [(bidx, nodes, _merged_grid(grid3, bidx * width, width))
+                    for bidx in range(2 ** lvl)
+                    if (nodes := tf.forests[(lvl, bidx)])]
+        else:
+            work = [(g, nodes, grid3.layer(g))
+                    for g in range(0, tf.pz, width)
+                    if (nodes := tf.forest_of_grid(g, lvl))]
+
+        grid_plans = []
+        for g, nodes, grid2 in work:
+            if backend is None:
+                grid_plans.append(GridPlan(
+                    backend=None, g=g, level=lvl, px=grid2.px, py=grid2.py,
+                    base=grid2.base,
+                    nodes=sorted(int(k) for k in nodes), tasks=[]))
+            else:
+                grid_plans.append(build_grid_plan(
+                    sf, nodes, grid2, opts, backend=backend,
+                    accelerated=accelerated, counter=counter, g=g,
+                    level=lvl, barrier_dep=prev_barrier))
+        sinks = {gp.g: sink_tids(gp) for gp in grid_plans}
+
+        def _dep_on(*gids) -> tuple[int, ...]:
+            deps = tuple(t for gid in gids for t in sinks.get(gid, ()))
+            if not deps and prev_barrier is not None:
+                deps = (prev_barrier,)
+            return deps
+
+        reduces: list[AncestorReduce] = []
+        if lvl > 0:
+            if merged:
+                for b2 in range(2 ** (lvl - 1)):
+                    left_first = b2 * 2 * width
+                    red = _build_merged_reduce(
+                        sf, tf, grid3, blocks_fn, counter,
+                        deps=_dep_on(2 * b2, 2 * b2 + 1),
+                        left_first=left_first, width=width, below_level=lvl)
+                    if red is not None:
+                        reduces.append(red)
+            else:
+                for g in range(0, tf.pz, 2 * width):
+                    src = g + width
+                    red = _build_standard_reduce(
+                        sf, tf, grid3, blocks_fn, counter,
+                        deps=_dep_on(g, src), dst_grid=g, src_grid=src,
+                        below_level=lvl)
+                    if red is not None:
+                        reduces.append(red)
+
+        barrier_deps = tuple(t for gp in grid_plans for t in sinks[gp.g]) \
+            + tuple(r.tid for r in reduces)
+        if not barrier_deps and prev_barrier is not None:
+            barrier_deps = (prev_barrier,)
+        barrier = LevelBarrier(tid=counter.next(), deps=barrier_deps,
+                               level=lvl)
+        prev_barrier = barrier.tid
+        levels.append(LevelStep(level=lvl, grid_plans=grid_plans,
+                                reduces=reduces, barrier=barrier))
+
+    return Plan3D(backend=backend, merged=merged, levels=levels)
+
+
+def _ancestor_blocks(sf, tf, blocks_fn, grid_for_forests: int,
+                     below_level: int):
+    """(i, j, words) of every common-ancestor block, in reduction order."""
+    for la in range(below_level - 1, -1, -1):
+        for s_node in tf.forest_of_grid(grid_for_forests, la):
+            yield from blocks_fn(sf, s_node)
+
+
+def _build_standard_reduce(sf, tf, grid3, blocks_fn, counter, deps,
+                           dst_grid: int, src_grid: int, below_level: int
+                           ) -> AncestorReduce | None:
+    """Plan one pairwise z-hop: src layer's ancestor copies -> dst layer."""
+    rows: list[int] = []
+    cols: list[int] = []
+    sizes: list[float] = []
+    for i, j, w in _ancestor_blocks(sf, tf, blocks_fn, dst_grid,
+                                    below_level):
+        rows.append(i)
+        cols.append(j)
+        sizes.append(float(w))
+    if not rows:
+        return None
+    ii = np.asarray(rows, dtype=np.int64)
+    jj = np.asarray(cols, dtype=np.int64)
+    words = np.asarray(sizes, dtype=np.float64)
+    return AncestorReduce(
+        tid=counter.next(), deps=deps, dst_grid=dst_grid, src_grid=src_grid,
+        below_level=below_level, rows=ii, cols=jj, words=words,
+        srcs=grid3.layer(src_grid).owner_pairs(ii, jj),
+        dsts=grid3.layer(dst_grid).owner_pairs(ii, jj))
+
+
+def _build_merged_reduce(sf, tf, grid3, blocks_fn, counter, deps,
+                         left_first: int, width: int, below_level: int
+                         ) -> AncestorReduce | None:
+    """Plan one merged-grid reduce + redistribution into the doubled grid.
+
+    The right half's copy always travels (reduce); the left half's copy
+    travels only when its owner changes under the doubled layout
+    (redistribution move). Sums land on the target owner.
+    """
+    left = _merged_grid(grid3, left_first, width)
+    right = _merged_grid(grid3, left_first + width, width)
+    target = _merged_grid(grid3, left_first, 2 * width)
+    ops: list[tuple[str, int, int, float]] = []
+    for i, j, w in _ancestor_blocks(sf, tf, blocks_fn, left_first,
+                                    below_level):
+        dst = target.owner(i, j)
+        ops.append(("red", right.owner(i, j), dst, float(w)))
+        src_l = left.owner(i, j)
+        if src_l != dst:
+            ops.append(("mov", src_l, dst, float(w)))
+    if not ops:
+        return None
+    return AncestorReduce(
+        tid=counter.next(), deps=deps, dst_grid=left_first,
+        src_grid=left_first + width, below_level=below_level,
+        ops=tuple(ops))

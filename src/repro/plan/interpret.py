@@ -1,0 +1,162 @@
+"""The shared plan interpreter: one executor for every driver variant.
+
+:func:`execute_grid_plan` walks a :class:`~repro.plan.tasks.GridPlan` in
+list order and dispatches each task to the kernel backend, threading the
+shared bookkeeping every 2D driver used to duplicate: broadcast replay
+with transient receive-buffer tracking, per-node buffer frees after the
+Schur update, accelerator sync epilogue, and the
+:class:`~repro.lu2d.options.Factor2DResult` counters.
+
+Because the plan's list order replays the historical drivers' exact event
+order and every broadcast participant list was resolved at build time, the
+simulator ledgers are bit-for-bit identical to the pre-plan loop drivers —
+the golden-ledger tests (:mod:`tests.test_plan`) pin this.
+
+:func:`execute_reduce` is the matching executor for
+:class:`~repro.plan.tasks.AncestorReduce` tasks (both the batched standard
+variant and the merged-grid redistribution variant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.collectives import bcast, reduce_pairwise
+from repro.comm.grid import ProcessGrid2D
+from repro.comm.simulator import Simulator
+from repro.lu2d.options import Factor2DResult, FactorOptions
+from repro.plan.backends import get_backend
+from repro.plan.tasks import (
+    AncestorReduce,
+    BcastSpec,
+    GridPlan,
+    PanelBcast,
+    PanelFactor,
+    SchurUpdate,
+)
+
+__all__ = ["GridContext", "execute_grid_plan", "execute_reduce"]
+
+
+class _NullStore:
+    """Cost-only mode: block lookups succeed but carry no data."""
+
+    def __contains__(self, key) -> bool:  # pragma: no cover - trivial
+        return False
+
+
+class GridContext:
+    """Mutable state of one grid-plan execution.
+
+    ``data`` is the caller's block mapping (``None`` in cost-only mode) —
+    handed as-is to the batched kernels, which take ``None`` to mean
+    cost-only. ``store`` wraps it so per-block code can be written
+    uniformly.
+    """
+
+    def __init__(self, plan: GridPlan, sf, grid: ProcessGrid2D,
+                 sim: Simulator, data, opts: FactorOptions):
+        self.sf = sf
+        self.grid = grid
+        self.sim = sim
+        self.opts = opts
+        self.data = data
+        self.numeric = data is not None
+        self.store = data if self.numeric else _NullStore()
+        self.sizes = sf.layout.sizes()
+        self.result = Factor2DResult(nodes=list(plan.nodes))
+        # Transient panel-receive buffers only; sim.mem_peak also counts
+        # the static L/U storage, which buffer_peak_words must exclude.
+        self.buffers: dict[int, list[tuple[int, float]]] = {}
+        self.buf_current = np.zeros(sim.nranks)
+        self.fill_used = 0.0
+        self.fill_total = 0.0
+
+    def run_bcast(self, node: int, spec: BcastSpec) -> None:
+        """Replay one planned broadcast: route hop, tree, buffer charges."""
+        sim = self.sim
+        if spec.route_from is not None:
+            sim.send(spec.route_from, spec.root, spec.words)
+            sim.recv(spec.root, spec.route_from)
+        bcast(sim, spec.root, list(spec.ranks), spec.words)
+        if self.opts.track_buffers:
+            result = self.result
+            for r in spec.ranks:
+                if r != spec.root:
+                    sim.alloc(r, spec.words)
+                    self.buffers.setdefault(node, []).append((r, spec.words))
+                    self.buf_current[r] += spec.words
+                    if self.buf_current[r] > result.buffer_peak_words:
+                        result.buffer_peak_words = float(self.buf_current[r])
+
+    def free_buffers(self, node: int) -> None:
+        """Release the node's panel receive buffers (post-Schur)."""
+        for r, words in self.buffers.pop(node, []):
+            self.sim.free(r, words)
+            self.buf_current[r] -= words
+
+
+def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
+                      options: FactorOptions | None = None,
+                      grid: ProcessGrid2D | None = None) -> Factor2DResult:
+    """Execute ``plan`` on ``sim``, in plan list order.
+
+    ``data`` is a mapping ``(i, j) -> ndarray`` holding this grid's copy
+    of every block the plan touches (``None`` for cost-only simulation);
+    blocks are overwritten with the packed factors. ``grid`` may be passed
+    to reuse an existing (memoized) grid object; otherwise it is rebuilt
+    from the plan's ``(px, py, base)``.
+    """
+    opts = options or FactorOptions()
+    be = get_backend(plan.backend)
+    if grid is None:
+        grid = ProcessGrid2D(plan.px, plan.py, base=plan.base)
+    ctx = GridContext(plan, sf, grid, sim, data, opts)
+
+    for task in plan.tasks:
+        if isinstance(task, PanelFactor):
+            be.exec_panel_factor(ctx, task)
+            ctx.result.panel_steps += 1
+        elif isinstance(task, PanelBcast):
+            be.exec_panel_bcast(ctx, task)
+        elif isinstance(task, SchurUpdate):
+            be.exec_schur(ctx, task)
+            ctx.free_buffers(task.node)
+        else:  # pragma: no cover - builders emit only the three kinds
+            raise TypeError(f"unexpected task in grid plan: {task!r}")
+
+    if be.accel_aware and sim.accelerator is not None:
+        for r in grid.all_ranks():
+            sim.accel_sync(r)
+    if ctx.fill_total > 0:
+        ctx.result.batch_fill_ratio = ctx.fill_used / ctx.fill_total
+    return ctx.result
+
+
+def execute_reduce(task: AncestorReduce, sim: Simulator, result,
+                   accumulate=None) -> None:
+    """Execute one Ancestor-Reduction task and book its counters.
+
+    ``result`` is the ``Factor3DResult`` accumulating reduction counters.
+    ``accumulate`` is the numeric callback ``(dst_grid, src_grid, i, j)``
+    (the standard variant's replica summation); ``None`` in cost-only mode
+    and in the merged variant, whose single global copy makes the numeric
+    content a no-op.
+    """
+    if task.ops is not None:
+        for op, src, dst, w in task.ops:
+            if op == "red":
+                reduce_pairwise(sim, src, dst, w)
+            else:
+                sim.send(src, dst, w)
+                sim.recv(dst, src)
+            result.reduction_messages += 1
+            result.reduction_words += w
+        return
+    sim.sendrecv_batch(task.srcs, task.dsts, task.words,
+                       reduce_kind="reduce_add")
+    result.reduction_messages += int(task.words.size)
+    result.reduction_words += float(task.words.sum())
+    if accumulate is not None:
+        for i, j in zip(task.rows.tolist(), task.cols.tolist()):
+            accumulate(task.dst_grid, task.src_grid, i, j)

@@ -1,0 +1,264 @@
+"""Typed task graph for the factorization drivers.
+
+A *plan* is an explicit DAG of five task kinds — ``PanelFactor``,
+``PanelBcast``, ``SchurUpdate``, ``AncestorReduce`` and ``LevelBarrier`` —
+emitted once by a builder that walks the :class:`SymbolicFactorization`
+and :class:`TreeForest` (:mod:`repro.plan.build`), and executed by a
+single shared interpreter against a pluggable kernel backend
+(:mod:`repro.plan.interpret` / :mod:`repro.plan.backends`).
+
+Two orders coexist on every plan:
+
+* **list order** — the exact schedule the imperative drivers used to
+  execute (including the Section II-F lookahead interleave, which the
+  builder replays at plan-build time). The interpreter walks tasks in
+  list order, so simulator ledgers are *bit-identical* to the historical
+  loop drivers.
+* **dependency order** — each task's ``deps`` tuple names the data it
+  waits on (tids of earlier tasks). This is analysis metadata: the
+  critical-path instrumentation (:mod:`repro.analysis.planstats`) walks
+  it to find the longest α-β-γ chain, mirroring the paper's Section IV
+  latency analysis.
+
+Tids are assigned in emission order, so ``dep < tid`` holds for every
+edge and one forward pass is a topological traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BcastSpec", "Task", "PanelFactor", "PanelBcast", "SchurUpdate",
+           "AncestorReduce", "LevelBarrier", "GridPlan", "LevelStep",
+           "Plan3D", "task_comm", "task_flops"]
+
+
+@dataclass(frozen=True)
+class BcastSpec:
+    """One broadcast's participants, resolved at plan-build time.
+
+    ``root`` is the *effective* broadcast root and is always a member of
+    ``ranks``. When the owning rank is outside the target communicator,
+    the two drivers historically differed: LU prepends the owner to the
+    participant list (``ranks[0] == root``), while Cholesky routes the
+    payload through the communicator's entry rank first
+    (``route_from`` = the original owner, ``root`` = the entry rank —
+    pdpotrf's transpose-and-broadcast hop). Both conventions reduce to
+    plain payload fields here, so the interpreter needs no variant logic.
+    """
+
+    root: int
+    ranks: tuple[int, ...]
+    words: float
+    route_from: int | None = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class Task:
+    """Base task: a stable id plus the tids of its data dependencies."""
+
+    tid: int
+    deps: tuple[int, ...] = ()
+
+    kind = "task"
+
+
+@dataclass(frozen=True, kw_only=True)
+class PanelFactor(Task):
+    """Diagonal-block factorization of supernode ``node`` (getrf/potrf)
+    plus the diagonal-block broadcasts feeding its panel solves."""
+
+    node: int
+    owner: int
+    flops: float
+    bcasts: tuple[BcastSpec, ...] = ()
+
+    kind = "panel_factor"
+
+
+@dataclass(frozen=True, kw_only=True)
+class PanelBcast(Task):
+    """One panel block's triangular solve and broadcast(s).
+
+    ``block`` is the (row, col) block id; ``side`` is ``'U'`` (row panel,
+    LU only) or ``'L'``. LU panels broadcast along one communicator;
+    Cholesky L panels along two (row operand + transposed column operand).
+    """
+
+    node: int
+    block: tuple[int, int]
+    side: str
+    owner: int
+    flops: float
+    bcasts: tuple[BcastSpec, ...] = ()
+
+    kind = "panel_bcast"
+
+
+@dataclass(frozen=True, kw_only=True)
+class SchurUpdate(Task):
+    """Supernode ``node``'s whole Schur update (all (i, j) target pairs).
+
+    ``batched`` is decided at build time with the same cutoff the drivers
+    used (``batched_schur``, ``batch_min_pairs``, accelerator presence);
+    both execution paths book identical ledgers.
+    """
+
+    node: int
+    n_pairs: int
+    batched: bool
+    flops: float
+
+    kind = "schur_update"
+
+
+@dataclass(frozen=True, kw_only=True)
+class AncestorReduce(Task):
+    """One (src grid -> dst grid) hop of Algorithm 1's Ancestor-Reduction.
+
+    Standard variant: parallel arrays ``rows/cols/words`` (the ancestor
+    blocks, in the driver's gather order) and ``srcs/dsts`` (their owner
+    ranks in the two layers), executed as one ``sendrecv_batch``.
+
+    Merged-grid variant: ``ops`` is a tuple of ``(op, src, dst, words)``
+    with ``op`` = ``'red'`` (pairwise reduce) or ``'mov'`` (redistribution
+    move into the doubled layout); ``srcs/dsts`` are ``None``.
+    """
+
+    dst_grid: int
+    src_grid: int
+    below_level: int
+    rows: np.ndarray | None = None
+    cols: np.ndarray | None = None
+    words: np.ndarray | None = None
+    srcs: np.ndarray | None = None
+    dsts: np.ndarray | None = None
+    ops: tuple[tuple[str, int, int, float], ...] | None = None
+
+    kind = "ancestor_reduce"
+
+
+@dataclass(frozen=True, kw_only=True)
+class LevelBarrier(Task):
+    """End-of-level synchronization point of Algorithm 1's schedule.
+
+    Zero-cost: the simulator's per-rank clocks already encode waiting, so
+    the interpreter books no events here — it only records the level's
+    makespan. In the DAG the barrier is what the next level's root tasks
+    depend on, making the level structure explicit for the critical-path
+    analysis.
+    """
+
+    level: int
+
+    kind = "level_barrier"
+
+
+def _bcast_comm(spec: BcastSpec) -> tuple[int, float]:
+    """(messages, words) a BcastSpec moves: binomial tree + route hop."""
+    hops = len(spec.ranks) - 1
+    msgs, words = hops, hops * spec.words
+    if spec.route_from is not None:
+        msgs += 1
+        words += spec.words
+    return msgs, words
+
+
+def task_comm(task: Task) -> tuple[int, float]:
+    """Total (messages, words) ``task`` puts on the network."""
+    if isinstance(task, (PanelFactor, PanelBcast)):
+        msgs, words = 0, 0.0
+        for spec in task.bcasts:
+            m, w = _bcast_comm(spec)
+            msgs += m
+            words += w
+        return msgs, words
+    if isinstance(task, AncestorReduce):
+        # Self-messages (src == dst) are free in the simulator — a local
+        # pointer pass — so they don't count as network traffic here
+        # either. The merged redistribution hits this whenever a block's
+        # owner is unchanged under the doubled layout.
+        if task.ops is not None:
+            live = [w for _op, src, dst, w in task.ops if src != dst]
+            return len(live), float(sum(live))
+        mask = task.srcs != task.dsts
+        return int(mask.sum()), float(task.words[mask].sum())
+    return 0, 0.0
+
+
+def task_flops(task: Task) -> tuple[str, float]:
+    """``(compute kind, flops)`` of ``task`` (kind '' when it computes
+    nothing). Reduces pay one flop per word at the receiving copy."""
+    if isinstance(task, PanelFactor):
+        return "diag", task.flops
+    if isinstance(task, PanelBcast):
+        return "panel", task.flops
+    if isinstance(task, SchurUpdate):
+        return "schur", task.flops
+    if isinstance(task, AncestorReduce):
+        if task.ops is not None:
+            return "reduce_add", float(sum(
+                w for op, *_x, w in task.ops if op == "red"))
+        return "reduce_add", float(task.words.sum())
+    return "", 0.0
+
+
+@dataclass
+class GridPlan:
+    """One grid's ordered task list for one level (or the whole 2D run).
+
+    ``backend`` names the kernel backend (``'lu'`` / ``'cholesky'``) the
+    interpreter resolves — or ``None`` for a legacy ``factor_fn`` plug-in,
+    in which case ``tasks`` is empty and the 3D executor calls the
+    plug-in directly. The 2D grid ships as ``(px, py, base)`` so the plan
+    stays cheap to pickle to pool workers.
+    """
+
+    backend: str | None
+    g: int
+    level: int
+    px: int
+    py: int
+    base: int
+    nodes: list[int]
+    tasks: list[Task] = field(default_factory=list)
+
+    def iter_tasks(self):
+        yield from self.tasks
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class LevelStep:
+    """One level of Algorithm 1: independent grid plans, then reductions,
+    then the barrier."""
+
+    level: int
+    grid_plans: list[GridPlan]
+    reduces: list[AncestorReduce]
+    barrier: LevelBarrier
+
+
+@dataclass
+class Plan3D:
+    """The whole 3D schedule, level-major (level ``l`` down to 0)."""
+
+    backend: str | None
+    merged: bool
+    levels: list[LevelStep]
+
+    def iter_tasks(self):
+        for step in self.levels:
+            for gp in step.grid_plans:
+                yield from gp.tasks
+            yield from step.reduces
+            yield step.barrier
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(1 for _ in self.iter_tasks())

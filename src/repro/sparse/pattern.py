@@ -8,7 +8,6 @@ and interrogate such patterns.
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.utils import check_square_sparse

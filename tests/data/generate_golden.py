@@ -1,0 +1,136 @@
+"""Regenerate ``golden_ledgers.json`` — the plan-equivalence oracle.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/data/generate_golden.py
+
+The JSON records, for a fixed set of small deterministic cases, every
+per-rank simulator ledger (exact floats — ``json`` round-trips ``repr``
+bit-for-bit) plus numeric factor checksums. ``tests/test_plan.py`` asserts
+that the plan-driven drivers reproduce these ledgers *bit-identically* and
+the factors to 1e-12.
+
+The committed file was generated from the pre-plan-layer ("seed") loop
+drivers, so it pins the refactor to the original schedules. Regenerate it
+only when a PR *intentionally* changes the emitted event schedule, and say
+so in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky import factor_chol_3d
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.comm.simulator import COMPUTE_KINDS, PHASES
+from repro.lu2d.factor2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+OUT = Path(__file__).resolve().parent / "golden_ledgers.json"
+
+
+def ledger_dict(sim: Simulator) -> dict:
+    out: dict = {"clock": sim.clock.tolist(),
+                 "mem_current": sim.mem_current.tolist(),
+                 "mem_peak": sim.mem_peak.tolist()}
+    for k in COMPUTE_KINDS:
+        out[f"flops:{k}"] = sim.flops[k].tolist()
+        out[f"t_compute:{k}"] = sim.t_compute[k].tolist()
+    for p in PHASES:
+        out[f"words_sent:{p}"] = sim.words_sent[p].tolist()
+        out[f"words_recv:{p}"] = sim.words_recv[p].tolist()
+        out[f"msgs_sent:{p}"] = sim.msgs_sent[p].tolist()
+        out[f"msgs_recv:{p}"] = sim.msgs_recv[p].tolist()
+    out["event_counts"] = {k: int(v) for k, v in sim.event_counts.items()}
+    return out
+
+
+def factor_checksum(result) -> dict:
+    F = result.factors().to_dense()
+    return {"sum": float(F.sum()), "abs_sum": float(np.abs(F).sum()),
+            "max_abs": float(np.abs(F).max())}
+
+
+def planar_setup(nx: int, leaf: int, pz: int):
+    A, geom = grid2d_5pt(nx)
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+def spd_setup(nx: int, leaf: int, pz: int):
+    A, geom = grid2d_5pt(nx)
+    S = (A + A.T) * 0.5
+    S = (S + sp.eye(A.shape[0]) * (abs(S).sum(axis=1).max() + 1.0)).tocsr()
+    sf = symbolic_factorize(S, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+def main() -> None:
+    cases: dict = {}
+
+    # -- LU 2D baseline, four option points pinning the schedule variants --
+    A, geom = grid2d_5pt(12)
+    sf2 = symbolic_factorize(A, geom, leaf_size=16)
+    for label, opts in (
+            ("default", FactorOptions()),
+            ("lookahead0", FactorOptions(lookahead=0)),
+            ("sparse_bcast", FactorOptions(sparse_bcast=True)),
+            ("unbatched", FactorOptions(batched_schur=False))):
+        grid = ProcessGrid2D(2, 3)
+        sim = Simulator(grid.size, Machine.edison_like())
+        factor_2d(sf2, grid, sim, options=opts)
+        cases[f"lu2d_{label}"] = ledger_dict(sim)
+
+    # -- LU 3D, planar pz=4 (cost-only ledgers + numeric checksum) --------
+    sf, tf = planar_setup(14, 16, 4)
+    grid3 = ProcessGrid3D(2, 2, 4)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    factor_3d(sf, tf, grid3, sim, numeric=False)
+    cases["lu3d_pz4"] = ledger_dict(sim)
+    sim_n = Simulator(grid3.size, Machine.edison_like())
+    res_n = factor_3d(sf, tf, grid3, sim_n, numeric=True)
+    cases["lu3d_pz4_numeric"] = ledger_dict(sim_n)
+    cases["lu3d_pz4_numeric"]["factor_checksum"] = factor_checksum(res_n)
+
+    # -- LU 3D, brick pz=2 ------------------------------------------------
+    Ab, gb = grid3d_7pt(6)
+    sfb = symbolic_factorize(Ab, gb, leaf_size=24)
+    tfb = greedy_partition(sfb, 2)
+    g3b = ProcessGrid3D(1, 2, 2)
+    simb = Simulator(g3b.size, Machine.edison_like())
+    factor_3d(sfb, tfb, g3b, simb, numeric=False)
+    cases["lu3d_brick_pz2"] = ledger_dict(simb)
+
+    # -- merged-grid ancestors, pz=4 (cost-only + numeric) ----------------
+    simm = Simulator(grid3.size, Machine.edison_like())
+    factor_3d_merged(sf, tf, grid3, simm)
+    cases["merged_pz4"] = ledger_dict(simm)
+    simmn = Simulator(grid3.size, Machine.edison_like())
+    factor_3d_merged(sf, tf, grid3, simmn, numeric=True)
+    cases["merged_pz4_numeric"] = ledger_dict(simmn)
+
+    # -- Cholesky, SPD planar pz=2 (cost-only + numeric checksum) ---------
+    sfs, tfs = spd_setup(14, 16, 2)
+    g3s = ProcessGrid3D(2, 2, 2)
+    sims = Simulator(g3s.size, Machine.edison_like())
+    factor_chol_3d(sfs, tfs, g3s, sims, numeric=False)
+    cases["chol_pz2"] = ledger_dict(sims)
+    simsn = Simulator(g3s.size, Machine.edison_like())
+    ress = factor_chol_3d(sfs, tfs, g3s, simsn, numeric=True)
+    cases["chol_pz2_numeric"] = ledger_dict(simsn)
+    cases["chol_pz2_numeric"]["factor_checksum"] = factor_checksum(ress)
+
+    OUT.write_text(json.dumps(cases, indent=1) + "\n")
+    print(f"wrote {OUT} ({len(cases)} cases)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,5 @@
 """Tests for metrics aggregation and table rendering."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import FactorizationMetrics, format_table

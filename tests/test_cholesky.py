@@ -9,12 +9,10 @@ from hypothesis import strategies as st
 
 from repro.cholesky import SparseCholesky3D, cholesky_node_blocks, \
     chol_panel_solve, potrf_shifted
-from repro.comm import ProcessGrid3D, Simulator
 from repro.lu2d.storage import node_blocks
 from repro.solve import SparseLU3D
 from repro.sparse import grid2d_5pt, grid3d_7pt
 from repro.symbolic import symbolic_factorize
-from repro.tree import greedy_partition
 
 
 def _spd_fixtures():

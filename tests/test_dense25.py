@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis import FactorizationMetrics
 from repro.comm import Machine, ProcessGrid3D, Simulator
 from repro.lu3d import factor_3d
 from repro.lu3d.dense25 import factor_3d_dense25

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    PreparedMatrix,
     paper_suite,
     prepared,
     pz_sweep,

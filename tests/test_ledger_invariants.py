@@ -6,10 +6,9 @@ are the guards that would catch a mis-metered event long before a figure
 looks subtly wrong.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import FactorizationMetrics
+from repro.analysis import FactorizationMetrics, PlanStats
 from repro.cholesky import factor_chol_3d
 from repro.comm import Machine, ProcessGrid3D, Simulator
 from repro.lu3d import factor_3d
@@ -42,7 +41,7 @@ def test_ledger_invariants(brick, pz, engine):
     tf = greedy_partition(sf, pz)
     grid3 = ProcessGrid3D(1, 2, pz)
     sim = Simulator(grid3.size, Machine.edison_like())
-    ENGINES[engine](sf, tf, grid3, sim)
+    res = ENGINES[engine](sf, tf, grid3, sim)
     m = FactorizationMetrics.from_simulator(sim)
 
     # 1. Conservation and drained queues.
@@ -74,3 +73,23 @@ def test_ledger_invariants(brick, pz, engine):
         f_ch = sum(sim.flops[k].sum() for k in ("diag", "panel", "schur"))
         f_lu = sum(sim_lu.flops[k].sum() for k in ("diag", "panel", "schur"))
         assert f_ch == pytest.approx(f_lu / 2, rel=0.15)
+    # 8. The emitted plan's declared volumes equal what the run booked:
+    #    per-kind flops, total messages (exactly — counts are integers)
+    #    and total words across the fact+red phases.
+    ps = PlanStats.from_plan(res.plan, machine=sim.machine)
+    for kind in ("diag", "panel", "schur", "reduce_add"):
+        assert ps.flops_by_kind.get(kind, 0.0) == \
+            pytest.approx(float(sim.flops[kind].sum()), rel=1e-9)
+    booked_msgs = int(sim.msgs_sent["fact"].sum() + sim.msgs_sent["red"].sum())
+    booked_words = float(sim.words_sent["fact"].sum()
+                         + sim.words_sent["red"].sum())
+    assert ps.comm_msgs == booked_msgs
+    assert ps.comm_words == pytest.approx(booked_words, rel=1e-9)
+    # 9. The dependency DAG is well-formed and its critical path sane.
+    seen = set()
+    for task in res.plan.iter_tasks():
+        assert task.tid not in seen
+        assert all(d in seen for d in task.deps), "dep emitted after task"
+        seen.add(task.tid)
+    assert 0 < ps.critical_path_tasks <= ps.n_tasks
+    assert 0.0 < ps.critical_path_cost <= ps.total_cost * (1 + 1e-12)

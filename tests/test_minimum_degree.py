@@ -9,7 +9,7 @@ from repro.comm import ProcessGrid2D, ProcessGrid3D, Simulator
 from repro.lu2d import factor_2d
 from repro.lu3d import factor_3d
 from repro.ordering import minimum_degree_order, tree_from_order
-from repro.sparse import BlockMatrix, grid2d_5pt, random_symmetric_pattern
+from repro.sparse import BlockMatrix, random_symmetric_pattern
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
 

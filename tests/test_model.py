@@ -19,7 +19,6 @@ from repro.model import (
     optimal_pz_nonplanar,
     optimal_pz_planar,
     volume_2d_generic,
-    volume_2d_nonplanar,
     volume_2d_planar,
     volume_3d_nonplanar,
     volume_3d_planar,

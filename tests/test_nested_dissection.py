@@ -22,7 +22,6 @@ from repro.ordering import (
 )
 from repro.sparse import (
     grid2d_5pt,
-    grid3d_7pt,
     random_symmetric_pattern,
     symmetrize_pattern,
 )

@@ -113,8 +113,13 @@ class TestParallelMatchesSerial:
         assert_ledgers_identical(runs[0][0], runs[1][0])
         if numeric:
             # The single global block copy is shared across sibling
-            # forests, so numeric merged runs stay serial — and correct.
-            assert not runs[1][1].parallel_stats
+            # forests, so numeric merged runs stay serial — and correct —
+            # with the decision recorded instead of silent.
+            serial, parallel = runs[0][1], runs[1][1]
+            assert not serial.parallel_stats  # n_workers=1: nothing to say
+            (fb,) = parallel.parallel_stats
+            assert "global block copy" in fb.reason
+            assert fb.requested_workers == 2
         else:
             assert runs[1][1].parallel_stats
 

@@ -1,0 +1,235 @@
+"""Plan-equivalence oracle: the plan-driven drivers replay the seed loops.
+
+``tests/data/golden_ledgers.json`` was generated (by
+``tests/data/generate_golden.py``) from the pre-plan-layer imperative
+drivers. These tests assert that the rewritten drivers — plan builder +
+shared interpreter — reproduce every per-rank simulator ledger
+*bit-identically* (exact float equality: ``json`` round-trips ``repr``)
+and the numeric factors to 1e-12, across all four driver variants and the
+option points that change the schedule (lookahead off, sparse broadcasts,
+unbatched Schur updates).
+
+Also pins the plan plumbing itself: plans are exposed on the results,
+DAG edges always point backwards, and a plan survives the pickle
+round-trip the process-pool workers depend on.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import PlanStats, format_plan_summary
+from repro.cholesky import factor_chol_3d
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.comm.simulator import COMPUTE_KINDS, PHASES
+from repro.lu2d.factor2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+from repro.plan import GridPlan, Plan3D, build_grid_plan
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_ledgers.json").read_text())
+
+
+def ledger_dict(sim: Simulator) -> dict:
+    out: dict = {"clock": sim.clock.tolist(),
+                 "mem_current": sim.mem_current.tolist(),
+                 "mem_peak": sim.mem_peak.tolist()}
+    for k in COMPUTE_KINDS:
+        out[f"flops:{k}"] = sim.flops[k].tolist()
+        out[f"t_compute:{k}"] = sim.t_compute[k].tolist()
+    for p in PHASES:
+        out[f"words_sent:{p}"] = sim.words_sent[p].tolist()
+        out[f"words_recv:{p}"] = sim.words_recv[p].tolist()
+        out[f"msgs_sent:{p}"] = sim.msgs_sent[p].tolist()
+        out[f"msgs_recv:{p}"] = sim.msgs_recv[p].tolist()
+    out["event_counts"] = {k: int(v) for k, v in sim.event_counts.items()}
+    return out
+
+
+def assert_matches_golden(case: str, sim: Simulator, result=None):
+    want = GOLDEN[case]
+    got = ledger_dict(sim)
+    for key, val in want.items():
+        if key == "factor_checksum":
+            F = result.factors().to_dense()
+            assert float(F.sum()) == pytest.approx(val["sum"], abs=1e-12)
+            assert float(np.abs(F).sum()) == \
+                pytest.approx(val["abs_sum"], rel=1e-12)
+            assert float(np.abs(F).max()) == \
+                pytest.approx(val["max_abs"], rel=1e-12)
+            continue
+        assert got[key] == val, f"{case}: ledger {key} diverged from seed"
+
+
+def planar_setup(nx: int, leaf: int, pz: int):
+    A, geom = grid2d_5pt(nx)
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+def spd_setup(nx: int, leaf: int, pz: int):
+    A, geom = grid2d_5pt(nx)
+    S = (A + A.T) * 0.5
+    S = (S + sp.eye(A.shape[0]) * (abs(S).sum(axis=1).max() + 1.0)).tocsr()
+    sf = symbolic_factorize(S, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+class TestGoldenLedgers:
+    @pytest.mark.parametrize("label,opts", [
+        ("default", {}),
+        ("lookahead0", {"lookahead": 0}),
+        ("sparse_bcast", {"sparse_bcast": True}),
+        ("unbatched", {"batched_schur": False}),
+    ])
+    def test_lu2d(self, label, opts):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        grid = ProcessGrid2D(2, 3)
+        sim = Simulator(grid.size, Machine.edison_like())
+        factor_2d(sf, grid, sim, options=FactorOptions(**opts))
+        assert_matches_golden(f"lu2d_{label}", sim)
+
+    @pytest.mark.parametrize("numeric", [False, True])
+    def test_lu3d_planar(self, numeric):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=numeric)
+        case = "lu3d_pz4_numeric" if numeric else "lu3d_pz4"
+        assert_matches_golden(case, sim, res)
+
+    def test_lu3d_brick(self):
+        A, g = grid3d_7pt(6)
+        sf = symbolic_factorize(A, g, leaf_size=24)
+        tf = greedy_partition(sf, 2)
+        grid3 = ProcessGrid3D(1, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        factor_3d(sf, tf, grid3, sim, numeric=False)
+        assert_matches_golden("lu3d_brick_pz2", sim)
+
+    @pytest.mark.parametrize("numeric", [False, True])
+    def test_merged(self, numeric):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        factor_3d_merged(sf, tf, grid3, sim, numeric=numeric)
+        assert_matches_golden(
+            "merged_pz4_numeric" if numeric else "merged_pz4", sim)
+
+    @pytest.mark.parametrize("numeric", [False, True])
+    def test_cholesky(self, numeric):
+        sf, tf = spd_setup(14, 16, 2)
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_chol_3d(sf, tf, grid3, sim, numeric=numeric)
+        case = "chol_pz2_numeric" if numeric else "chol_pz2"
+        assert_matches_golden(case, sim, res)
+
+
+class TestPlanPlumbing:
+    @pytest.fixture(scope="class")
+    def lu_run(self):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False)
+        return sf, sim, res
+
+    def test_plan_exposed_on_results(self, lu_run):
+        _, _, res = lu_run
+        assert isinstance(res.plan, Plan3D)
+        assert res.plan.backend == "lu"
+        assert not res.plan.merged
+        # One LevelStep per tree level, top level first.
+        assert [s.level for s in res.plan.levels] == \
+            list(range(res.tf.l, -1, -1))
+
+    def test_2d_plan_on_extras(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        grid = ProcessGrid2D(2, 3)
+        sim = Simulator(grid.size, Machine.edison_like())
+        r2d = factor_2d(sf, grid, sim)
+        plan = r2d.extras["plan"]
+        assert isinstance(plan, GridPlan)
+        assert plan.backend == "lu"
+        assert plan.n_tasks > 0
+
+    def test_deps_point_backwards_and_tids_unique(self, lu_run):
+        _, _, res = lu_run
+        seen = set()
+        for task in res.plan.iter_tasks():
+            assert task.tid not in seen
+            for d in task.deps:
+                assert d in seen
+            seen.add(task.tid)
+
+    def test_lookahead_reorders_but_preserves_tasks(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        grid = ProcessGrid2D(2, 3)
+        nodes = list(range(sf.nb))
+        base = build_grid_plan(sf, nodes, grid, FactorOptions(lookahead=0))
+        ahead = build_grid_plan(sf, nodes, grid, FactorOptions(lookahead=8))
+        key = lambda t: (t.kind, getattr(t, "node", -1),
+                         getattr(t, "block", None))
+        assert sorted(map(key, base.tasks)) == sorted(map(key, ahead.tasks))
+        assert [key(t) for t in base.tasks] != [key(t) for t in ahead.tasks]
+
+    def test_plan_pickles(self, lu_run):
+        _, _, res = lu_run
+        clone = pickle.loads(pickle.dumps(res.plan))
+        assert clone.n_tasks == res.plan.n_tasks
+
+    def test_interpreting_same_plan_twice_is_deterministic(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        from repro.plan import build_grid_plan, execute_grid_plan
+        grid = ProcessGrid2D(2, 3)
+        plan = build_grid_plan(sf, list(range(sf.nb)), grid, FactorOptions())
+        sims = []
+        for _ in range(2):
+            sim = Simulator(grid.size, Machine.edison_like())
+            execute_grid_plan(plan, sf, sim)
+            sims.append(sim)
+        assert ledger_dict(sims[0]) == ledger_dict(sims[1])
+
+
+class TestPlanStats:
+    def test_critical_path_reported(self):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False)
+        ps = PlanStats.from_plan(res.plan, machine=sim.machine)
+        assert ps.n_tasks == res.plan.n_tasks
+        assert 0 < ps.critical_path_tasks <= ps.n_tasks
+        # The critical path cannot beat the simulated makespan's critical
+        # path but must be a positive fraction of the serialized total.
+        assert 0.0 < ps.critical_path_cost <= ps.total_cost
+        # At least one task per level lies on the chained barrier spine.
+        assert ps.critical_path_tasks >= len(res.plan.levels)
+        text = format_plan_summary(ps)
+        assert "critical path" in text
+        assert "schur_update" in text
+
+    def test_zero_comm_machine_prices_only_flops(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        grid = ProcessGrid2D(2, 3)
+        plan = build_grid_plan(sf, list(range(sf.nb)), grid, FactorOptions())
+        full = PlanStats.from_plan(plan, machine=Machine.edison_like())
+        nocomm = PlanStats.from_plan(plan, machine=Machine.zero_comm())
+        assert nocomm.total_cost < full.total_cost
+        assert nocomm.comm_words == full.comm_words  # volumes are model-free

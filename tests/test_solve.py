@@ -5,7 +5,6 @@ import pytest
 import scipy.sparse as sp
 
 from repro.solve import SparseLU3D, iterative_refinement
-from repro.sparse import grid2d_5pt, kkt_like
 
 
 class TestSparseLU3DFacade:

@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import SparseLU3D, grid2d_5pt
+from repro import SparseLU3D
 from repro.solve import condest, equilibrate, inverse_norm_est
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
 from repro.lu2d import FactorOptions, factor_2d
 from repro.lu3d import factor_3d
-from repro.sparse import BlockMatrix, grid2d_5pt, grid3d_7pt
+from repro.sparse import BlockMatrix
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
 

@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sparse import BlockMatrix, grid2d_5pt, random_symmetric_pattern
+from repro.sparse import grid2d_5pt, random_symmetric_pattern
 from repro.symbolic import symbolic_factorize
 from repro.symbolic.fill import block_fill
 

@@ -1,6 +1,5 @@
 """Tests for the process-grid auto-tuner."""
 
-import numpy as np
 import pytest
 
 from repro.sparse import (
