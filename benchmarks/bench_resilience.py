@@ -1,0 +1,125 @@
+"""Resilience bench: fault-free overhead guardrails + recovery trade-off.
+
+Two claims are asserted, both cheap enough for the smoke gate:
+
+* **Zero-cost when off** — a run through the monitored resilient walk
+  whose faults never fire books *bit-identical* ledgers to the plain
+  driver, and its factors match to 1e-12. The resilience subsystem must
+  cost nothing unless it is actually used.
+* **z-replica beats restart on overhead** — for a single-grid crash at
+  an ancestor level with checkpointing off, global restart replays
+  *every* grid's work from scratch while z-replica replays only the
+  crashed grid's subtree from the surviving sibling replicas, so the
+  z-replica run's total overhead (rank-seconds) must be strictly
+  smaller. Both policies must produce factors within 1e-12 of the
+  fault-free run and report nonzero finite overhead.
+
+Records the measured overhead split in ``BENCH_resilience.json``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.analysis import format_resilience_stats, format_table
+from repro.comm import ProcessGrid3D, Simulator
+from repro.comm.simulator import COMPUTE_KINDS, PHASES
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d import factor_3d
+from repro.resilience import Fault, FaultPlan
+from repro.sparse import grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+PZ = 4
+CONFIGS = {"tiny": 16, "small": 28, "medium": 40}
+OUT = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+
+def _prepare(nx: int):
+    A, geom = grid2d_5pt(nx)
+    sf = symbolic_factorize(A, geom, leaf_size=16)
+    tf = greedy_partition(sf, PZ)
+    return sf, tf
+
+
+def _run(sf, tf, options=None):
+    grid3 = ProcessGrid3D(2, 2, PZ)
+    sim = Simulator(grid3.size)
+    res = factor_3d(sf, tf, grid3, sim, numeric=True, options=options)
+    return sim, res
+
+
+def _ledgers(sim) -> dict:
+    out = {"clock": sim.clock.tolist()}
+    for k in COMPUTE_KINDS:
+        out[f"t_compute:{k}"] = sim.t_compute[k].tolist()
+    for p in PHASES:
+        out[f"words_sent:{p}"] = sim.words_sent[p].tolist()
+        out[f"msgs_sent:{p}"] = sim.msgs_sent[p].tolist()
+    return out
+
+
+def test_resilience_overhead(benchmark):
+    nx = CONFIGS[scale()]
+    sf, tf = _prepare(nx)
+
+    def experiment():
+        clean_sim, clean_res = _run(sf, tf)
+        F0 = clean_res.factors().to_dense()
+
+        # Monitored walk, nothing fires: must be free.
+        armed = FactorOptions(
+            fault_plan=FaultPlan((Fault("crash", grid=99),)))
+        idle_sim, idle_res = _run(sf, tf, options=armed)
+        assert _ledgers(idle_sim) == _ledgers(clean_sim), \
+            "monitored walk with no fired faults perturbed the ledgers"
+        assert float(np.abs(idle_res.factors().to_dense() - F0).max()) \
+            <= 1e-12
+
+        # One ancestor-level grid crash under each policy (checkpointing
+        # off, so restart pays the full replay-from-scratch price).
+        crash = FaultPlan((Fault("crash", grid=0, level=1),))
+        rows, recs = [], {}
+        zstats = None
+        for policy in ("restart", "z-replica"):
+            sim, res = _run(sf, tf, options=FactorOptions(
+                fault_plan=crash, recovery=policy))
+            st = res.resilience
+            if policy == "z-replica":
+                zstats = st
+            err = float(np.abs(res.factors().to_dense() - F0).max())
+            assert err <= 1e-12, (policy, err)
+            assert st.crashes == 1
+            assert st.overhead_seconds > 0
+            assert np.isfinite(st.overhead_seconds)
+            recs[policy] = {
+                "makespan": sim.makespan,
+                "overhead_seconds": st.overhead_seconds,
+                "overhead_pct": st.overhead_pct,
+                "lost_work_seconds": st.lost_work_seconds,
+                "recovery_compute_seconds": st.recovery_compute_seconds,
+                "recovery_words": st.recovery_words,
+                "checkpoints_taken": st.checkpoints_taken,
+            }
+            rows.append([policy, sim.makespan * 1e3,
+                         st.overhead_seconds, st.overhead_pct,
+                         st.checkpoints_taken])
+        # Localized recovery must beat the global rollback on aggregate
+        # overhead: restart re-executes every grid, z-replica one grid.
+        assert recs["z-replica"]["overhead_seconds"] < \
+            recs["restart"]["overhead_seconds"], \
+            "z-replica recovery overhead not below global restart's"
+        print()
+        print(format_table(
+            ["policy", "T [ms]", "overhead [s]", "overhead %", "ckpts"],
+            rows, title=f"single grid crash at level 1 (nx={nx}, pz={PZ})"))
+        print(format_resilience_stats(zstats))
+        return {"nx": nx, "pz": PZ,
+                "clean_makespan": clean_sim.makespan, "policies": recs}
+
+    record = run_once(benchmark, experiment)
+    OUT.write_text(json.dumps(record, indent=2))
+    print(f"\nrecorded -> {OUT.name}")

@@ -20,7 +20,13 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_kernel_batched.py \
 # (the speedup bar itself only applies on >= 4-core hosts).
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_parallel_scaling.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Resilience gate: the monitored walk must be free when no fault fires
+# (bit-identical ledgers), both recovery policies must reproduce the
+# fault-free factors to 1e-12, and localized z-replica recovery must
+# beat the global restart on aggregate overhead.
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_resilience.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
     --benchmark-only --benchmark-disable-gc -q
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, fig9 green"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green"

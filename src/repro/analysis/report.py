@@ -7,7 +7,7 @@ and shows them with ``-s``); this module keeps the formatting in one place.
 from __future__ import annotations
 
 __all__ = ["format_table", "format_si", "format_kernel_counters",
-           "format_parallel_stats"]
+           "format_parallel_stats", "format_resilience_stats"]
 
 
 def format_si(x: float, digits: int = 3) -> str:
@@ -105,4 +105,38 @@ def format_parallel_stats(result, title: str = "parallel execution") -> str:
                    f"requested, backend={fb.backend}): {fb.reason}")
     if not levels and not fallbacks:
         out.append("(serial run: no levels fanned out)")
+    return "\n".join(out)
+
+
+def format_resilience_stats(stats, title: str = "resilience") -> str:
+    """Overhead attribution of a resilient factorization run.
+
+    ``stats`` is a :class:`repro.resilience.ResilienceStats` (found on
+    ``Factor3DResult.resilience`` or ``Factor2DResult.extras['resilience']``).
+    Times are aggregate rank-seconds, so the overhead percentage compares
+    like with like: total fault-tolerance overhead (lost work + recovery
+    replay + checkpoint/recovery I/O + downtime) over total booked compute.
+    """
+    rows: list[list] = [
+        ["recovery policy", stats.policy],
+        ["checkpoint interval [tasks]",
+         stats.checkpoint_every if stats.checkpoint_every else "off"],
+        ["faults planned", int(stats.n_faults)],
+        ["faults fired", int(stats.faults_fired)],
+        ["faults survived", int(stats.faults_survived)],
+        ["grid crashes", int(stats.crashes)],
+        ["checkpoints taken", int(stats.checkpoints_taken)],
+        ["checkpoint volume [words]", format_si(stats.checkpoint_words)],
+        ["checkpoint I/O [s]", float(stats.checkpoint_io_seconds)],
+        ["lost work [s]", float(stats.lost_work_seconds)],
+        ["recovery compute [s]", float(stats.recovery_compute_seconds)],
+        ["recovery volume [words]", format_si(stats.recovery_words)],
+        ["recovery I/O [s]", float(stats.recovery_io_seconds)],
+        ["downtime [s]", float(stats.downtime_seconds)],
+        ["total overhead [s]", float(stats.overhead_seconds)],
+        ["overhead [% of compute]", float(stats.overhead_pct)],
+    ]
+    out = [format_table(["counter", "value"], rows, title=title)]
+    for note in stats.notes:
+        out.append(f"note: {note}")
     return "\n".join(out)

@@ -25,10 +25,12 @@ from repro.analysis import (
     PlanStats,
     format_parallel_stats,
     format_plan_summary,
+    format_resilience_stats,
     format_table,
 )
 from repro.comm import Machine
 from repro.lu2d.factor2d import FactorOptions
+from repro.resilience import FaultPlan
 from repro.sparse import (
     GridGeometry,
     circuit_like,
@@ -70,10 +72,18 @@ def _load(args) -> tuple:
     return A, _parse_grid(args.grid, A.shape[0])
 
 
+#: Generators whose structure is randomized (and accept a ``seed``); the
+#: lattice stencils are fully determined by their sizes.
+SEEDED_GENERATORS = ("circuit", "kkt")
+
+
 def cmd_generate(args) -> int:
     gen = GENERATORS[args.kind]
     sizes = [int(t) for t in args.size.split(",")]
-    A, geom = gen(*sizes)
+    if args.kind in SEEDED_GENERATORS:
+        A, geom = gen(*sizes, seed=args.seed)
+    else:
+        A, geom = gen(*sizes)
     write_matrix_market(args.out, A)
     print(f"wrote {args.out}: n={A.shape[0]}, nnz={A.nnz}, "
           f"lattice {'x'.join(map(str, geom.shape))}")
@@ -88,12 +98,16 @@ def cmd_solve(args) -> int:
         from repro.cholesky import SparseCholesky3D as Solver
     else:
         from repro.solve import SparseLU3D as Solver
+    fault_plan = FaultPlan.parse(args.faults) if args.faults else None
+    opts = FactorOptions(n_workers=args.workers, fault_plan=fault_plan,
+                         checkpoint_every=args.checkpoint_every,
+                         recovery=args.recovery)
     solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
                     leaf_size=args.leaf_size, machine=Machine.edison_like(),
-                    options=FactorOptions(n_workers=args.workers))
+                    options=opts)
     solver.factorize()
     n = A.shape[0]
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(args.seed)
     b = np.ones(n) if args.rhs == "ones" else rng.standard_normal(n)
     x = solver.solve(b)
     res = float(np.linalg.norm(A @ x - b) / np.linalg.norm(b))
@@ -108,6 +122,8 @@ def cmd_solve(args) -> int:
     print(f"per-rank peak memory: {m.mem_peak_max:.4g} words")
     if args.workers != 1:
         print(format_parallel_stats(solver.result))
+    if getattr(solver.result, "resilience", None) is not None:
+        print(format_resilience_stats(solver.result.resilience))
     if args.dump_plan:
         stats = PlanStats.from_plan(solver.result.plan,
                                     machine=solver.sim.machine)
@@ -195,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--size", required=True,
                    help="generator sizes, comma-separated (e.g. 64 or 32,32,4)")
     g.add_argument("--out", required=True, help="output .mtx path")
+    g.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the randomized generators "
+                        f"({', '.join(SEEDED_GENERATORS)}); the lattice "
+                        "stencils ignore it")
     g.set_defaults(fn=cmd_generate)
 
     def common(sp, with_grid=True):
@@ -211,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--py", type=int, default=1)
     s.add_argument("--pz", type=int, default=1)
     s.add_argument("--rhs", choices=("ones", "random"), default="ones")
+    s.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for --rhs random")
+    s.add_argument("--faults", default=None,
+                   help="deterministic fault plan, e.g. "
+                        "'crash:grid=0,level=1;slow:rank=3,factor=4'; "
+                        "kinds: crash, drop, delay, slow")
+    s.add_argument("--checkpoint-every", type=int, default=0,
+                   help="coordinated checkpoint every N interpreted tasks "
+                        "(0 = off); I/O cost is charged to the machine "
+                        "model")
+    s.add_argument("--recovery", choices=("restart", "z-replica"),
+                   default="restart",
+                   help="crash recovery policy: roll every grid back to "
+                        "the last checkpoint, or rebuild only the crashed "
+                        "grid from its sibling z-replicas")
     s.add_argument("--cholesky", action="store_true",
                    help="use the SPD Cholesky engine")
     s.add_argument("--workers", type=int, default=1,

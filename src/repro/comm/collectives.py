@@ -42,6 +42,7 @@ def bcast(sim: Simulator, root: int, ranks: list[int], words: float) -> None:
     if len(order) <= 1:
         return
     if sim.trace is None and sim.topology is None \
+            and getattr(sim, "faults", None) is None \
             and len(set(order)) == len(order):
         _bcast_closed_form(sim, order, words)
     else:

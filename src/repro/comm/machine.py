@@ -40,10 +40,19 @@ class Machine:
     gamma_gemm: float = 8.3e-11  # per-flop, Schur GEMM (~12 GF/s)
     gamma_panel: float = 2.5e-10 # per-flop, panel & diagonal kernels (~4 GF/s)
     gemm_overhead: float = 3.0e-6  # per block-update pack/scatter cost
+    # Checkpoint/restart I/O (repro.resilience): per-rank fixed latency
+    # and per-word cost of writing (or re-reading) resident state to
+    # stable storage, plus the failure-detection + relaunch delay paid
+    # once per restart. Burst-buffer-class defaults: ~0.5 ms seek, ~2 GB/s
+    # per rank (4x the network beta), ~5 ms to detect and respawn.
+    io_alpha: float = 5.0e-4       # per-checkpoint per-rank latency
+    io_beta: float = 4.0e-9        # per-word checkpoint read/write time
+    restart_latency: float = 5.0e-3  # detect-and-relaunch delay per restart
 
     def __post_init__(self):
         for name in ("alpha", "beta", "gamma_gemm", "gamma_panel",
-                     "gemm_overhead"):
+                     "gemm_overhead", "io_alpha", "io_beta",
+                     "restart_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
 

@@ -70,7 +70,9 @@ class CommError(RuntimeError):
 COMPUTE_KINDS = ("diag", "panel", "schur", "reduce_add", "solve")
 
 #: Communication phases for volume attribution (Fig. 10 split).
-PHASES = ("fact", "red", "solve")
+#: ``'rec'`` carries z-replica recovery traffic (repro.resilience) so
+#: fault-free phases stay comparable across faulty and clean runs.
+PHASES = ("fact", "red", "solve", "rec")
 
 
 @dataclass
@@ -126,6 +128,12 @@ class Simulator:
         #: 'offload') — perf counters for the batched-kernel reports.
         self.event_counts: dict[str, int] = defaultdict(int)
 
+        #: Optional fault injector (repro.resilience.FaultInjector):
+        #: perturbs compute durations and message arrivals
+        #: deterministically. ``None`` (the default) leaves every fast
+        #: path untouched — ledgers stay bit-identical to seed.
+        self.faults = None
+
         # Optional per-rank accelerators (attach_accelerator).
         self.accelerator = None
         self.accel_clock: np.ndarray | None = None
@@ -143,6 +151,16 @@ class Simulator:
         if phase not in PHASES:
             raise CommError(f"unknown phase {phase!r}")
         self.phase = phase
+
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`repro.resilience.FaultInjector`.
+
+        While attached, ``compute`` durations pass through the
+        injector's slow-rank scaling and every ``send`` may be dropped
+        (timeout + retransmission, booked) or delayed. The batched fast
+        paths fall back to per-event booking so every event is observed.
+        """
+        self.faults = injector
 
     # -- compute -------------------------------------------------------------
 
@@ -162,6 +180,8 @@ class Simulator:
             else self.machine.gamma_panel
         dt = flops * gamma + n_block_updates * self.machine.gemm_overhead
         start = self.clock[rank]
+        if self.faults is not None:
+            dt = self.faults.scale_compute(rank, start, dt)
         self.clock[rank] += dt
         self.flops[kind][rank] += flops
         self.t_compute[kind][rank] += dt
@@ -195,7 +215,7 @@ class Simulator:
                 f"batch contains ranks outside [0, {self.nranks})")
         if float(flops.min()) < 0:
             raise CommError("flops must be non-negative")
-        if self.trace is not None:
+        if self.trace is not None or self.faults is not None:
             upd = np.broadcast_to(np.asarray(n_block_updates), ranks.shape)
             for r, f, u in zip(ranks, flops, upd):
                 self.compute(int(r), float(f), kind,
@@ -225,7 +245,21 @@ class Simulator:
             alpha *= self.topology.latency_factor(src, dst)
             beta *= self.topology.bandwidth_factor(src, dst)
         self.clock[src] += alpha + beta * words
-        self._queues[(src, dst)].append((self.clock[src], words))
+        if self.faults is not None:
+            # Dropped message: the sender times out and retransmits; each
+            # retry holds the NIC for another full transfer and is booked
+            # as real traffic. Delays push only the arrival time back.
+            for _ in range(self.faults.count_drops(src, dst,
+                                                   self.clock[src])):
+                self.clock[src] += self.faults.timeout + alpha + beta * words
+                self.words_sent[self.phase][src] += words
+                self.msgs_sent[self.phase][src] += 1
+                self.event_counts["send"] += 1
+            arrival = self.clock[src] + self.faults.added_delay(
+                src, dst, self.clock[src])
+        else:
+            arrival = self.clock[src]
+        self._queues[(src, dst)].append((arrival, words))
         self.words_sent[self.phase][src] += words
         self.msgs_sent[self.phase][src] += 1
         self.event_counts["send"] += 1
@@ -298,7 +332,7 @@ class Simulator:
             if float(flops.min()) < 0:
                 raise CommError("flops must be non-negative")
         if self.trace is not None or self.topology is not None \
-                or type(self) is not Simulator:
+                or self.faults is not None or type(self) is not Simulator:
             for s, d, w, f in zip(srcs, dsts, words, flops):
                 self.sendrecv(int(s), int(d), float(w))
                 if reduce_kind is not None:
@@ -347,9 +381,10 @@ class Simulator:
     def can_fork(self) -> bool:
         """Forking requires plain per-rank ledgers: no trace (globally
         ordered intervals), no topology (cross-fork link factors), no
-        accelerator (device clocks are not part of the delta)."""
+        accelerator (device clocks are not part of the delta), no fault
+        injector (its message-count state is global across ranks)."""
         return (self.trace is None and self.topology is None
-                and self.accelerator is None)
+                and self.accelerator is None and self.faults is None)
 
     def _pending_touching(self, rank_set: set[int]) -> int:
         return sum(len(q) for (s, d), q in self._queues.items()

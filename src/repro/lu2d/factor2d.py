@@ -42,8 +42,13 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     opts = options or FactorOptions()
     plan = build_grid_plan(sf, nodes, grid, opts, backend="lu",
                            accelerated=sim.accelerator is not None)
-    result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
-                               grid=grid)
+    if opts.resilience_active():
+        from repro.resilience.engine import execute_grid_plan_resilient
+        result = execute_grid_plan_resilient(plan, sf, sim, data=data,
+                                             options=opts, grid=grid)
+    else:
+        result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
+                                   grid=grid)
     result.extras["plan"] = plan
     return result
 

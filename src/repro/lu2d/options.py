@@ -53,6 +53,24 @@ class FactorOptions:
     parallel_backend:
         ``'process'`` (real multi-core), ``'thread'`` (BLAS-overlap only),
         or ``'serial'`` (the fork/merge path run inline — test hook).
+    fault_plan:
+        A :class:`repro.resilience.FaultPlan` of deterministic faults to
+        inject (``None`` / empty = fault-free: every ledger stays
+        bit-identical to seed). A non-empty plan (or checkpointing)
+        routes the run through the resilience engine's serial monitored
+        walk — worker fan-out is recorded as a ``ParallelFallback``.
+    checkpoint_every:
+        Take a coordinated checkpoint of the replica blocks and the plan
+        walk position every this many interpreted tasks (``0`` = off).
+        Checkpoint I/O cost is charged to the machine model
+        (``io_alpha`` / ``io_beta``).
+    recovery:
+        Crash recovery policy: ``'restart'`` rolls every grid back to
+        the last checkpoint; ``'z-replica'`` rebuilds only the crashed
+        grid's state from the surviving sibling replicas along the z
+        axis (the paper's ancestor replication, exploited for fault
+        tolerance), falling back to restart where no replicas exist
+        (2D runs, the merged variant's single global copy).
     """
 
     lookahead: int = 8
@@ -63,6 +81,9 @@ class FactorOptions:
     batch_min_pairs: int = 32
     n_workers: int = 1
     parallel_backend: str = "process"
+    fault_plan: object | None = None   # repro.resilience.FaultPlan
+    checkpoint_every: int = 0
+    recovery: str = "restart"
 
     def __post_init__(self):
         if self.lookahead < 0:
@@ -74,6 +95,15 @@ class FactorOptions:
         if self.parallel_backend not in ("process", "thread", "serial"):
             raise ValueError(
                 f"unknown parallel_backend {self.parallel_backend!r}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative (0 = off)")
+        if self.recovery not in ("restart", "z-replica"):
+            raise ValueError(f"unknown recovery policy {self.recovery!r}; "
+                             "expected 'restart' or 'z-replica'")
+
+    def resilience_active(self) -> bool:
+        """Whether this run needs the monitored (serial) resilient walk."""
+        return bool(self.fault_plan) or self.checkpoint_every > 0
 
 
 @dataclass

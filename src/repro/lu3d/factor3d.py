@@ -74,6 +74,10 @@ class Factor3DResult:
     #: only for legacy ``factor_fn`` plug-ins' grid work, whose per-grid
     #: task lists are empty stubs.
     plan: Plan3D | None = None
+    #: :class:`repro.resilience.ResilienceStats` when the run went through
+    #: the resilience engine (``FactorOptions.resilience_active()``);
+    #: ``None`` for plain runs.
+    resilience: object | None = None
 
     def factors(self) -> BlockMatrix:
         """Assembled L\\U factors (numeric runs only)."""
@@ -92,6 +96,10 @@ class CostOnlyData:
     """No numeric content: every view is ``None``, reductions book only."""
 
     accumulate = None
+    #: Whether z-replica crash recovery can rebuild a grid's state from
+    #: sibling replicas. True here: with no numeric content there is
+    #: nothing to rebuild, so the policy is trivially applicable.
+    supports_zreplica = True
 
     def view(self, gp):
         return None
@@ -100,6 +108,15 @@ class CostOnlyData:
         return None
 
     def import_back(self, g, blocks) -> None:
+        pass
+
+    def snapshot(self):
+        return None
+
+    def restore(self, snap) -> None:
+        pass
+
+    def restore_grid(self, g, snap) -> None:
         pass
 
 
@@ -119,6 +136,15 @@ class ReplicaData(CostOnlyData):
     def import_back(self, g, blocks) -> None:
         self.replicas.import_view(g, blocks)
 
+    def snapshot(self):
+        return self.replicas.snapshot()
+
+    def restore(self, snap) -> None:
+        self.replicas.restore(snap)
+
+    def restore_grid(self, g, snap) -> None:
+        self.replicas.restore_grid(g, snap)
+
 
 class GlobalStoreData(CostOnlyData):
     """Merged numeric mode: one global block copy shared by every grid.
@@ -126,13 +152,25 @@ class GlobalStoreData(CostOnlyData):
     The shared copy rules out the fork/merge fan-out (sibling forests
     accumulate into the same ancestor blocks), and makes the reduction's
     numeric content a no-op — its messages remain, for the cost ledgers.
+    It also rules out z-replica recovery: there are no sibling replicas
+    to rebuild from, so crashes fall back to the restart policy.
     """
+
+    supports_zreplica = False
 
     def __init__(self, store):
         self.store = store
 
     def view(self, gp):
         return self.store
+
+    def snapshot(self):
+        return {key: arr.copy() for key, arr in self.store.blocks.items()}
+
+    def restore(self, snap) -> None:
+        blocks = self.store.blocks
+        for key, arr in snap.items():
+            blocks[key][:] = arr
 
 
 def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
@@ -206,6 +244,20 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
                           blocks_fn=blocks_fn)
     result.plan = plan3
     data = ReplicaData(result.replicas) if numeric else CostOnlyData()
+    if opts.resilience_active():
+        if custom:
+            raise ValueError(
+                "resilience (fault_plan / checkpoint_every) requires the "
+                "plan interpreter; it cannot monitor a custom factor_fn")
+        from repro.resilience.engine import (
+            ResilienceEngine,
+            execute_plan3d_resilient,
+        )
+        rengine = ResilienceEngine(opts, sim)
+        execute_plan3d_resilient(plan3, sf, sim, result, opts, data,
+                                 rengine, _absorb_2d)
+        result.resilience = rengine.stats
+        return result
     _execute_plan3d(plan3, sf, sim, result, opts, engine, data,
                     factor_fn=factor_fn)
     return result
@@ -221,7 +273,7 @@ def _make_engine(opts: FactorOptions, sim: Simulator, sf, factor_fn
     is returned as a :class:`ParallelFallback` so the run reports it
     instead of silently ignoring the pool.
     """
-    if opts.n_workers == 1:
+    if opts.n_workers == 1 and not opts.resilience_active():
         return None, None
 
     def fallback(reason: str) -> ParallelFallback:
@@ -229,6 +281,12 @@ def _make_engine(opts: FactorOptions, sim: Simulator, sf, factor_fn
                                 requested_workers=opts.n_workers,
                                 backend=opts.parallel_backend)
 
+    if opts.resilience_active():
+        if opts.n_workers == 1:
+            return None, None
+        return None, fallback(
+            "resilience instrumentation (fault_plan / checkpoint_every) "
+            "requires the serial monitored schedule")
     if not sim.can_fork():
         return None, fallback(
             "simulator cannot fork: trace, topology or accelerator "

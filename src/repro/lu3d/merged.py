@@ -108,5 +108,16 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
                           accelerated=sim.accelerator is not None)
     result.plan = plan3
     data = GlobalStoreData(store) if numeric else CostOnlyData()
+    if opts.resilience_active():
+        from repro.lu3d.factor3d import _absorb_2d
+        from repro.resilience.engine import (
+            ResilienceEngine,
+            execute_plan3d_resilient,
+        )
+        rengine = ResilienceEngine(opts, sim)
+        execute_plan3d_resilient(plan3, sf, sim, result, opts, data,
+                                 rengine, _absorb_2d)
+        result.resilience = rengine.stats
+        return result
     _execute_plan3d(plan3, sf, sim, result, opts, engine, data)
     return result

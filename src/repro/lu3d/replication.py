@@ -144,6 +144,32 @@ class ReplicaManager:
         """One Ancestor-Reduction hop: ``dst-copy += src-copy``."""
         self._store[(g_dst, i, j)] += self._store[(g_src, i, j)]
 
+    # -- checkpoint / recovery support (repro.resilience) ------------------
+
+    def snapshot(self) -> dict[tuple[int, int, int], np.ndarray]:
+        """A deep copy of every grid's replica values."""
+        return {key: arr.copy() for key, arr in self._store.items()}
+
+    def restore(self, snap: dict[tuple[int, int, int], np.ndarray]) -> None:
+        """Write a :meth:`snapshot` back in place (views stay valid)."""
+        store = self._store
+        for key, arr in snap.items():
+            store[key][:] = arr
+
+    def restore_grid(self, g: int,
+                     snap: dict[tuple[int, int, int], np.ndarray]) -> None:
+        """Restore only grid ``g``'s replicas from a snapshot.
+
+        Used by z-replica recovery with the *initial* (Fig. 5) snapshot:
+        the crashed grid is reset to its pre-factorization state, then its
+        plans and the reduces aimed at it are replayed — every other
+        grid's copies are left untouched.
+        """
+        store = self._store
+        for key, arr in snap.items():
+            if key[0] == g:
+                store[key][:] = arr
+
     def home_view(self) -> "HomeView":
         return HomeView(self)
 

@@ -180,6 +180,12 @@ class ParallelExecutor:
         if backend not in BACKENDS:
             raise ValueError(f"unknown parallel backend {backend!r}; "
                              f"expected one of {BACKENDS}")
+        if options is not None and getattr(options, "fault_plan", None):
+            # The fault injector's message-count state is global across
+            # ranks; forked sub-simulators cannot share it. Callers route
+            # resilient runs through the serial monitored walk instead.
+            raise ValueError("cannot fan out a run with an active fault "
+                             "plan; resilience requires the serial schedule")
         self.n_workers = resolve_workers(n_workers)
         self.backend = backend
         self._sf = sf

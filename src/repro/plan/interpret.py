@@ -95,10 +95,51 @@ class GridContext:
             self.sim.free(r, words)
             self.buf_current[r] -= words
 
+    def release_all_buffers(self) -> None:
+        """Release every live transient buffer (crash-recovery cleanup)."""
+        for node in list(self.buffers):
+            self.free_buffers(node)
+
+    # -- checkpoint support (repro.resilience) -----------------------------
+
+    #: Result counters a checkpoint must roll back with the walk position.
+    _RESULT_FIELDS = ("perturbed_pivots", "panel_steps",
+                      "schur_block_updates", "buffer_peak_words",
+                      "n_batched_gemms", "batch_fill_ratio")
+
+    def snapshot(self) -> dict:
+        """Logical state of this plan execution at a task boundary.
+
+        Covers the transient buffer map and the result counters — what a
+        resumed interpretation needs to continue as if uninterrupted.
+        Simulator ledgers are deliberately *not* part of it: physical
+        time and traffic keep accumulating across a rollback, which is
+        exactly the recovery overhead the resilience stats report.
+        """
+        return {
+            "buffers": {n: list(v) for n, v in self.buffers.items()},
+            "buf_current": self.buf_current.copy(),
+            "fill_used": self.fill_used,
+            "fill_total": self.fill_total,
+            "result": {f: getattr(self.result, f)
+                       for f in self._RESULT_FIELDS},
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll logical state back to :meth:`snapshot` (same plan only)."""
+        self.buffers = {n: list(v) for n, v in snap["buffers"].items()}
+        self.buf_current = snap["buf_current"].copy()
+        self.fill_used = snap["fill_used"]
+        self.fill_total = snap["fill_total"]
+        for f, val in snap["result"].items():
+            setattr(self.result, f, val)
+
 
 def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
                       options: FactorOptions | None = None,
-                      grid: ProcessGrid2D | None = None) -> Factor2DResult:
+                      grid: ProcessGrid2D | None = None,
+                      monitor=None, start: int = 0,
+                      ctx: GridContext | None = None) -> Factor2DResult:
     """Execute ``plan`` on ``sim``, in plan list order.
 
     ``data`` is a mapping ``(i, j) -> ndarray`` holding this grid's copy
@@ -106,14 +147,26 @@ def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
     blocks are overwritten with the packed factors. ``grid`` may be passed
     to reuse an existing (memoized) grid object; otherwise it is rebuilt
     from the plan's ``(px, py, base)``.
+
+    ``monitor`` is the resilience hook (:mod:`repro.resilience.engine`):
+    ``monitor.before_task(plan, ctx, idx, task)`` runs at every task
+    boundary and may raise :class:`repro.resilience.GridCrash`;
+    ``monitor.after_task(plan, ctx, idx, task)`` may take a checkpoint.
+    ``start``/``ctx`` resume a previously checkpointed interpretation at
+    task index ``start`` with its restored context.
     """
     opts = options or FactorOptions()
     be = get_backend(plan.backend)
     if grid is None:
         grid = ProcessGrid2D(plan.px, plan.py, base=plan.base)
-    ctx = GridContext(plan, sf, grid, sim, data, opts)
+    if ctx is None:
+        ctx = GridContext(plan, sf, grid, sim, data, opts)
 
-    for task in plan.tasks:
+    tasks = plan.tasks
+    for idx in range(start, len(tasks)):
+        task = tasks[idx]
+        if monitor is not None:
+            monitor.before_task(plan, ctx, idx, task)
         if isinstance(task, PanelFactor):
             be.exec_panel_factor(ctx, task)
             ctx.result.panel_steps += 1
@@ -124,6 +177,8 @@ def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
             ctx.free_buffers(task.node)
         else:  # pragma: no cover - builders emit only the three kinds
             raise TypeError(f"unexpected task in grid plan: {task!r}")
+        if monitor is not None:
+            monitor.after_task(plan, ctx, idx, task)
 
     if be.accel_aware and sim.accelerator is not None:
         for r in grid.all_ranks():

@@ -262,3 +262,26 @@ class Plan3D:
     @property
     def n_tasks(self) -> int:
         return sum(1 for _ in self.iter_tasks())
+
+    # -- recovery support (repro.resilience) -------------------------------
+
+    def recovery_schedule(self, g: int, below_index: int):
+        """Grid ``g``'s share of the first ``below_index`` level steps, in
+        executed order: ``('plan', GridPlan)`` and ``('reduce', task)``
+        items interleaved level by level.
+
+        This is exactly what a z-replica recovery replays after resetting
+        the crashed grid to its initial (Fig. 5) state: the pairwise
+        schedule makes a grid active at level ``lvl`` the *destination*
+        (never the source) of every deeper boundary's reduce, and
+        ``accumulate`` leaves source copies intact — so replaying the
+        grid's own plans plus the reduces aimed at it rebuilds its
+        ancestor contributions from the surviving sibling replicas.
+        """
+        for step in self.levels[:below_index]:
+            for gp in step.grid_plans:
+                if gp.g == g:
+                    yield "plan", gp
+            for red in step.reduces:
+                if red.dst_grid == g:
+                    yield "reduce", red

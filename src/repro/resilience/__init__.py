@@ -1,0 +1,47 @@
+"""Resilience subsystem: deterministic fault injection, checkpoint/restart
+and z-replica crash recovery for the simulated 3D factorization.
+
+Three layers:
+
+* :mod:`repro.resilience.faults` — the typed, seeded :class:`FaultPlan`
+  and the :class:`FaultInjector` that perturbs simulator events
+  (message drop / delay, slow ranks) reproducibly;
+* :mod:`repro.resilience.engine` — the :class:`ResilienceEngine` plan
+  monitor: coordinated checkpoints over the task DAG, crash detection at
+  task boundaries, and the ``restart`` / ``z-replica`` recovery policies;
+* :mod:`repro.resilience.stats` — :class:`ResilienceStats`, the
+  overhead attribution the drivers surface and
+  :func:`repro.analysis.format_resilience_stats` renders.
+
+Activated through :class:`repro.lu2d.FactorOptions` (``fault_plan``,
+``checkpoint_every``, ``recovery``) or the CLI (``--faults``,
+``--checkpoint-every``, ``--recovery``). With an empty fault plan and
+checkpointing off, nothing attaches to the simulator and every ledger
+stays bit-for-bit identical to a fault-free run.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    GridCrash,
+)
+from repro.resilience.engine import (
+    ResilienceEngine,
+    execute_grid_plan_resilient,
+    execute_plan3d_resilient,
+)
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "GridCrash",
+    "ResilienceEngine",
+    "ResilienceStats",
+    "execute_grid_plan_resilient",
+    "execute_plan3d_resilient",
+]

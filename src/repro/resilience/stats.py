@@ -1,0 +1,70 @@
+"""Recovery-overhead accounting for resilient factorization runs.
+
+The resilience engine never rolls *physical* ledgers back: time, flops
+and traffic spent on work that a crash discarded stay on the simulator,
+which is exactly how real machines experience failures. What the stats
+object adds is the attribution — how much of the final ledgers is
+fault-tolerance overhead rather than useful factorization work:
+
+* ``lost_work_seconds`` — compute booked after the last checkpoint (or,
+  for z-replica recovery, on the crashed grid since it entered the
+  current plan) that the rollback discarded and the walk re-executed;
+* ``recovery_compute_seconds`` / ``recovery_words`` — the z-replica
+  policy's replay of the crashed grid's lost subtree (booked under the
+  simulator's ``'rec'`` phase so fault-free phases stay comparable);
+* ``checkpoint_io_seconds`` / ``recovery_io_seconds`` — coordinated
+  checkpoint writes and post-crash state re-reads, priced by the machine
+  model's ``io_alpha``/``io_beta``;
+* ``downtime_seconds`` — failure detection + relaunch latency
+  (``machine.restart_latency`` per crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResilienceStats"]
+
+
+@dataclass
+class ResilienceStats:
+    """Counters of one resilient factorization run."""
+
+    policy: str
+    checkpoint_every: int
+    n_faults: int = 0
+    faults_fired: int = 0
+    crashes: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_words: float = 0.0
+    checkpoint_io_seconds: float = 0.0
+    lost_work_seconds: float = 0.0
+    recovery_compute_seconds: float = 0.0
+    recovery_words: float = 0.0
+    recovery_io_seconds: float = 0.0
+    downtime_seconds: float = 0.0
+    #: Aggregate booked compute over all ranks at run end (the overhead
+    #: denominator), filled by the engine's ``finish()``.
+    total_compute_seconds: float = 0.0
+    makespan: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def faults_survived(self) -> int:
+        """Fired faults the run completed in spite of (all of them: a
+        fault the engine cannot survive raises instead of returning)."""
+        return self.faults_fired
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Aggregate rank-seconds of fault-tolerance overhead."""
+        return (self.lost_work_seconds + self.recovery_compute_seconds
+                + self.checkpoint_io_seconds + self.recovery_io_seconds
+                + self.downtime_seconds)
+
+    @property
+    def overhead_pct(self) -> float:
+        """Overhead as a percentage of total booked compute."""
+        if self.total_compute_seconds <= 0:
+            return 0.0
+        return 100.0 * self.overhead_seconds / self.total_compute_seconds

@@ -1,0 +1,366 @@
+"""Resilience subsystem: deterministic faults, checkpoint/restart,
+z-replica recovery.
+
+Three invariant families:
+
+* **Do no harm** — with an empty fault plan nothing attaches to the
+  simulator and every driver's ledgers stay bit-for-bit identical to the
+  golden seed; a monitored walk whose faults never fire is equally
+  bit-exact.
+* **Determinism** — the same fault plan perturbs two runs (and any
+  worker-count setting, which falls back to the serial monitored walk)
+  bit-identically.
+* **Recovery correctness** — a grid crash at every ancestor level, under
+  both policies, completes with factors within 1e-12 of the fault-free
+  run and nonzero finite recovery overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_resilience_stats
+from repro.cholesky import factor_chol_3d
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.lu2d.factor2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+from repro.parallel import ParallelFallback
+from repro.resilience import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    ResilienceStats,
+)
+from repro.sparse import grid2d_5pt
+from repro.sparse.blockmatrix import BlockMatrix
+from repro.symbolic import symbolic_factorize
+
+from tests.test_plan import (
+    assert_matches_golden,
+    ledger_dict,
+    planar_setup,
+    spd_setup,
+)
+
+#: A crash fault that can never fire (no such grid) — routes the run
+#: through the monitored resilient walk without perturbing anything.
+NEVER = FaultPlan((Fault("crash", grid=99),))
+
+
+def lu3d_run(options=None, numeric=True, pz=4):
+    sf, tf = planar_setup(14, 16, pz)
+    grid3 = ProcessGrid3D(2, 2, pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    res = factor_3d(sf, tf, grid3, sim, numeric=numeric, options=options)
+    return sf, tf, sim, res
+
+
+class TestDoNoHarm:
+    def test_empty_plan_is_inactive(self):
+        opts = FactorOptions(fault_plan=FaultPlan())
+        assert not opts.resilience_active()
+        _, _, sim, res = lu3d_run(options=opts)
+        assert res.resilience is None
+        assert sim.faults is None
+        assert_matches_golden("lu3d_pz4_numeric", sim, res)
+
+    def test_monitored_walk_lu3d_golden(self):
+        _, _, sim, res = lu3d_run(options=FactorOptions(fault_plan=NEVER))
+        assert res.resilience is not None
+        assert res.resilience.crashes == 0
+        assert_matches_golden("lu3d_pz4_numeric", sim, res)
+
+    def test_monitored_walk_lu2d_golden(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        grid = ProcessGrid2D(2, 3)
+        sim = Simulator(grid.size, Machine.edison_like())
+        r2d = factor_2d(sf, grid, sim,
+                        options=FactorOptions(fault_plan=NEVER))
+        assert isinstance(r2d.extras["resilience"], ResilienceStats)
+        assert_matches_golden("lu2d_default", sim)
+
+    def test_monitored_walk_merged_golden(self):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d_merged(sf, tf, grid3, sim, numeric=True,
+                               options=FactorOptions(fault_plan=NEVER))
+        assert res.resilience is not None
+        assert_matches_golden("merged_pz4_numeric", sim)
+
+    def test_monitored_walk_cholesky_golden(self):
+        sf, tf = spd_setup(14, 16, 2)
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_chol_3d(sf, tf, grid3, sim, numeric=True,
+                             options=FactorOptions(fault_plan=NEVER))
+        assert res.resilience is not None
+        assert_matches_golden("chol_pz2_numeric", sim, res)
+
+
+class TestFaultPlanConstruction:
+    def test_generate_is_seed_deterministic(self):
+        a = FaultPlan.generate(42, n_faults=5, n_grids=4, n_levels=3,
+                               n_ranks=16, t_max=0.5)
+        b = FaultPlan.generate(42, n_faults=5, n_grids=4, n_levels=3,
+                               n_ranks=16, t_max=0.5)
+        c = FaultPlan.generate(43, n_faults=5, n_grids=4, n_levels=3,
+                               n_ranks=16, t_max=0.5)
+        assert a == b
+        assert a != c
+        assert len(a) == 5
+        assert all(f.kind in FAULT_KINDS for f in a)
+
+    def test_parse_spec(self):
+        plan = FaultPlan.parse(
+            "crash:grid=1,level=2;slow:rank=3,factor=4;"
+            "drop:src=2,count=2;delay:dst=1,delay=1e-4")
+        kinds = [f.kind for f in plan]
+        assert kinds == ["crash", "slow", "drop", "delay"]
+        assert plan.crashes()[0].grid == 1
+        assert plan.mechanical()[0].slow_factor == 4.0
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.parse("crash:bogus=1")
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meltdown")
+        with pytest.raises(ValueError, match="slow_factor"):
+            Fault("slow", slow_factor=0.5)
+        with pytest.raises(ValueError, match="n_messages"):
+            Fault("drop", n_messages=0)
+        with pytest.raises(ValueError, match="recovery"):
+            FactorOptions(recovery="pray")
+
+
+class TestMechanicalFaults:
+    def test_slow_rank_bit_identical_across_runs(self):
+        plan = FaultPlan((Fault("slow", rank=0, slow_factor=3.0),))
+        runs = [ledger_dict(lu3d_run(
+            options=FactorOptions(fault_plan=plan))[2]) for _ in range(2)]
+        assert runs[0] == runs[1]
+        clean = ledger_dict(lu3d_run()[2])
+        assert runs[0]["clock"] != clean["clock"]
+        # Slowing perturbs time, never flops or traffic.
+        assert runs[0]["flops:schur"] == clean["flops:schur"]
+        assert runs[0]["words_sent:fact"] == clean["words_sent:fact"]
+
+    def test_drop_books_retransmissions(self):
+        plan = FaultPlan((Fault("drop", src=0, n_messages=3),))
+        _, _, sim, res = lu3d_run(options=FactorOptions(fault_plan=plan))
+        _, _, clean, _ = lu3d_run()
+        extra_msgs = int(sim.msgs_sent["fact"][0] - clean.msgs_sent["fact"][0])
+        assert extra_msgs == 3
+        assert sim.words_sent["fact"][0] > clean.words_sent["fact"][0]
+        # Receivers saw each payload exactly once.
+        assert sim.msgs_recv["fact"].tolist() == \
+            clean.msgs_recv["fact"].tolist()
+        assert res.resilience.faults_fired == 1
+
+    def test_delay_pushes_arrival_only(self):
+        plan = FaultPlan((Fault("delay", src=0, delay=0.5),))
+        _, _, sim, _ = lu3d_run(options=FactorOptions(fault_plan=plan))
+        _, _, clean, _ = lu3d_run()
+        assert sim.makespan >= 0.5 > clean.makespan
+        assert sim.words_sent["fact"].tolist() == \
+            clean.words_sent["fact"].tolist()
+        assert sim.msgs_sent["fact"].tolist() == \
+            clean.msgs_sent["fact"].tolist()
+
+    def test_injector_blocks_fork(self):
+        sim = Simulator(4, Machine.edison_like())
+        assert sim.can_fork()
+        sim.attach_faults(FaultInjector(
+            FaultPlan((Fault("slow", rank=0),)), sim.machine))
+        assert not sim.can_fork()
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        sf, tf, sim, res = lu3d_run()
+        return tf, sim, res.factors().to_dense()
+
+    @pytest.mark.parametrize("policy", ["restart", "z-replica"])
+    def test_crash_at_every_level(self, clean, policy):
+        tf, _, F0 = clean
+        for lvl in range(tf.l + 1):
+            plan = FaultPlan((Fault("crash", grid=0, level=lvl),))
+            _, _, sim, res = lu3d_run(options=FactorOptions(
+                fault_plan=plan, recovery=policy, checkpoint_every=20))
+            st = res.resilience
+            assert st.crashes == 1
+            assert st.faults_fired == 1
+            assert st.overhead_seconds > 0
+            assert np.isfinite(st.overhead_seconds)
+            assert st.overhead_pct > 0
+            err = float(np.abs(res.factors().to_dense() - F0).max())
+            assert err <= 1e-12, (policy, lvl, err)
+
+    def test_zreplica_leaves_survivor_clocks_untouched(self, clean):
+        _, clean_sim, _ = clean
+        plan = FaultPlan((Fault("crash", grid=0, level=1),))
+        _, _, sim, _ = lu3d_run(options=FactorOptions(
+            fault_plan=plan, recovery="z-replica"))
+        # Recovery of grid 0 at level 1 replays only its level-2 plan and
+        # the level-2 reduce from grid 1; grids 2 and 3 (ranks 8..15)
+        # never participate and keep their fault-free timelines.
+        assert sim.clock[8:16].tolist() == clean_sim.clock[8:16].tolist()
+        # The crashed grid's ranks did pay for the recovery.
+        assert (sim.clock[0:4] > clean_sim.clock[0:4]).all()
+
+    def test_zreplica_books_recovery_phase_traffic(self):
+        plan = FaultPlan((Fault("crash", grid=0, level=1),))
+        _, _, sim, res = lu3d_run(options=FactorOptions(
+            fault_plan=plan, recovery="z-replica"))
+        st = res.resilience
+        assert st.policy == "z-replica"
+        assert st.recovery_compute_seconds > 0
+        assert st.recovery_words > 0
+        assert float(sim.words_sent["rec"].sum()) == pytest.approx(
+            st.recovery_words)
+        # Fault-free phases remain comparable to the clean run.
+        _, _, clean, _ = lu3d_run()
+        assert sim.words_sent["red"].tolist() == \
+            clean.words_sent["red"].tolist()
+
+    def test_restart_without_checkpoints_replays_from_scratch(self, clean):
+        tf, _, F0 = clean
+        ref = lu3d_run()[3]
+        tid = ref.plan.levels[0].grid_plans[0].tasks[8].tid
+        plan = FaultPlan((Fault("crash", grid=0, at_task=tid),))
+        _, _, _, res = lu3d_run(options=FactorOptions(fault_plan=plan))
+        st = res.resilience
+        assert st.checkpoints_taken == 0
+        assert st.lost_work_seconds > 0
+        assert float(np.abs(res.factors().to_dense() - F0).max()) <= 1e-12
+
+    def test_checkpoints_shrink_lost_work(self):
+        ref = lu3d_run()[3]
+        tid = ref.plan.levels[0].grid_plans[0].tasks[8].tid
+        plan = FaultPlan((Fault("crash", grid=0, at_task=tid),))
+        lost = {}
+        for every in (0, 1):
+            _, _, _, res = lu3d_run(options=FactorOptions(
+                fault_plan=plan, checkpoint_every=every))
+            lost[every] = res.resilience.lost_work_seconds
+        assert lost[1] < lost[0]
+
+    def test_checkpoint_cadence_and_io_accounting(self):
+        opts = FactorOptions(checkpoint_every=5)
+        assert opts.resilience_active()
+        _, _, sim, res = lu3d_run(options=opts)
+        st = res.resilience
+        n_tasks = sum(len(gp.tasks) for step in res.plan.levels
+                      for gp in step.grid_plans)
+        assert st.checkpoints_taken == n_tasks // 5
+        assert st.checkpoint_io_seconds > 0
+        assert st.checkpoint_words > 0
+        _, _, clean, _ = lu3d_run()
+        assert sim.makespan > clean.makespan  # checkpoint writes cost time
+
+    def test_merged_falls_back_to_restart(self):
+        sf, tf = planar_setup(14, 16, 4)
+        grid3 = ProcessGrid3D(2, 2, 4)
+        plan = FaultPlan((Fault("crash", grid=0, level=1),))
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d_merged(sf, tf, grid3, sim, numeric=True,
+                               options=FactorOptions(fault_plan=plan,
+                                                     recovery="z-replica"))
+        st = res.resilience
+        assert st.policy == "restart"
+        assert st.notes and "z-replica" in st.notes[0]
+        assert st.crashes == 1
+
+    def test_2d_crash_restart(self):
+        A, geom = grid2d_5pt(12)
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+
+        def run(options=None):
+            grid = ProcessGrid2D(2, 3)
+            sim = Simulator(grid.size, Machine.edison_like())
+            data = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                        block_pattern=sf.fill.all_blocks())
+            r2d = factor_2d(sf, grid, sim, data=data, options=options)
+            return data.to_dense(), r2d
+
+        F0, _ = run()
+        plan = FaultPlan((Fault("crash", grid=0),))
+        F, r2d = run(FactorOptions(fault_plan=plan, checkpoint_every=7,
+                                   recovery="z-replica"))
+        st = r2d.extras["resilience"]
+        assert st.policy == "restart"  # degraded: no z replicas in 2D
+        assert st.crashes == 1
+        assert st.overhead_seconds > 0
+        assert float(np.abs(F - F0).max()) <= 1e-12
+
+
+class TestSerialization:
+    def test_workers_fall_back_and_match_serial(self):
+        plan = FaultPlan((Fault("crash", grid=0, level=1),))
+        ledgers = {}
+        for nw in (1, 2):
+            _, _, sim, res = lu3d_run(options=FactorOptions(
+                fault_plan=plan, recovery="z-replica", n_workers=nw,
+                parallel_backend="serial"))
+            ledgers[nw] = ledger_dict(sim)
+            if nw != 1:
+                fbs = [s for s in res.parallel_stats
+                       if isinstance(s, ParallelFallback)]
+                assert fbs and "resilience" in fbs[0].reason
+        assert ledgers[1] == ledgers[2]
+
+    def test_pool_refuses_fault_plans(self):
+        from repro.parallel.engine import ParallelExecutor
+        opts = FactorOptions(fault_plan=FaultPlan((Fault("slow"),)))
+        with pytest.raises(ValueError, match="serial"):
+            ParallelExecutor(2, "serial", None, None, opts)
+
+
+class TestReporting:
+    def test_format_resilience_stats(self):
+        plan = FaultPlan((Fault("crash", grid=0, level=1),
+                          Fault("slow", rank=0, slow_factor=2.0)))
+        _, _, _, res = lu3d_run(options=FactorOptions(
+            fault_plan=plan, recovery="z-replica", checkpoint_every=10))
+        text = format_resilience_stats(res.resilience)
+        for needle in ("recovery policy", "z-replica", "grid crashes",
+                       "checkpoints taken", "lost work", "downtime",
+                       "overhead [% of compute]"):
+            assert needle in text
+        assert res.resilience.faults_survived == 2
+        assert res.resilience.total_compute_seconds > 0
+
+    def test_cli_solve_with_faults(self, tmp_path, capsys):
+        from repro.cli import main
+        mtx = tmp_path / "m.mtx"
+        assert main(["generate", "--kind", "grid2d_5pt", "--size", "10",
+                     "--out", str(mtx)]) == 0
+        rc = main(["solve", str(mtx), "--grid", "10,10",
+                   "--px", "2", "--py", "2", "--pz", "2",
+                   "--leaf-size", "16", "--rhs", "random", "--seed", "3",
+                   "--faults", "crash:grid=0,level=0",
+                   "--checkpoint-every", "10", "--recovery", "z-replica"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience" in out
+        assert "grid crashes" in out
+
+    def test_cli_generate_seed_changes_random_matrices(self, tmp_path):
+        from repro.cli import main
+        from repro.sparse import read_matrix_market
+        paths = {}
+        for seed in (1, 2, 1):
+            p = tmp_path / f"c{seed}_{len(paths)}.mtx"
+            assert main(["generate", "--kind", "circuit", "--size", "120",
+                         "--out", str(p), "--seed", str(seed)]) == 0
+            paths[len(paths)] = read_matrix_market(str(p))
+        same = (paths[0] - paths[2]).nnz == 0
+        diff = (paths[0] != paths[1]).nnz if paths[0].shape == paths[1].shape \
+            else 1
+        assert same
+        assert diff > 0
