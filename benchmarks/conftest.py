@@ -12,6 +12,15 @@ import os
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every benchmark with the registered ``bench`` marker so
+    ``pytest -m 'not bench'`` / ``-m bench`` can select across the whole
+    tree without per-file decorators."""
+    for item in items:
+        if item.fspath and item.fspath.basename.startswith("bench_"):
+            item.add_marker(pytest.mark.bench)
+
+
 def scale() -> str:
     return os.environ.get("REPRO_SCALE", "small")
 

@@ -28,5 +28,10 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_resilience.py \
     --benchmark-only --benchmark-disable-gc -q -s
 REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
     --benchmark-only --benchmark-disable-gc -q
+# Verifier self-test gate (cheap): deleting a dependency edge from a real
+# plan MUST trip the static race detector — proves the analyzer guarding
+# the whole suite (tests/conftest.py installs it on every plan build) is
+# not vacuously green.
+python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, race detector armed"

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.comm.events import PHASES, TRACE_KINDS
+
 __all__ = ["Trace", "TraceEvent"]
 
 
@@ -27,8 +29,8 @@ class TraceEvent:
     rank: int
     start: float
     end: float
-    kind: str        # compute kind, 'send', 'recv_wait', 'offload'
-    phase: str       # 'fact' | 'red' | 'solve'
+    kind: str        # one of repro.comm.events.TRACE_KINDS
+    phase: str       # one of repro.comm.events.PHASES
     words: float = 0.0
 
     @property
@@ -46,6 +48,14 @@ class Trace:
                phase: str, words: float = 0.0) -> None:
         if end < start:
             raise ValueError("event ends before it starts")
+        # A typo'd kind/phase used to vanish silently from aggregations;
+        # the vocabularies are closed (repro.comm.events), so enforce them.
+        if kind not in TRACE_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}; "
+                             f"expected one of {TRACE_KINDS}")
+        if phase not in PHASES:
+            raise ValueError(f"unknown trace event phase {phase!r}; "
+                             f"expected one of {PHASES}")
         if end > start or words:
             self.events.append(TraceEvent(rank, start, end, kind, phase,
                                           words))

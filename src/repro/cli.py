@@ -106,6 +106,27 @@ def cmd_solve(args) -> int:
                     leaf_size=args.leaf_size, machine=Machine.edison_like(),
                     options=opts)
     solver.factorize()
+    if args.verify_plan:
+        from repro.verify import analyze_plan, conservation_issues
+        report = analyze_plan(solver.result.plan, solver.sf)
+        print(report.summary())
+        if not report.ok:
+            for issue in report.issues:
+                print(f"  [{issue.kind}] {issue.message}")
+            return 1
+        if fault_plan is None:
+            issues = conservation_issues(solver.sim, solver.result.plan)
+            if issues:
+                print("ledger conservation FAILED:")
+                for msg in issues:
+                    print(f"  {msg}")
+                return 1
+            print("ledger conservation: clean (send/recv symmetric, "
+                  "totals match the plan's static cost model)")
+        else:
+            print("ledger conservation: skipped (fault injection "
+                  "retransmits messages, breaking send/recv symmetry "
+                  "by design)")
     n = A.shape[0]
     rng = np.random.default_rng(args.seed)
     b = np.ones(n) if args.rhs == "ones" else rng.standard_normal(n)
@@ -252,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="host worker processes for the per-level grid "
                         "fan-out (0 = one per core, 1 = serial); ledgers "
                         "and factors are identical at any setting")
+    s.add_argument("--verify-plan", action="store_true",
+                   help="after factorization, run the static plan analyzer "
+                        "(races, cycles, malformed collectives) and the "
+                        "ledger-conservation oracle; non-zero exit on any "
+                        "finding")
     s.add_argument("--dump-plan", action="store_true",
                    help="print the execution plan's task-kind totals and "
                         "critical-path length (tasks + modeled alpha-beta "

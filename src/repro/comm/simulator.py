@@ -53,6 +53,10 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+# COMPUTE_KINDS / PHASES are canonically defined in repro.comm.events and
+# re-exported here: the ledger layout is keyed by them and most callers
+# import them alongside the Simulator.
+from repro.comm.events import COMPUTE_KINDS, PHASES
 from repro.comm.machine import Machine
 from repro.utils import check_positive_int
 
@@ -64,15 +68,6 @@ __all__ = ["Simulator", "CommError", "LedgerDelta"]
 
 class CommError(RuntimeError):
     """A causality or protocol violation in the simulated schedule."""
-
-
-#: Compute kinds the simulator recognizes; ledgers are per kind.
-COMPUTE_KINDS = ("diag", "panel", "schur", "reduce_add", "solve")
-
-#: Communication phases for volume attribution (Fig. 10 split).
-#: ``'rec'`` carries z-replica recovery traffic (repro.resilience) so
-#: fault-free phases stay comparable across faulty and clean runs.
-PHASES = ("fact", "red", "solve", "rec")
 
 
 @dataclass

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm.grid import ProcessGrid2D
-from repro.comm.simulator import LedgerDelta, Simulator
+from repro.comm.simulator import CommError, LedgerDelta, Simulator
 
 __all__ = ["BACKENDS", "GridTask", "GridOutcome", "LevelStats",
            "ParallelExecutor", "ParallelFallback", "resolve_workers"]
@@ -227,6 +227,20 @@ class ParallelExecutor:
         the level's serialized share together with the merge time the
         caller reports via :meth:`add_merge_seconds`.
         """
+        # Pre-flight: a task whose plan references ranks outside its own
+        # grid span would book events on a sibling fork's ranks, and the
+        # merge would silently corrupt the ledgers (extract_delta catches
+        # it only after the work is done). Import here — repro.verify's
+        # fuzzer reaches back into the 3D drivers, which import us.
+        from repro.verify.static import grid_plan_rank_escapes
+
+        for task in tasks:
+            if task.plan is not None:
+                escapes = grid_plan_rank_escapes(task.plan)
+                if escapes:
+                    raise CommError(
+                        f"grid {task.g} plan references ranks outside its "
+                        f"span before fan-out: {escapes[:3]}")
         t0 = time.perf_counter()
         if self.backend == "serial":
             outcomes = [_execute(self._sf, self._factor_fn, self._options, t)

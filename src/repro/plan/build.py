@@ -36,7 +36,17 @@ from repro.plan.tasks import (
     Plan3D,
 )
 
-__all__ = ["TidCounter", "build_grid_plan", "build_3d_plan", "sink_tids"]
+__all__ = ["TidCounter", "build_grid_plan", "build_3d_plan", "sink_tids",
+           "POST_BUILD_HOOK"]
+
+#: Optional callback ``hook(plan, sf)`` invoked on every *complete* plan
+#: this module builds: each standalone :class:`GridPlan` and each finished
+#: :class:`Plan3D` (not the per-grid sub-plans inside a 3D build, which
+#: are only fragments of the DAG until the reduces and barriers land).
+#: The test suite installs the static analyzer here
+#: (:func:`repro.verify.static.analyze_plan`) so every plan built anywhere
+#: in a test run is race-checked for free.
+POST_BUILD_HOOK = None
 
 
 class TidCounter:
@@ -128,8 +138,11 @@ def build_grid_plan(sf, nodes, grid: ProcessGrid2D,
         for a in anc_in_list[k]:
             pending[a] -= 1
 
-    return GridPlan(backend=backend, g=g, level=level, px=grid.px,
+    plan = GridPlan(backend=backend, g=g, level=level, px=grid.px,
                     py=grid.py, base=grid.base, nodes=nodes, tasks=tasks)
+    if POST_BUILD_HOOK is not None and counter is None:
+        POST_BUILD_HOOK(plan, sf)
+    return plan
 
 
 def _merged_grid(grid3: ProcessGrid3D, first_layer: int, nlayers: int
@@ -227,7 +240,10 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
         levels.append(LevelStep(level=lvl, grid_plans=grid_plans,
                                 reduces=reduces, barrier=barrier))
 
-    return Plan3D(backend=backend, merged=merged, levels=levels)
+    plan = Plan3D(backend=backend, merged=merged, levels=levels)
+    if POST_BUILD_HOOK is not None:
+        POST_BUILD_HOOK(plan, sf)
+    return plan
 
 
 def _ancestor_blocks(sf, tf, blocks_fn, grid_for_forests: int,

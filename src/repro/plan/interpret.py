@@ -35,7 +35,8 @@ from repro.plan.tasks import (
     SchurUpdate,
 )
 
-__all__ = ["GridContext", "execute_grid_plan", "execute_reduce"]
+__all__ = ["GridContext", "dispatch_task", "execute_grid_plan",
+           "execute_reduce"]
 
 
 class _NullStore:
@@ -135,6 +136,26 @@ class GridContext:
             setattr(self.result, f, val)
 
 
+def dispatch_task(be, ctx: GridContext, task) -> None:
+    """Execute one grid-plan task body against its context.
+
+    Shared by :func:`execute_grid_plan` (list-order walk) and the
+    schedule fuzzer (:mod:`repro.verify.fuzz`), which replays tasks in
+    randomized legal orders — both paths book events through the exact
+    same backend calls and bookkeeping.
+    """
+    if isinstance(task, PanelFactor):
+        be.exec_panel_factor(ctx, task)
+        ctx.result.panel_steps += 1
+    elif isinstance(task, PanelBcast):
+        be.exec_panel_bcast(ctx, task)
+    elif isinstance(task, SchurUpdate):
+        be.exec_schur(ctx, task)
+        ctx.free_buffers(task.node)
+    else:  # pragma: no cover - builders emit only the three kinds
+        raise TypeError(f"unexpected task in grid plan: {task!r}")
+
+
 def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
                       options: FactorOptions | None = None,
                       grid: ProcessGrid2D | None = None,
@@ -167,16 +188,7 @@ def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
         task = tasks[idx]
         if monitor is not None:
             monitor.before_task(plan, ctx, idx, task)
-        if isinstance(task, PanelFactor):
-            be.exec_panel_factor(ctx, task)
-            ctx.result.panel_steps += 1
-        elif isinstance(task, PanelBcast):
-            be.exec_panel_bcast(ctx, task)
-        elif isinstance(task, SchurUpdate):
-            be.exec_schur(ctx, task)
-            ctx.free_buffers(task.node)
-        else:  # pragma: no cover - builders emit only the three kinds
-            raise TypeError(f"unexpected task in grid plan: {task!r}")
+        dispatch_task(be, ctx, task)
         if monitor is not None:
             monitor.after_task(plan, ctx, idx, task)
 

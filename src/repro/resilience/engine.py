@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.events import PHASE_FACT, PHASE_REC, PHASE_RED
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import Simulator
 from repro.lu2d.options import Factor2DResult, FactorOptions
@@ -339,8 +340,8 @@ class ResilienceEngine:
         # by the previous boundary's reduce.
         self.data.restore_grid(gp.g, self._initial)
         compute0 = self._compute_sum()
-        words0 = float(sim.words_sent["rec"].sum())
-        sim.set_phase("rec")
+        words0 = float(sim.words_sent[PHASE_REC].sum())
+        sim.set_phase(PHASE_REC)
         sink = _RecoveryCounters()
         for kind, item in self.plan3.recovery_schedule(gp.g, li):
             if kind == "plan":
@@ -351,9 +352,9 @@ class ResilienceEngine:
             else:
                 execute_reduce(item, sim, sink,
                                accumulate=self.data.accumulate)
-        sim.set_phase("fact")
+        sim.set_phase(PHASE_FACT)
         st.recovery_compute_seconds += self._compute_sum() - compute0
-        st.recovery_words += float(sim.words_sent["rec"].sum()) - words0
+        st.recovery_words += float(sim.words_sent[PHASE_REC].sum()) - words0
         self._since_checkpoint = 0
         # Resume the crashed plan from scratch: the grid is now exactly
         # in its level-entry state.
@@ -398,7 +399,7 @@ def execute_plan3d_resilient(plan3, sf, sim: Simulator, result, opts,
     ctx = None
     while li < len(levels):
         step = levels[li]
-        sim.set_phase("fact")
+        sim.set_phase(PHASE_FACT)
         while gi < len(step.grid_plans):
             gp = step.grid_plans[gi]
             engine.enter_plan(li, gi, gp)
@@ -410,20 +411,20 @@ def execute_plan3d_resilient(plan3, sf, sim: Simulator, result, opts,
             except GridCrash as crash:
                 li, gi, ti, ctx = engine.recover(crash)
                 step = levels[li]
-                sim.set_phase("fact")
+                sim.set_phase(PHASE_FACT)
                 continue
             absorb(result, r2d)
             gi += 1
             ti = 0
             ctx = None
         if step.level > 0:
-            sim.set_phase("red")
+            sim.set_phase(PHASE_RED)
             for red in step.reduces:
                 execute_reduce(red, sim, result, accumulate=data.accumulate)
         result.per_level_makespan.append(sim.makespan)
         li += 1
         gi = 0
-    sim.set_phase("fact")
+    sim.set_phase(PHASE_FACT)
     engine.finish()
 
 

@@ -1,0 +1,160 @@
+"""Per-task block-access sets and rank footprints for plan verification.
+
+This is the semantic model the static analyzer (:mod:`repro.verify.static`)
+and the schedule fuzzer (:mod:`repro.verify.fuzz`) share: what memory a
+task touches, in which mode, and which simulated ranks its ledger events
+land on.
+
+Access modes
+------------
+``READ``
+    The task consumes the block's current value.
+``WRITE``
+    Exclusive overwrite (diagonal factorization, in-place panel solve).
+``ACCUM``
+    Additive update (``block -= L @ U``). Two accumulations into the same
+    block commute — numerically up to floating-point reassociation, which
+    is exactly why the fuzzer's factor tolerance is 1e-12 rather than
+    bit-exact for schedules that may reorder them — so ``ACCUM``/``ACCUM``
+    pairs are *not* conflicts. Every other same-block pairing (R/W, W/W,
+    W/A, R/A) is a conflict and must be ordered by a dependency path.
+
+Views
+-----
+Block keys are scoped by a *view*: in the standard 3D algorithm each
+z-grid owns a full replica of its ancestor blocks
+(:class:`repro.lu3d.replication.ReplicaManager`), so grid ``g``'s
+``(i, j)`` and grid ``g'``'s ``(i, j)`` are different memory. The merged
+variant keeps one global copy (``GLOBAL_VIEW``) shared by every merged
+grid, and its redistribution reduces move no replica content (the numeric
+accumulate is a no-op there), so they carry no block accesses at all —
+only structural checks apply to them.
+"""
+
+from __future__ import annotations
+
+from repro.plan.tasks import AncestorReduce, PanelBcast, PanelFactor, \
+    SchurUpdate
+
+__all__ = ["READ", "WRITE", "ACCUM", "GLOBAL_VIEW", "conflicts",
+           "grid_task_accesses", "reduce_accesses", "grid_task_ranks",
+           "reduce_ranks", "panel_buffer_ranks"]
+
+READ = "R"
+WRITE = "W"
+ACCUM = "A"
+
+#: View key of the merged variant's single global block store.
+GLOBAL_VIEW = "global"
+
+
+def conflicts(m1: str, m2: str) -> bool:
+    """Whether two same-block accesses require a dependency path."""
+    if m1 == READ and m2 == READ:
+        return False
+    if m1 == ACCUM and m2 == ACCUM:
+        return False
+    return True
+
+
+def grid_task_accesses(backend: str, sf, task) -> list[tuple[int, int, str]]:
+    """``(i, j, mode)`` for every block a grid-plan task touches.
+
+    Mirrors the kernel backends (:mod:`repro.plan.backends`): the LU Schur
+    update reads both panels and accumulates into the full ``lp x up``
+    cross product; the Cholesky one reads the L panel and accumulates into
+    the lower triangle of its outer product.
+    """
+    if isinstance(task, PanelFactor):
+        return [(task.node, task.node, WRITE)]
+    if isinstance(task, PanelBcast):
+        i, j = task.block
+        return [(task.node, task.node, READ), (int(i), int(j), WRITE)]
+    if isinstance(task, SchurUpdate):
+        k = task.node
+        lp = [int(i) for i in sf.fill.lpanel[k]]
+        acc: list[tuple[int, int, str]] = []
+        if backend == "cholesky":
+            for a, i in enumerate(lp):
+                acc.append((i, k, READ))
+                for j in lp[:a + 1]:
+                    acc.append((i, j, ACCUM))
+        else:
+            up = [int(j) for j in sf.fill.upanel[k]]
+            for i in lp:
+                acc.append((i, k, READ))
+            for j in up:
+                acc.append((k, j, READ))
+            for i in lp:
+                for j in up:
+                    acc.append((i, j, ACCUM))
+        return acc
+    return []
+
+
+def reduce_accesses(task: AncestorReduce) -> list[tuple[int, int, int, str]]:
+    """``(grid, i, j, mode)`` for a standard Ancestor-Reduction task.
+
+    The destination replica accumulates (``dst += src``), which commutes
+    with the destination grid's own Schur accumulations into the same
+    block; the source replica is only read. The merged variant's
+    redistribution carries no replica accesses (single global copy, no-op
+    accumulate) and returns an empty list.
+    """
+    if task.ops is not None:
+        return []
+    out: list[tuple[int, int, int, str]] = []
+    for i, j in zip(task.rows.tolist(), task.cols.tolist()):
+        out.append((task.src_grid, int(i), int(j), READ))
+        out.append((task.dst_grid, int(i), int(j), ACCUM))
+    return out
+
+
+def grid_task_ranks(backend: str, sf, task, grid,
+                    buffer_ranks: frozenset | None = None) -> set[int]:
+    """Ranks a grid-plan task books simulator events on (a superset).
+
+    ``buffer_ranks`` is the node's panel-broadcast participant set (from
+    :func:`panel_buffer_ranks`): the Schur update frees the node's
+    transient receive buffers, so its memory-ledger events also land
+    there. Supersets are safe — the fuzzer only uses footprints to *add*
+    ordering constraints.
+    """
+    ranks: set[int] = set()
+    if isinstance(task, (PanelFactor, PanelBcast)):
+        ranks.add(task.owner)
+        for spec in task.bcasts:
+            ranks.add(spec.root)
+            ranks.update(spec.ranks)
+            if spec.route_from is not None:
+                ranks.add(spec.route_from)
+    elif isinstance(task, SchurUpdate):
+        for i, j, _m in grid_task_accesses(backend, sf, task):
+            ranks.add(grid.owner(i, j))
+        if buffer_ranks:
+            ranks.update(buffer_ranks)
+    return ranks
+
+
+def reduce_ranks(task: AncestorReduce) -> set[int]:
+    """Ranks an Ancestor-Reduction books events on."""
+    if task.ops is not None:
+        ranks: set[int] = set()
+        for _op, src, dst, _w in task.ops:
+            ranks.add(int(src))
+            ranks.add(int(dst))
+        return ranks
+    return set(task.srcs.tolist()) | set(task.dsts.tolist())
+
+
+def panel_buffer_ranks(plan) -> dict[int, frozenset]:
+    """Per node: every rank that may hold one of its transient panel
+    receive buffers (allocated by the node's diagonal and panel
+    broadcasts, freed by its Schur update)."""
+    out: dict[int, set[int]] = {}
+    for t in plan.tasks:
+        if isinstance(t, (PanelFactor, PanelBcast)):
+            s = out.setdefault(t.node, set())
+            for spec in t.bcasts:
+                s.update(spec.ranks)
+    return {node: frozenset(s) for node, s in out.items()}

@@ -1,0 +1,355 @@
+"""Schedule fuzzer: execute a plan under random legal orders, diff ledgers.
+
+The plan layer's central claim is that the task DAG carries *every*
+ordering that matters — that any legal schedule produces the same
+simulator ledgers and factors as the canonical list order. The fuzzer
+tests this dynamically: it draws N seeded random **legal schedules**,
+replays each through the existing interpreter machinery
+(:func:`repro.plan.interpret.dispatch_task` — the exact same backend
+calls the drivers use), and diffs every per-rank ledger bit-for-bit plus
+the numeric factors to 1e-12 against the canonical order.
+
+What "legal schedule" means
+---------------------------
+A linear extension of the dependency DAG that also preserves the
+canonical relative order of tasks whose **rank footprints intersect**
+(conflict-equivalence, in trace-theory terms). The second constraint is
+what makes *bit*-exactness provable rather than approximate: per-rank
+clocks accumulate floating-point sums and ``max()`` waits, the memory
+peak depends on alloc/free interleaving, and the per-``(src, dst)``
+message queues are FIFOs — all of them are invariant exactly when every
+rank sees its events in the canonical order, which rank-disjoint
+commutation preserves. Tasks on disjoint rank sets (sibling z-grids of a
+level, independent lookahead panels) are genuinely reorderable, and
+those reorderings are what the fuzzer explores. The integer-valued
+ledgers (words, messages, flops, event counts) would survive arbitrary
+topological orders; the clocks and peaks would not.
+
+Factors: in the standard (replica) variant every access to a given block
+lands on its owner rank, so block arithmetic orders are preserved and
+factors stay bit-identical too. The merged variant's single global store
+is updated from *different* ranks across sibling grids, so a reorder may
+reassociate floating-point accumulations — that is the 1e-12 tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.events import PHASE_FACT, PHASE_RED
+from repro.comm.grid import ProcessGrid2D
+from repro.comm.machine import Machine
+from repro.comm.simulator import Simulator
+from repro.lu2d.options import FactorOptions
+from repro.plan.backends import get_backend
+from repro.plan.build import build_3d_plan, build_grid_plan
+from repro.plan.interpret import GridContext, dispatch_task, execute_reduce
+from repro.plan.tasks import GridPlan, Plan3D
+from repro.verify.access import (
+    grid_task_ranks,
+    panel_buffer_ranks,
+    reduce_ranks,
+)
+from repro.verify.oracle import ledger_state
+
+__all__ = ["FuzzReport", "fuzz_2d", "fuzz_3d", "random_legal_orders"]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run (one driver configuration)."""
+
+    driver: str
+    n_units: int
+    n_orders: int = 0
+    #: How many sampled orders actually differed from the canonical one
+    #: (an all-identity sample would make the run vacuous).
+    n_perturbed: int = 0
+    #: Ledger keys that diverged, as ``"order <seed>: <key>"`` strings.
+    ledger_mismatches: list[str] = field(default_factory=list)
+    #: Max relative deviation of the factors across orders (0.0 for
+    #: cost-only runs).
+    factor_max_dev: float = 0.0
+    factor_tol: float = 1e-12
+    #: Ledger state of the canonical (identity-order) run — lets tests
+    #: pin the fuzzer's baseline to the real driver's ledgers.
+    canonical_ledger: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.ledger_mismatches \
+            and self.factor_max_dev <= self.factor_tol
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else \
+            f"FAILED ({len(self.ledger_mismatches)} ledger mismatches, " \
+            f"factor dev {self.factor_max_dev:.2e})"
+        return (f"fuzz[{self.driver}]: {self.n_orders} orders "
+                f"({self.n_perturbed} perturbed) over {self.n_units} "
+                f"units -- {status}")
+
+
+def random_legal_orders(n: int, edges, n_orders: int, seed: int):
+    """Seeded random linear extensions of the constraint DAG.
+
+    ``edges`` is an iterable of ``(u, v)`` position pairs meaning "u
+    before v". Each order is drawn by Kahn's algorithm with a seeded
+    uniform choice from the ready set — every legal schedule has nonzero
+    probability. Yields position lists of length ``n``.
+    """
+    succ: list[list[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for u, v in edges:
+        succ[u].append(v)
+        indeg[v] += 1
+    for s in range(n_orders):
+        rng = np.random.default_rng(seed + s)
+        deg = list(indeg)
+        ready = [i for i in range(n) if deg[i] == 0]
+        order: list[int] = []
+        while ready:
+            pick = int(rng.integers(len(ready)))
+            u = ready.pop(pick)
+            order.append(u)
+            for v in succ[u]:
+                deg[v] -= 1
+                if deg[v] == 0:
+                    ready.append(v)
+        if len(order) != n:  # pragma: no cover - cyclic constraint graph
+            raise ValueError("constraint graph has a cycle; cannot fuzz")
+        yield order
+
+
+# -- schedulable units -----------------------------------------------------
+
+class _Unit:
+    """One schedulable unit: a grid task, a reduce, or a barrier."""
+
+    __slots__ = ("kind", "task", "ctx_key", "phase", "ranks")
+
+    def __init__(self, kind, task, ctx_key=None, phase=PHASE_FACT,
+                 ranks=frozenset()):
+        self.kind = kind          # 'grid' | 'reduce' | 'barrier'
+        self.task = task
+        self.ctx_key = ctx_key    # which GridContext executes it
+        self.phase = phase
+        self.ranks = ranks
+
+
+def _plan3d_units(plan3: Plan3D, sf) -> tuple[list[_Unit], dict]:
+    """Flatten a 3D plan into canonical-order units + per-context plans."""
+    units: list[_Unit] = []
+    ctx_plans: dict = {}
+    for li, step in enumerate(plan3.levels):
+        for gi, gp in enumerate(step.grid_plans):
+            key = (li, gi)
+            ctx_plans[key] = gp
+            grid = ProcessGrid2D(gp.px, gp.py, base=gp.base)
+            bufranks = panel_buffer_ranks(gp)
+            for t in gp.tasks:
+                ranks = grid_task_ranks(
+                    gp.backend, sf, t, grid,
+                    buffer_ranks=bufranks.get(t.node))
+                units.append(_Unit("grid", t, ctx_key=key,
+                                   ranks=frozenset(ranks)))
+        for red in step.reduces:
+            units.append(_Unit("reduce", red, phase=PHASE_RED,
+                               ranks=frozenset(reduce_ranks(red))))
+        units.append(_Unit("barrier", step.barrier))
+    return units, ctx_plans
+
+
+def _grid_plan_units(plan: GridPlan, sf) -> tuple[list[_Unit], dict]:
+    grid = ProcessGrid2D(plan.px, plan.py, base=plan.base)
+    bufranks = panel_buffer_ranks(plan)
+    key = (0, 0)
+    units = [_Unit("grid", t, ctx_key=key,
+                   ranks=frozenset(grid_task_ranks(
+                       plan.backend, sf, t, grid,
+                       buffer_ranks=bufranks.get(t.node))))
+             for t in plan.tasks]
+    return units, {key: plan}
+
+
+def _constraint_edges(units: list[_Unit]) -> set[tuple[int, int]]:
+    """Dep edges plus per-rank canonical chains (conflict-equivalence)."""
+    pos_of = {u.task.tid: p for p, u in enumerate(units)}
+    edges: set[tuple[int, int]] = set()
+    for p, u in enumerate(units):
+        for d in u.task.deps:
+            dp = pos_of.get(d)
+            if dp is not None and dp != p:
+                edges.add((dp, p))
+    last_on_rank: dict[int, int] = {}
+    for p, u in enumerate(units):
+        for r in u.ranks:
+            prev = last_on_rank.get(r)
+            if prev is not None:
+                edges.add((prev, p))
+            last_on_rank[r] = p
+    return edges
+
+
+class _CounterSink:
+    """Throwaway reduction-counter receiver (fuzz runs keep no result)."""
+
+    def __init__(self) -> None:
+        self.reduction_messages = 0
+        self.reduction_words = 0.0
+
+
+def _run_order(units, ctx_plans, order, setup, sf, opts):
+    """Execute one schedule; return ``(ledger_state, dense_factors)``."""
+    sim, data, factors_fn = setup()
+    contexts: dict = {}
+    backends = {key: get_backend(gp.backend)
+                for key, gp in ctx_plans.items()}
+    sink = _CounterSink()
+    for p in order:
+        u = units[p]
+        if u.kind == "barrier":
+            continue
+        sim.set_phase(u.phase)
+        if u.kind == "reduce":
+            execute_reduce(u.task, sim, sink, accumulate=data.accumulate)
+        else:
+            ctx = contexts.get(u.ctx_key)
+            if ctx is None:
+                gp = ctx_plans[u.ctx_key]
+                grid = ProcessGrid2D(gp.px, gp.py, base=gp.base)
+                ctx = GridContext(gp, sf, grid, sim, data.view(gp), opts)
+                contexts[u.ctx_key] = ctx
+            dispatch_task(backends[u.ctx_key], ctx, u.task)
+    sim.set_phase(PHASE_FACT)
+    if sim.pending_messages():  # pragma: no cover - would be a plan bug
+        raise AssertionError("messages left in flight after the schedule")
+    F = factors_fn() if factors_fn is not None else None
+    return ledger_state(sim), F
+
+
+def _fuzz(units, ctx_plans, setup, sf, opts, *, driver: str,
+          n_orders: int, seed: int) -> FuzzReport:
+    report = FuzzReport(driver=driver, n_units=len(units))
+    edges = _constraint_edges(units)
+    identity = list(range(len(units)))
+    canonical_ledger, canonical_F = _run_order(units, ctx_plans, identity,
+                                               setup, sf, opts)
+    report.canonical_ledger = canonical_ledger
+    for i, order in enumerate(
+            random_legal_orders(len(units), edges, n_orders, seed)):
+        report.n_orders += 1
+        if order != identity:
+            report.n_perturbed += 1
+        ledger, F = _run_order(units, ctx_plans, order, setup, sf, opts)
+        for key, val in canonical_ledger.items():
+            if ledger.get(key) != val:
+                report.ledger_mismatches.append(f"order {seed + i}: {key}")
+        if F is not None:
+            scale = max(1.0, float(np.abs(canonical_F).max()))
+            dev = float(np.abs(F - canonical_F).max()) / scale
+            report.factor_max_dev = max(report.factor_max_dev, dev)
+    return report
+
+
+# -- driver-faithful entry points ------------------------------------------
+
+def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
+            numeric: bool = False, n_orders: int = 25, seed: int = 0,
+            options: FactorOptions | None = None, machine=None,
+            matrix=None) -> FuzzReport:
+    """Fuzz a 3D plan (standard, merged, or Cholesky via ``backend``).
+
+    Builds the plan and the numeric state exactly as the corresponding
+    driver does (:func:`repro.lu3d.factor3d.factor_3d` /
+    :func:`repro.lu3d.merged.factor_3d_merged` /
+    :func:`repro.cholesky.factor_chol_3d`), so the identity-order run
+    books the drivers' golden-pinned ledgers — the tests assert that
+    chain explicitly.
+    """
+    # Imported here: repro.lu3d.factor3d pulls repro.parallel, which in
+    # turn reaches back into repro.verify for its pre-flight check.
+    from repro.lu3d.factor3d import (
+        CostOnlyData,
+        GlobalStoreData,
+        ReplicaData,
+    )
+    from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
+    from repro.sparse.blockmatrix import BlockMatrix
+
+    opts = options or FactorOptions()
+    mach = machine if machine is not None else Machine.edison_like()
+    if backend == "cholesky" and numeric and matrix is None:
+        import scipy.sparse as sp
+        matrix = sp.tril(sf.A_perm).tocsr()
+    blocks_fn = get_backend(backend).node_blocks
+
+    if merged:
+        plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu",
+                              merged=True)
+        charge = replica_words_per_rank(sf, tf, grid3)
+    else:
+        plan3 = build_3d_plan(sf, tf, grid3, opts, backend=backend,
+                              merged=False, blocks_fn=blocks_fn)
+        charge = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+
+    def setup():
+        sim = Simulator(grid3.size, mach)
+        for r in np.flatnonzero(charge):
+            sim.alloc(int(r), float(charge[r]))
+        if not numeric:
+            return sim, CostOnlyData(), None
+        if merged:
+            store = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+                                         block_pattern=sf.fill.all_blocks())
+            return sim, GlobalStoreData(store), store.to_dense
+        pattern = {(i, j) for v in range(sf.nb)
+                   for i, j, _w in blocks_fn(sf, v)}
+        A_vals = sf.A_perm if matrix is None else matrix
+        base = BlockMatrix.from_csr(A_vals, sf.layout,
+                                    block_pattern=pattern)
+        replicas = ReplicaManager(sf, tf, base, blocks_fn=blocks_fn)
+        return sim, ReplicaData(replicas), \
+            lambda: replicas.home_view().to_block_matrix().to_dense()
+
+    units, ctx_plans = _plan3d_units(plan3, sf)
+    name = "merged" if merged else backend
+    return _fuzz(units, ctx_plans, setup, sf, opts,
+                 driver=f"{name}3d{'_numeric' if numeric else ''}",
+                 n_orders=n_orders, seed=seed)
+
+
+def fuzz_2d(sf, grid, *, backend: str = "lu", numeric: bool = False,
+            n_orders: int = 25, seed: int = 0,
+            options: FactorOptions | None = None, machine=None
+            ) -> FuzzReport:
+    """Fuzz a single-grid 2D plan (:func:`repro.lu2d.factor2d.factor_2d`
+    setup: full node range, static factor storage charged up front)."""
+    from repro.lu2d.storage import allocate_factor_storage
+    from repro.lu3d.factor3d import CostOnlyData, GlobalStoreData
+    from repro.sparse.blockmatrix import BlockMatrix
+
+    opts = options or FactorOptions()
+    mach = machine if machine is not None else Machine.edison_like()
+    nodes = list(range(sf.nb))
+    plan = build_grid_plan(sf, nodes, grid, opts, backend=backend)
+
+    def setup():
+        sim = Simulator(grid.size, mach)
+        allocate_factor_storage(sf, nodes, grid, sim)
+        if not numeric:
+            return sim, CostOnlyData(), None
+        if backend == "cholesky":
+            import scipy.sparse as sp
+            A_vals = sp.tril(sf.A_perm).tocsr()
+        else:
+            A_vals = sf.A_perm
+        store = BlockMatrix.from_csr(A_vals, sf.layout,
+                                     block_pattern=sf.fill.all_blocks())
+        return sim, GlobalStoreData(store), store.to_dense
+
+    units, ctx_plans = _grid_plan_units(plan, sf)
+    return _fuzz(units, ctx_plans, setup, sf, opts,
+                 driver=f"{backend}2d{'_numeric' if numeric else ''}",
+                 n_orders=n_orders, seed=seed)

@@ -1,0 +1,179 @@
+"""Independent oracles: ledger conservation and numeric factor checks.
+
+Two families of cross-checks that don't trust the code paths they verify:
+
+* **Ledger conservation** — the simulator's per-rank ledgers, summed,
+  must satisfy invariants that hold mechanically for any causally valid
+  schedule (every word sent is received, every send event has a matching
+  recv event) and must agree with the *static* cost model: the plan
+  walker (:class:`repro.analysis.PlanStats`) predicts total messages,
+  words, and per-kind flops without executing anything, so a dynamic run
+  that booked different totals executed a different schedule than it
+  planned.
+
+  These invariants hold for a **fault-free run before any solve phase**:
+  fault injection retransmits dropped messages (the sender books extra
+  traffic the receiver never sees, deliberately breaking send/recv
+  symmetry), and the triangular solves book events the factorization
+  plan doesn't describe. :func:`conservation_issues` must therefore be
+  applied between ``factorize()`` and ``solve()`` on an un-faulted
+  simulator — which is exactly how the CLI's ``--verify-plan`` and the
+  tests use it.
+
+* **Numeric factors** — the packed factors are checked against dense
+  references that share no code with the block kernels:
+  ``||L@U - A||_F / ||A||_F`` for LU (no pivoting across block rows, so
+  the residual is exact up to conditioning), and
+  ``scipy.linalg.cholesky`` for the SPD variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import PlanStats
+from repro.comm.events import COMPUTE_KINDS, PHASE_FACT, PHASE_RED, PHASES
+from repro.comm.simulator import Simulator
+
+__all__ = ["VerificationError", "ledger_state", "conservation_issues",
+           "check_conservation", "lu_residual", "cholesky_error",
+           "verify_factors"]
+
+#: Relative tolerance for float totals (words, flops): the static model
+#: and the simulator sum the same numbers in different orders.
+_REL = 1e-12
+
+
+class VerificationError(AssertionError):
+    """An oracle cross-check failed."""
+
+
+def ledger_state(sim: Simulator) -> dict:
+    """Full ledger state as plain lists/ints, comparable with ``==``.
+
+    Same shape as the golden-ledger files: per-rank clocks, memory,
+    per-kind flops/compute-time, per-phase traffic, and event counts.
+    Two runs with equal ``ledger_state`` are bit-for-bit
+    indistinguishable to every analysis built on the simulator.
+    """
+    out: dict = {"clock": sim.clock.tolist(),
+                 "mem_current": sim.mem_current.tolist(),
+                 "mem_peak": sim.mem_peak.tolist()}
+    for k in COMPUTE_KINDS:
+        out[f"flops:{k}"] = sim.flops[k].tolist()
+        out[f"t_compute:{k}"] = sim.t_compute[k].tolist()
+    for p in PHASES:
+        out[f"words_sent:{p}"] = sim.words_sent[p].tolist()
+        out[f"words_recv:{p}"] = sim.words_recv[p].tolist()
+        out[f"msgs_sent:{p}"] = sim.msgs_sent[p].tolist()
+        out[f"msgs_recv:{p}"] = sim.msgs_recv[p].tolist()
+    out["event_counts"] = {k: int(v) for k, v in sim.event_counts.items()}
+    return out
+
+
+def _close(a: float, b: float) -> bool:
+    return bool(np.isclose(a, b, rtol=_REL, atol=1e-9))
+
+
+def conservation_issues(sim: Simulator, plan=None, machine=None
+                        ) -> list[str]:
+    """Conservation/cost-model discrepancies (empty list = clean).
+
+    Valid on a fault-free simulator before any solve phase — see the
+    module docstring for why. With ``plan`` given, also reconciles the
+    factorization-phase (``fact`` + ``red``) traffic and the per-kind
+    flops against :meth:`repro.analysis.PlanStats.from_plan`.
+    """
+    issues: list[str] = []
+    if sim.pending_messages():
+        issues.append(f"{sim.pending_messages()} messages still in flight")
+    for p in PHASES:
+        ws = float(sim.words_sent[p].sum())
+        wr = float(sim.words_recv[p].sum())
+        if not _close(ws, wr):
+            issues.append(f"phase {p!r}: {ws} words sent != {wr} received")
+        ms = int(sim.msgs_sent[p].sum())
+        mr = int(sim.msgs_recv[p].sum())
+        if ms != mr:
+            issues.append(f"phase {p!r}: {ms} msgs sent != {mr} received")
+    n_send = int(sim.event_counts.get("send", 0))
+    n_recv = int(sim.event_counts.get("recv", 0))
+    if n_send != n_recv:
+        issues.append(f"event counts: {n_send} sends != {n_recv} recvs")
+    if plan is not None:
+        stats = PlanStats.from_plan(plan, machine or sim.machine)
+        got_msgs = int(sim.msgs_sent[PHASE_FACT].sum()
+                       + sim.msgs_sent[PHASE_RED].sum())
+        if got_msgs != stats.comm_msgs:
+            issues.append(f"simulator booked {got_msgs} factorization "
+                          f"messages, plan predicts {stats.comm_msgs}")
+        got_words = float(sim.words_sent[PHASE_FACT].sum()
+                          + sim.words_sent[PHASE_RED].sum())
+        if not _close(got_words, stats.comm_words):
+            issues.append(f"simulator booked {got_words} factorization "
+                          f"words, plan predicts {stats.comm_words}")
+        for kind in COMPUTE_KINDS:
+            want = float(stats.flops_by_kind.get(kind, 0.0))
+            got = float(sim.flops[kind].sum())
+            if not _close(got, want):
+                issues.append(f"flops[{kind}]: simulator booked {got}, "
+                              f"plan predicts {want}")
+    return issues
+
+
+def check_conservation(sim: Simulator, plan=None, machine=None) -> None:
+    """Raise :class:`VerificationError` on any conservation issue."""
+    issues = conservation_issues(sim, plan, machine)
+    if issues:
+        raise VerificationError(
+            "ledger conservation failed:\n  " + "\n  ".join(issues))
+
+
+# -- numeric factor oracles ------------------------------------------------
+
+
+def lu_residual(F: np.ndarray, A) -> float:
+    """``||L@U - A||_F / ||A||_F`` for a packed dense LU factor.
+
+    ``F`` packs unit-lower ``L`` (below the diagonal) and ``U`` (on and
+    above it), the same convention the block kernels write.
+    """
+    F = np.asarray(F)
+    n = F.shape[0]
+    L = np.tril(F, -1) + np.eye(n)
+    U = np.triu(F)
+    Ad = A.toarray() if hasattr(A, "toarray") else np.asarray(A)
+    denom = np.linalg.norm(Ad)
+    return float(np.linalg.norm(L @ U - Ad) / max(denom, 1.0))
+
+
+def cholesky_error(F: np.ndarray, A) -> float:
+    """Max elementwise deviation of packed ``L`` from ``scipy`` Cholesky.
+
+    Relative to the reference factor's largest entry; the symbolic layer
+    guarantees no pivoting, so both factorizations compute the same
+    (unique) lower-triangular factor.
+    """
+    import scipy.linalg
+
+    Ad = A.toarray() if hasattr(A, "toarray") else np.asarray(A)
+    Ad = np.tril(Ad) + np.tril(Ad, -1).T  # drivers factor the lower copy
+    ref = scipy.linalg.cholesky(Ad, lower=True)
+    L = np.tril(np.asarray(F))
+    return float(np.abs(L - ref).max() / max(np.abs(ref).max(), 1.0))
+
+
+def verify_factors(F: np.ndarray, A, backend: str = "lu",
+                   tol: float = 1e-8) -> float:
+    """Check factors against the dense reference; return the error.
+
+    Raises :class:`VerificationError` above ``tol`` (loose enough for
+    conditioning, tight enough that any schedule or kernel bug — which
+    produces O(1) errors — is caught).
+    """
+    err = lu_residual(F, A) if backend != "cholesky" \
+        else cholesky_error(F, A)
+    if not np.isfinite(err) or err > tol:
+        raise VerificationError(
+            f"{backend} factor check failed: error {err:.3e} > {tol:.1e}")
+    return err

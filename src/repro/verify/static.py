@@ -1,0 +1,467 @@
+"""Static plan analyzer: prove schedule-independence before executing.
+
+:func:`analyze_plan` walks a :class:`~repro.plan.tasks.GridPlan` or
+:class:`~repro.plan.tasks.Plan3D` and reports every violation of the
+properties the rest of the system silently relies on:
+
+* **races** — two tasks touch the same ``(view, i, j)`` block in
+  conflicting modes (see :mod:`repro.verify.access`) with no dependency
+  path between them. Race-free plans are what make the interpreter's
+  ledgers and factors schedule-independent (the fuzzer then checks this
+  dynamically);
+* **cycles / dangling deps** — a dep tid that does not exist or does not
+  precede its task (tids are emitted in topological order, so any
+  forward edge would be a cycle);
+* **malformed broadcasts / reduces** — a ``BcastSpec`` whose root is
+  outside its participant list, duplicate participants, negative
+  payloads; an ``AncestorReduce`` whose parallel arrays are missing or
+  length-mismatched (an unmatched send/recv pair in the making);
+* **reduce aliasing** — the generalized z-replica invariant from the
+  resilience subsystem: a reduce must never target its own source
+  (``dst_grid == src_grid``), and once a grid has been a reduction
+  *source* it is retired — it must never reappear at a shallower level
+  as an active grid or reduce endpoint, because its replica now holds
+  pre-reduction partial sums. Merged-variant redistributions instead
+  promise to skip owner-preserving moves (a ``'mov'`` with
+  ``src == dst`` would double-charge the ledger);
+* **rank escapes** — a task referencing ranks outside its grid's span
+  (the fork/merge fan-out of :mod:`repro.parallel` requires per-grid
+  event locality);
+* **disconnected roots** — a task with no dependencies that is not a
+  panel root, a level barrier, or a first-level reduce.
+
+The check is exhaustive rather than sampled: reachability is computed
+for every task as a Python big-int ancestor bitmask (one forward pass,
+``dep < tid`` makes list order topological), and every conflicting
+same-block access pair is tested against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid2D
+from repro.plan.tasks import (
+    AncestorReduce,
+    GridPlan,
+    LevelBarrier,
+    PanelBcast,
+    PanelFactor,
+    Plan3D,
+    SchurUpdate,
+)
+from repro.verify.access import (
+    GLOBAL_VIEW,
+    conflicts,
+    grid_task_accesses,
+    grid_task_ranks,
+    reduce_accesses,
+    reduce_ranks,
+)
+
+__all__ = ["Issue", "StaticReport", "PlanVerificationError", "analyze_plan",
+           "grid_plan_rank_escapes", "drop_dep_edge"]
+
+
+class PlanVerificationError(AssertionError):
+    """Raised by :meth:`StaticReport.raise_if_issues` on a dirty plan."""
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One analyzer finding: a rule name, a message, the tasks involved."""
+
+    kind: str  # 'race' | 'cycle' | 'malformed-bcast' | 'malformed-reduce'
+    #          | 'reduce-alias' | 'rank-escape' | 'disconnected'
+    message: str
+    tids: tuple[int, ...] = ()
+
+
+@dataclass
+class StaticReport:
+    """Outcome of one :func:`analyze_plan` run."""
+
+    n_tasks: int = 0
+    n_blocks: int = 0
+    n_pairs_checked: int = 0
+    #: True when the race check was skipped because the plan exceeds
+    #: ``max_race_tasks`` (structural checks still ran).
+    race_check_skipped: bool = False
+    issues: list[Issue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_issues(self) -> None:
+        if self.issues:
+            raise PlanVerificationError(self.summary())
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for issue in self.issues:
+            out[issue.kind] = out.get(issue.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        head = (f"plan verification: {self.n_tasks} tasks, "
+                f"{self.n_blocks} block views, "
+                f"{self.n_pairs_checked} conflict pairs checked"
+                + (", race check skipped (plan too large)"
+                   if self.race_check_skipped else ""))
+        if self.ok:
+            return head + " -- clean"
+        lines = [head + f" -- {len(self.issues)} issue(s):"]
+        for issue in self.issues[:20]:
+            lines.append(f"  [{issue.kind}] {issue.message}")
+        if len(self.issues) > 20:
+            lines.append(f"  ... and {len(self.issues) - 20} more")
+        return "\n".join(lines)
+
+
+#: Per-issue-kind cap so a systematically broken plan yields a readable
+#: report instead of one issue per block pair.
+_MAX_ISSUES_PER_KIND = 50
+
+
+class _Entry:
+    """One task in analyzer-normalized form."""
+
+    __slots__ = ("task", "pos", "view", "grid", "backend", "level_index",
+                 "is_reduce")
+
+    def __init__(self, task, pos, view=None, grid=None, backend=None,
+                 level_index=0, is_reduce=False):
+        self.task = task
+        self.pos = pos
+        self.view = view
+        self.grid = grid
+        self.backend = backend
+        self.level_index = level_index
+        self.is_reduce = is_reduce
+
+
+def _entries(plan) -> tuple[list[_Entry], bool]:
+    """Flatten a GridPlan or Plan3D into analyzer entries, in plan order."""
+    out: list[_Entry] = []
+    if isinstance(plan, GridPlan):
+        grid = ProcessGrid2D(plan.px, plan.py, base=plan.base)
+        view = ("replica", plan.g)
+        for t in plan.tasks:
+            out.append(_Entry(t, len(out), view=view, grid=grid,
+                              backend=plan.backend))
+        return out, False
+    if not isinstance(plan, Plan3D):
+        raise TypeError(f"expected GridPlan or Plan3D, got {type(plan)!r}")
+    for li, step in enumerate(plan.levels):
+        for gp in step.grid_plans:
+            grid = ProcessGrid2D(gp.px, gp.py, base=gp.base)
+            view = GLOBAL_VIEW if plan.merged else ("replica", gp.g)
+            for t in gp.tasks:
+                out.append(_Entry(t, len(out), view=view, grid=grid,
+                                  backend=gp.backend, level_index=li))
+        for red in step.reduces:
+            out.append(_Entry(red, len(out), level_index=li, is_reduce=True))
+        out.append(_Entry(step.barrier, len(out), level_index=li))
+    return out, plan.merged
+
+
+def _check_bcasts(entry: _Entry, add) -> None:
+    task = entry.task
+    lo, hi = entry.grid.base, entry.grid.base + entry.grid.px * entry.grid.py
+    if not (lo <= task.owner < hi):
+        add("rank-escape", f"task {task.tid} ({task.kind}) owner "
+            f"{task.owner} outside grid span [{lo}, {hi})", (task.tid,))
+    for spec in task.bcasts:
+        if spec.root not in spec.ranks:
+            add("malformed-bcast", f"task {task.tid}: bcast root "
+                f"{spec.root} not in its participant list", (task.tid,))
+        if len(set(spec.ranks)) != len(spec.ranks):
+            add("malformed-bcast", f"task {task.tid}: duplicate bcast "
+                "participants", (task.tid,))
+        if not spec.ranks:
+            add("malformed-bcast", f"task {task.tid}: empty bcast "
+                "participant list", (task.tid,))
+        if spec.words < 0:
+            add("malformed-bcast", f"task {task.tid}: negative bcast "
+                "payload", (task.tid,))
+        if spec.route_from is not None and spec.route_from == spec.root:
+            add("malformed-bcast", f"task {task.tid}: bcast routed from "
+                "its own root", (task.tid,))
+        bad = [r for r in spec.ranks if not (lo <= r < hi)]
+        if spec.route_from is not None and not (lo <= spec.route_from < hi):
+            bad.append(spec.route_from)
+        if bad:
+            add("rank-escape", f"task {task.tid}: bcast ranks {bad} "
+                f"outside grid span [{lo}, {hi})", (task.tid,))
+
+
+def _check_reduce(entry: _Entry, merged: bool, add) -> None:
+    red = entry.task
+    if red.ops is not None:
+        for op, src, dst, w in red.ops:
+            if op not in ("red", "mov"):
+                add("malformed-reduce", f"reduce {red.tid}: unknown op "
+                    f"{op!r}", (red.tid,))
+            if w < 0:
+                add("malformed-reduce", f"reduce {red.tid}: negative "
+                    "payload", (red.tid,))
+            if op == "mov" and src == dst:
+                # The merged builder promises to emit a move only when
+                # the owner changes; a self-move would double-charge.
+                add("reduce-alias", f"reduce {red.tid}: redistribution "
+                    f"move with src == dst == {src}", (red.tid,))
+        return
+    arrays = (red.rows, red.cols, red.words, red.srcs, red.dsts)
+    if any(a is None for a in arrays):
+        add("malformed-reduce", f"reduce {red.tid}: standard variant with "
+            "missing payload arrays", (red.tid,))
+        return
+    lens = {len(a) for a in arrays}
+    if len(lens) != 1:
+        # Unequal srcs/dsts arrays are exactly an unmatched send/recv
+        # pair: sendrecv_batch would strand messages in flight.
+        add("malformed-reduce", f"reduce {red.tid}: payload arrays have "
+            f"mismatched lengths {sorted(lens)} (unmatched send/recv "
+            "pairs)", (red.tid,))
+        return
+    if np.any(red.words < 0):
+        add("malformed-reduce", f"reduce {red.tid}: negative payload",
+            (red.tid,))
+    if red.dst_grid == red.src_grid:
+        add("reduce-alias", f"reduce {red.tid}: destination grid aliases "
+            f"source grid {red.src_grid}", (red.tid,))
+
+
+def _check_retired_sources(plan: Plan3D, add) -> None:
+    """Generalized z-replica invariant over the whole level schedule.
+
+    Once a grid has served as a reduction *source*, its replica holds
+    pre-reduction partial sums; the pairwise schedule must never use it
+    again — not as an active grid, not as a reduce endpoint. This is the
+    property :meth:`Plan3D.recovery_schedule` (and thereby z-replica crash
+    recovery) is built on.
+    """
+    retired: set[int] = set()
+    for step in plan.levels:
+        for gp in step.grid_plans:
+            if gp.g in retired:
+                add("reduce-alias", f"level {step.level}: grid {gp.g} is "
+                    "active after serving as a reduction source",
+                    tuple(t.tid for t in gp.tasks[:1]))
+        for red in step.reduces:
+            for role, g in (("source", red.src_grid),
+                            ("destination", red.dst_grid)):
+                if g in retired:
+                    add("reduce-alias", f"reduce {red.tid}: {role} grid "
+                        f"{g} was already retired as a reduction source",
+                        (red.tid,))
+        for red in step.reduces:
+            retired.add(red.src_grid)
+
+
+def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
+    """Run every static check on ``plan`` and return a report.
+
+    ``sf`` is the symbolic factorization the plan was built from (the
+    Schur access sets come from its fill panels). Plans larger than
+    ``max_race_tasks`` skip the quadratic race check (the structural
+    checks are linear and always run); the report records the skip.
+    """
+    report = StaticReport()
+    seen: dict[str, int] = {}
+
+    def add(kind: str, message: str, tids: tuple[int, ...] = ()) -> None:
+        seen[kind] = seen.get(kind, 0) + 1
+        if seen[kind] <= _MAX_ISSUES_PER_KIND:
+            report.issues.append(Issue(kind=kind, message=message,
+                                       tids=tids))
+
+    entries, merged = _entries(plan)
+    report.n_tasks = len(entries)
+    pos_of: dict[int, int] = {}
+
+    # -- structural pass ---------------------------------------------------
+    for e in entries:
+        t = e.task
+        if t.tid in pos_of:
+            add("cycle", f"duplicate tid {t.tid}", (t.tid,))
+        pos_of[t.tid] = e.pos
+        if e.is_reduce:
+            _check_reduce(e, merged, add)
+        elif isinstance(t, (PanelFactor, PanelBcast)):
+            _check_bcasts(e, add)
+    for e in entries:
+        t = e.task
+        for d in t.deps:
+            dp = pos_of.get(d)
+            if dp is None:
+                add("cycle", f"task {t.tid} depends on unknown tid {d}",
+                    (t.tid, d))
+            elif dp >= e.pos:
+                add("cycle", f"task {t.tid} depends on later task {d} "
+                    "(forward edge / cycle)", (t.tid, d))
+        if not t.deps and not isinstance(t, (PanelFactor, LevelBarrier)) \
+                and not (e.is_reduce and e.level_index == 0):
+            add("disconnected", f"task {t.tid} ({t.kind}) has no "
+                "dependencies but is not a panel root or level barrier",
+                (t.tid,))
+    if isinstance(plan, Plan3D) and not merged:
+        _check_retired_sources(plan, add)
+
+    # -- race pass ---------------------------------------------------------
+    if len(entries) > max_race_tasks:
+        report.race_check_skipped = True
+        return report
+
+    # Ancestor bitmask per task: bit p set iff entry p is reachable
+    # through dep edges. One forward pass suffices because list order is
+    # topological (any violation was already reported above).
+    reach: list[int] = [0] * len(entries)
+    for e in entries:
+        m = 0
+        for d in e.task.deps:
+            dp = pos_of.get(d)
+            if dp is not None and dp < e.pos:
+                m |= reach[dp] | (1 << dp)
+        reach[e.pos] = m
+
+    accesses: dict[tuple, list[tuple[int, int, str]]] = {}
+    for e in entries:
+        t = e.task
+        if e.is_reduce:
+            for g, i, j, mode in reduce_accesses(t):
+                key = (("replica", g), i, j)
+                accesses.setdefault(key, []).append((e.pos, t.tid, mode))
+        elif isinstance(t, (PanelFactor, PanelBcast, SchurUpdate)):
+            for i, j, mode in grid_task_accesses(e.backend, sf, t):
+                key = (e.view, i, j)
+                accesses.setdefault(key, []).append((e.pos, t.tid, mode))
+
+    report.n_blocks = len(accesses)
+    pairs = 0
+    for key, accs in accesses.items():
+        n = len(accs)
+        if n < 2:
+            continue
+        for a in range(n):
+            pa, tida, ma = accs[a]
+            for b in range(a + 1, n):
+                pb, tidb, mb = accs[b]
+                if not conflicts(ma, mb):
+                    continue
+                pairs += 1
+                lo, hi = (pa, pb) if pa < pb else (pb, pa)
+                if not (reach[hi] >> lo) & 1:
+                    view, i, j = key
+                    add("race", f"tasks {tida} ({ma}) and {tidb} ({mb}) "
+                        f"both touch block ({i}, {j}) of view {view} "
+                        "with no dependency path", (tida, tidb))
+    report.n_pairs_checked = pairs
+    return report
+
+
+def grid_plan_rank_escapes(plan: GridPlan) -> list[str]:
+    """Cheap structural rank-containment check for one grid plan.
+
+    Used by the parallel fan-out engine before forking a sub-simulator:
+    any rank outside ``[base, base + px*py)`` would make the forked
+    ledger delta escape its slice (a late, hard-to-attribute
+    ``CommError``). Only the ranks recorded in task payloads are checked
+    — Schur-update targets are grid-owner lookups and cannot escape by
+    construction.
+    """
+    lo, hi = plan.base, plan.base + plan.px * plan.py
+    out: list[str] = []
+    for t in plan.tasks:
+        if not isinstance(t, (PanelFactor, PanelBcast)):
+            continue
+        bad = set()
+        if not (lo <= t.owner < hi):
+            bad.add(t.owner)
+        for spec in t.bcasts:
+            bad.update(r for r in spec.ranks if not (lo <= r < hi))
+            if spec.route_from is not None \
+                    and not (lo <= spec.route_from < hi):
+                bad.add(spec.route_from)
+        if bad:
+            out.append(f"task {t.tid} ({t.kind}, node {t.node}) references "
+                       f"ranks {sorted(bad)} outside [{lo}, {hi})")
+    return out
+
+
+# -- mutation self-test helper ---------------------------------------------
+
+def _race_edge_candidates(plan) -> list[tuple]:
+    """Dep edges whose removal is *guaranteed* to create a block race.
+
+    Two classes qualify on every real plan:
+
+    * ``PanelBcast -> PanelFactor``: the solve reads the diagonal block
+      the factorization writes, and that edge is the only path;
+    * ``SchurUpdate -> PanelBcast``: the update reads the panel block the
+      solve writes, again with no alternative path.
+
+    Other edges (``PanelFactor -> SchurUpdate`` readiness edges, barrier
+    anchors) are ordering-only — removing them may leave the block
+    accesses transitively ordered, which would make the self-test flaky.
+    """
+    if isinstance(plan, GridPlan):
+        walk = [((), plan)]
+    else:
+        walk = [((li, gi), gp) for li, step in enumerate(plan.levels)
+                for gi, gp in enumerate(step.grid_plans)]
+    cands: list[tuple] = []
+    for loc, gp in walk:
+        by_tid = {t.tid: t for t in gp.tasks}
+        for ti, t in enumerate(gp.tasks):
+            for d in t.deps:
+                dep_task = by_tid.get(d)
+                if isinstance(t, PanelBcast) \
+                        and isinstance(dep_task, PanelFactor):
+                    cands.append((loc, ti, d))
+                elif isinstance(t, SchurUpdate) \
+                        and isinstance(dep_task, PanelBcast):
+                    cands.append((loc, ti, d))
+    return cands
+
+
+def drop_dep_edge(plan, seed: int = 0):
+    """Return ``(mutated_plan, description)`` with one dep edge removed.
+
+    The edge is drawn (seeded) from the guaranteed-race candidates of
+    :func:`_race_edge_candidates`; the mutated copy shares task objects
+    with the original except the one rebuilt task. Feeding the result to
+    :func:`analyze_plan` MUST produce at least one ``race`` issue — the
+    mutation self-test that proves the analyzer is not vacuous.
+    """
+    cands = _race_edge_candidates(plan)
+    if not cands:
+        raise ValueError("plan has no droppable race-guaranteed dep edges")
+    rng = np.random.default_rng(seed)
+    loc, ti, dep = cands[int(rng.integers(len(cands)))]
+
+    def mutate_grid_plan(gp: GridPlan) -> GridPlan:
+        tasks = list(gp.tasks)
+        old = tasks[ti]
+        tasks[ti] = dataclasses.replace(
+            old, deps=tuple(d for d in old.deps if d != dep))
+        desc = (f"dropped dep {dep} from task {old.tid} ({old.kind}, "
+                f"node {old.node})")
+        return GridPlan(backend=gp.backend, g=gp.g, level=gp.level,
+                        px=gp.px, py=gp.py, base=gp.base, nodes=gp.nodes,
+                        tasks=tasks), desc
+
+    if isinstance(plan, GridPlan):
+        return mutate_grid_plan(plan)
+    li, gi = loc
+    levels = list(plan.levels)
+    step = levels[li]
+    grid_plans = list(step.grid_plans)
+    grid_plans[gi], desc = mutate_grid_plan(grid_plans[gi])
+    levels[li] = dataclasses.replace(step, grid_plans=grid_plans)
+    return Plan3D(backend=plan.backend, merged=plan.merged,
+                  levels=levels), desc

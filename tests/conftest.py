@@ -1,4 +1,5 @@
-"""Shared fixtures: small representative matrices of each geometry class."""
+"""Shared fixtures: small representative matrices of each geometry class,
+plus the suite-wide plan-verification hook and hypothesis strategies."""
 
 import pytest
 
@@ -11,6 +12,84 @@ from repro.sparse import (
     random_symmetric_pattern,
     thin_slab_7pt,
 )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _verify_every_plan():
+    """Race-check every plan any test builds, via the builder hook.
+
+    Installs :func:`repro.verify.static.analyze_plan` as
+    ``repro.plan.build.POST_BUILD_HOOK`` for the whole session: any
+    standalone GridPlan or Plan3D built anywhere in the suite that
+    contains a race, cycle, or malformed collective fails the test that
+    built it. ``max_race_tasks`` is kept modest so the O(n^2) reachability
+    pass never dominates suite time — large plans skip only the race
+    check, never the structural checks.
+    """
+    from repro.plan import build
+    from repro.verify.static import analyze_plan
+
+    def hook(plan, sf):
+        analyze_plan(plan, sf, max_race_tasks=6000).raise_if_issues()
+
+    prev = build.POST_BUILD_HOOK
+    build.POST_BUILD_HOOK = hook
+    yield
+    build.POST_BUILD_HOOK = prev
+
+
+# -- hypothesis strategies (tests/test_verify.py) --------------------------
+# Guarded: hypothesis is an optional dev dependency; without it the
+# property tests skip (pytest.importorskip) but collection must not break.
+try:
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis always present in CI
+    st = None
+
+if st is not None:
+    _SETUPS = [(8, 8, 1), (10, 8, 2), (12, 16, 2), (12, 16, 4)]
+    _sym_cache: dict = {}
+
+    def _symbolic(nx, leaf, spd):
+        """Memoized symbolic factorization (hypothesis re-draws heavily)."""
+        import scipy.sparse as sp
+
+        from repro.symbolic import symbolic_factorize
+
+        key = (nx, leaf, spd)
+        if key not in _sym_cache:
+            A, geom = grid2d_5pt(nx)
+            if spd:
+                S = (A + A.T) * 0.5
+                A = (S + sp.eye(A.shape[0])
+                     * (abs(S).sum(axis=1).max() + 1.0)).tocsr()
+            _sym_cache[key] = symbolic_factorize(A, geom, leaf_size=leaf)
+        return _sym_cache[key]
+
+    @st.composite
+    def plan_cases(draw):
+        """A random small plan-builder configuration (any driver shape).
+
+        Returns a dict: ``sf``, ``tf`` (None for 2D), grid dims, backend,
+        merged flag and FactorOptions — everything needed to build a
+        GridPlan or Plan3D.
+        """
+        from repro.lu2d.options import FactorOptions
+        from repro.tree import greedy_partition
+
+        nx, leaf, pz = draw(st.sampled_from(_SETUPS))
+        backend = draw(st.sampled_from(["lu", "cholesky"]))
+        sf = _symbolic(nx, leaf, backend == "cholesky")
+        merged = backend == "lu" and pz > 1 and draw(st.booleans())
+        opts = FactorOptions(
+            lookahead=draw(st.integers(min_value=0, max_value=2)),
+            sparse_bcast=(backend == "lu" and draw(st.booleans())),
+            batched_schur=draw(st.booleans()))
+        px = draw(st.integers(min_value=1, max_value=3))
+        py = draw(st.integers(min_value=1, max_value=3))
+        tf = greedy_partition(sf, pz) if pz > 1 else None
+        return {"sf": sf, "tf": tf, "px": px, "py": py, "pz": pz,
+                "backend": backend, "merged": merged, "opts": opts}
 
 
 @pytest.fixture(scope="session")

@@ -2,18 +2,20 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src:tests python tests/data/generate_golden.py
+    PYTHONPATH=src:tests python tests/data/regen_golden.py
 
 The JSON records, for a fixed set of small deterministic cases, every
 per-rank simulator ledger (exact floats — ``json`` round-trips ``repr``
 bit-for-bit) plus numeric factor checksums. ``tests/test_plan.py`` asserts
 that the plan-driven drivers reproduce these ledgers *bit-identically* and
-the factors to 1e-12.
+the factors to 1e-12; ``tests/test_resilience.py`` additionally pins the
+fault cases' recovery ('rec') phase and checkpoint I/O charges.
 
 The committed file was generated from the pre-plan-layer ("seed") loop
-drivers, so it pins the refactor to the original schedules. Regenerate it
-only when a PR *intentionally* changes the emitted event schedule, and say
-so in the PR description.
+drivers (fault cases: from the resilience engine as first landed), so it
+pins later refactors to the original schedules. Regenerate it only when a
+PR *intentionally* changes the emitted event schedule, and say so in the
+PR description.
 """
 
 from __future__ import annotations
@@ -30,11 +32,21 @@ from repro.comm.simulator import COMPUTE_KINDS, PHASES
 from repro.lu2d.factor2d import FactorOptions, factor_2d
 from repro.lu3d import factor_3d
 from repro.lu3d.merged import factor_3d_merged
+from repro.resilience import Fault, FaultPlan
 from repro.sparse import grid2d_5pt, grid3d_7pt
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
 
 OUT = Path(__file__).resolve().parent / "golden_ledgers.json"
+
+#: Stored under the JSON key ``_readme`` so the data file documents its
+#: own provenance (tests access cases by name and never iterate keys).
+README = ("Golden per-rank simulator ledgers; regenerate with "
+          "`PYTHONPATH=src:tests python tests/data/regen_golden.py` from "
+          "the repo root, and only when a PR intentionally changes the "
+          "emitted event schedule. Cases ending in _fault_* pin the "
+          "resilience engine: the 'rec' phase ledgers and checkpoint "
+          "I/O charges under a deterministic grid crash.")
 
 
 def ledger_dict(sim: Simulator) -> dict:
@@ -74,7 +86,7 @@ def spd_setup(nx: int, leaf: int, pz: int):
 
 
 def main() -> None:
-    cases: dict = {}
+    cases: dict = {"_readme": README}
 
     # -- LU 2D baseline, four option points pinning the schedule variants --
     A, geom = grid2d_5pt(12)
@@ -128,8 +140,22 @@ def main() -> None:
     cases["chol_pz2_numeric"] = ledger_dict(simsn)
     cases["chol_pz2_numeric"]["factor_checksum"] = factor_checksum(ress)
 
+    # -- resilience: deterministic grid crash, both recovery policies ----
+    # Pins the 'rec' phase ledgers (replay compute/comm) and the
+    # checkpoint I/O charges, which nothing else in the suite freezes.
+    crash = FaultPlan((Fault("crash", grid=2, level=1),))
+    for label, opts in (
+            ("restart", FactorOptions(fault_plan=crash, checkpoint_every=20,
+                                      recovery="restart")),
+            ("zreplica", FactorOptions(fault_plan=crash,
+                                       recovery="z-replica"))):
+        simf = Simulator(grid3.size, Machine.edison_like())
+        resf = factor_3d(sf, tf, grid3, simf, numeric=True, options=opts)
+        case = cases[f"lu3d_pz4_fault_{label}"] = ledger_dict(simf)
+        case["factor_checksum"] = factor_checksum(resf)
+
     OUT.write_text(json.dumps(cases, indent=1) + "\n")
-    print(f"wrote {OUT} ({len(cases)} cases)")
+    print(f"wrote {OUT} ({len(cases) - 1} cases)")
 
 
 if __name__ == "__main__":

@@ -75,7 +75,7 @@ class TestPublicApiHygiene:
         "repro.sparse", "repro.ordering", "repro.symbolic", "repro.tree",
         "repro.comm", "repro.lu2d", "repro.lu3d", "repro.solve",
         "repro.model", "repro.analysis", "repro.cholesky", "repro.tune",
-        "repro.experiments",
+        "repro.experiments", "repro.verify",
     ])
     def test_subpackage_all_resolves(self, pkg):
         mod = importlib.import_module(pkg)
@@ -92,7 +92,7 @@ class TestPublicApiHygiene:
         """Every def/class reachable from a subpackage __all__ is documented."""
         for pkg in ("repro.sparse", "repro.comm", "repro.lu2d", "repro.lu3d",
                     "repro.solve", "repro.model", "repro.tree",
-                    "repro.cholesky", "repro.tune"):
+                    "repro.cholesky", "repro.tune", "repro.verify"):
             mod = importlib.import_module(pkg)
             for name in mod.__all__:
                 obj = getattr(mod, name)

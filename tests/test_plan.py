@@ -1,7 +1,7 @@
 """Plan-equivalence oracle: the plan-driven drivers replay the seed loops.
 
 ``tests/data/golden_ledgers.json`` was generated (by
-``tests/data/generate_golden.py``) from the pre-plan-layer imperative
+``tests/data/regen_golden.py``) from the pre-plan-layer imperative
 drivers. These tests assert that the rewritten drivers — plan builder +
 shared interpreter — reproduce every per-rank simulator ledger
 *bit-identically* (exact float equality: ``json`` round-trips ``repr``)

@@ -179,6 +179,32 @@ class TestMechanicalFaults:
         assert not sim.can_fork()
 
 
+class TestGoldenFaults:
+    """Faulted runs are pinned bit-for-bit, like the fault-free drivers.
+
+    These golden cases are the only thing in the suite that freezes the
+    recovery ('rec') phase ledgers and the checkpoint I/O charges — a
+    refactor of the resilience engine that silently changes either now
+    diverges from ``tests/data/golden_ledgers.json``.
+    """
+
+    CRASH = FaultPlan((Fault("crash", grid=2, level=1),))
+
+    def test_restart_with_checkpoints(self):
+        opts = FactorOptions(fault_plan=self.CRASH, checkpoint_every=20,
+                             recovery="restart")
+        _, _, sim, res = lu3d_run(options=opts)
+        assert_matches_golden("lu3d_pz4_fault_restart", sim, res)
+
+    def test_zreplica_recovery(self):
+        opts = FactorOptions(fault_plan=self.CRASH, recovery="z-replica")
+        _, _, sim, res = lu3d_run(options=opts)
+        assert_matches_golden("lu3d_pz4_fault_zreplica", sim, res)
+        # the golden case must actually exercise the 'rec' phase
+        want = ledger_dict(sim)
+        assert sum(want["words_sent:rec"]) > 0
+
+
 class TestCrashRecovery:
     @pytest.fixture(scope="class")
     def clean(self):

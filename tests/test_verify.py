@@ -1,0 +1,572 @@
+"""Tests for :mod:`repro.verify`: static analyzer, fuzzer, oracles.
+
+Covers the issue's acceptance criteria explicitly:
+
+* the static analyzer reports **clean** on plans from all four drivers
+  (LU 2D across its option points, LU 3D standard, merged, Cholesky)
+  over the golden-ledger case matrix;
+* the mutation self-test — deleting a dependency edge from a *real* plan
+  — MUST trip the race detector (the analyzer is not vacuous);
+* the schedule fuzzer replays seeded random legal topological orders per
+  driver with bit-identical ledgers and factors within 1e-12; the fast
+  subset runs in tier-1, the ≥25-order sweep under ``-m slow``;
+* the conservation oracle reconciles the executed ledgers against the
+  plan's static cost model and flags tampering;
+* hypothesis property tests check analyzer-cleanliness, acyclicity and
+  root-reachability over randomized small build configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cholesky import factor_chol_3d
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.comm.simulator import CommError
+from repro.lu2d.factor2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.lu3d.merged import factor_3d_merged
+from repro.plan.build import build_3d_plan, build_grid_plan
+from repro.plan.tasks import BcastSpec, PanelBcast, Plan3D
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+from repro.verify import (
+    PlanVerificationError,
+    VerificationError,
+    analyze_plan,
+    check_conservation,
+    conservation_issues,
+    drop_dep_edge,
+    fuzz_2d,
+    fuzz_3d,
+    ledger_state,
+    verify_factors,
+)
+from tests.test_plan import planar_setup, spd_setup
+
+OPTION_POINTS = {
+    "default": {},
+    "lookahead0": {"lookahead": 0},
+    "sparse_bcast": {"sparse_bcast": True},
+    "unbatched": {"batched_schur": False},
+}
+
+
+@pytest.fixture(scope="module")
+def lu2d_sf():
+    A, geom = grid2d_5pt(12)
+    return symbolic_factorize(A, geom, leaf_size=16)
+
+
+@pytest.fixture(scope="module")
+def planar4():
+    return planar_setup(14, 16, 4)
+
+
+@pytest.fixture(scope="module")
+def planar2():
+    return planar_setup(12, 16, 2)
+
+
+@pytest.fixture(scope="module")
+def spd2():
+    return spd_setup(14, 16, 2)
+
+
+@pytest.fixture(scope="module")
+def brick2():
+    A, g = grid3d_7pt(6)
+    sf = symbolic_factorize(A, g, leaf_size=24)
+    return sf, greedy_partition(sf, 2)
+
+
+def _lu3d_plan(planar4):
+    sf, tf = planar4
+    return build_3d_plan(sf, tf, ProcessGrid3D(2, 2, 4), FactorOptions(),
+                         backend="lu", merged=False), sf
+
+
+class TestStaticAnalyzer:
+    """Analyzer verdicts over the golden case matrix (all four drivers)."""
+
+    @pytest.mark.parametrize("label", sorted(OPTION_POINTS))
+    def test_lu2d_option_points_clean(self, lu2d_sf, label):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3),
+                               FactorOptions(**OPTION_POINTS[label]))
+        report = analyze_plan(plan, lu2d_sf)
+        assert report.ok, report.summary()
+        assert report.n_pairs_checked > 0
+
+    def test_lu3d_planar_clean(self, planar4):
+        plan, sf = _lu3d_plan(planar4)
+        report = analyze_plan(plan, sf)
+        assert report.ok, report.summary()
+        assert not report.race_check_skipped
+
+    def test_lu3d_brick_clean(self, brick2):
+        sf, tf = brick2
+        plan = build_3d_plan(sf, tf, ProcessGrid3D(1, 2, 2),
+                             FactorOptions(), backend="lu")
+        assert analyze_plan(plan, sf).ok
+
+    def test_merged_clean(self, planar4):
+        sf, tf = planar4
+        plan = build_3d_plan(sf, tf, ProcessGrid3D(2, 2, 4),
+                             FactorOptions(), backend="lu", merged=True)
+        assert analyze_plan(plan, sf).ok
+
+    def test_cholesky_clean(self, spd2):
+        sf, tf = spd2
+        plan = build_3d_plan(sf, tf, ProcessGrid3D(2, 2, 2),
+                             FactorOptions(), backend="cholesky")
+        assert analyze_plan(plan, sf).ok
+
+    def test_race_check_size_cap(self, planar4):
+        plan, sf = _lu3d_plan(planar4)
+        report = analyze_plan(plan, sf, max_race_tasks=10)
+        assert report.ok and report.race_check_skipped
+        assert report.n_pairs_checked == 0
+
+
+class TestMutationSelfTest:
+    """Deleting a real dep edge MUST trip the race detector."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mutation_trips_race_3d(self, planar4, seed):
+        plan, sf = _lu3d_plan(planar4)
+        mutated, desc = drop_dep_edge(plan, seed=seed)
+        report = analyze_plan(mutated, sf)
+        assert not report.ok, f"{desc}: analyzer saw nothing"
+        assert "race" in report.counts(), (desc, report.summary())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mutation_trips_race_2d(self, lu2d_sf, seed):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+        mutated, desc = drop_dep_edge(plan, seed=seed)
+        report = analyze_plan(mutated, lu2d_sf)
+        assert "race" in report.counts(), (desc, report.summary())
+
+    def test_mutation_raise_if_issues(self, lu2d_sf):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+        mutated, _ = drop_dep_edge(plan)
+        with pytest.raises(PlanVerificationError, match="race"):
+            analyze_plan(mutated, lu2d_sf).raise_if_issues()
+
+
+def _tamper_task(plan, pred, **changes):
+    """Rebuild a GridPlan with the first task matching ``pred`` changed."""
+    tasks = list(plan.tasks)
+    for i, t in enumerate(tasks):
+        if pred(t):
+            tasks[i] = dataclasses.replace(t, **changes)
+            return dataclasses.replace(plan, tasks=tasks)
+    raise AssertionError("no matching task to tamper with")
+
+
+class TestSyntheticDefects:
+    """Hand-planted defects of every other issue kind are detected."""
+
+    def test_cycle_forward_edge(self, lu2d_sf):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+        last_tid = plan.tasks[-1].tid
+        bad = _tamper_task(plan, lambda t: t.tid == 0,
+                           deps=(last_tid,))
+        assert "cycle" in analyze_plan(bad, lu2d_sf).counts()
+
+    def test_dangling_dep(self, lu2d_sf):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+        bad = _tamper_task(plan, lambda t: bool(t.deps), deps=(99999,))
+        assert "cycle" in analyze_plan(bad, lu2d_sf).counts()
+
+    def test_malformed_bcast_root(self, lu2d_sf):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+
+        def break_bcast(t):
+            return isinstance(t, PanelBcast) and bool(t.bcasts)
+
+        victim = next(t for t in plan.tasks if break_bcast(t))
+        spec = victim.bcasts[0]
+        bad_spec = BcastSpec(root=spec.root,
+                             ranks=tuple(r for r in spec.ranks
+                                         if r != spec.root) or (spec.root + 1,),
+                             words=spec.words)
+        bad = _tamper_task(plan, break_bcast, bcasts=(bad_spec,))
+        assert "malformed-bcast" in analyze_plan(bad, lu2d_sf).counts()
+
+    def test_rank_escape(self, lu2d_sf):
+        plan = build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                               ProcessGrid2D(2, 3), FactorOptions())
+        bad = _tamper_task(plan, lambda t: t.kind == "panel_factor",
+                           owner=500)
+        report = analyze_plan(bad, lu2d_sf)
+        assert "rank-escape" in report.counts()
+        # the parallel engine's cheap pre-check sees the same escape
+        from repro.verify import grid_plan_rank_escapes
+        assert grid_plan_rank_escapes(bad)
+
+    def test_reduce_alias_standard(self, planar4):
+        plan, sf = _lu3d_plan(planar4)
+        levels = list(plan.levels)
+        li, step = next((li, s) for li, s in enumerate(levels) if s.reduces)
+        red = step.reduces[0]
+        bad_red = dataclasses.replace(red, dst_grid=red.src_grid)
+        levels[li] = dataclasses.replace(step, reduces=[bad_red])
+        bad = Plan3D(backend=plan.backend, merged=plan.merged, levels=levels)
+        assert "reduce-alias" in analyze_plan(bad, sf).counts()
+
+    def test_reduce_alias_merged_self_move(self, planar4):
+        sf, tf = planar4
+        plan = build_3d_plan(sf, tf, ProcessGrid3D(2, 2, 4),
+                             FactorOptions(), backend="lu", merged=True)
+        levels = list(plan.levels)
+        li, step = next((li, s) for li, s in enumerate(levels) if s.reduces)
+        red = step.reduces[0]
+        bad_red = dataclasses.replace(red, ops=[("mov", 3, 3, 10.0)])
+        levels[li] = dataclasses.replace(step, reduces=[bad_red])
+        bad = Plan3D(backend=plan.backend, merged=plan.merged, levels=levels)
+        assert "reduce-alias" in analyze_plan(bad, sf).counts()
+
+    def test_unmatched_reduce_arrays(self, planar4):
+        plan, sf = _lu3d_plan(planar4)
+        levels = list(plan.levels)
+        li, step = next((li, s) for li, s in enumerate(levels) if s.reduces)
+        red = step.reduces[0]
+        bad_red = dataclasses.replace(red, srcs=red.srcs[:-1])
+        levels[li] = dataclasses.replace(step, reduces=[bad_red])
+        bad = Plan3D(backend=plan.backend, merged=plan.merged, levels=levels)
+        counts = analyze_plan(bad, sf).counts()
+        assert "malformed-reduce" in counts
+
+    def test_retired_source_reused(self, planar4):
+        plan, sf = _lu3d_plan(planar4)
+        levels = list(plan.levels)
+        # retire grids at the first reducing level, then point a later
+        # reduce at one of them
+        first = next(li for li, s in enumerate(levels) if s.reduces)
+        retired = levels[first].reduces[0].src_grid
+        later = next(li for li in range(first + 1, len(levels))
+                     if levels[li].reduces)
+        red = levels[later].reduces[0]
+        bad_red = dataclasses.replace(red, src_grid=retired)
+        levels[later] = dataclasses.replace(levels[later],
+                                            reduces=[bad_red])
+        bad = Plan3D(backend=plan.backend, merged=plan.merged, levels=levels)
+        assert "reduce-alias" in analyze_plan(bad, sf).counts()
+
+
+class TestEventConstants:
+    """The centralized event vocabulary is enforced at record time."""
+
+    def test_trace_rejects_unknown_kind(self):
+        from repro.analysis.trace import Trace
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            Trace().record(0, 0.0, 1.0, "gemm", "fact")
+
+    def test_trace_rejects_unknown_phase(self):
+        from repro.analysis.trace import Trace
+        with pytest.raises(ValueError, match="unknown trace event phase"):
+            Trace().record(0, 0.0, 1.0, "schur", "warmup")
+
+    def test_simulator_reexports_are_the_canonical_objects(self):
+        from repro.comm import events, simulator
+        assert simulator.COMPUTE_KINDS is events.COMPUTE_KINDS
+        assert simulator.PHASES is events.PHASES
+        assert set(events.COMPUTE_KINDS) < set(events.TRACE_KINDS)
+
+    def test_simulator_rejects_unknown_vocab(self):
+        sim = Simulator(2, Machine.edison_like())
+        with pytest.raises(CommError):
+            sim.set_phase("warmup")
+        with pytest.raises(CommError):
+            sim.compute(0, 1.0, "gemm")
+
+
+FAST_FUZZ = 4   # orders per driver in tier-1
+FULL_FUZZ = 25  # orders per driver under -m slow
+
+
+class TestFuzzer:
+    """Fast per-driver subset (tier-1)."""
+
+    def test_lu3d(self, planar2):
+        sf, tf = planar2
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 2),
+                      n_orders=FAST_FUZZ, seed=11)
+        assert rep.ok, rep.summary()
+        assert rep.n_perturbed > 0
+
+    def test_lu3d_numeric(self, planar2):
+        sf, tf = planar2
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 2), numeric=True,
+                      n_orders=FAST_FUZZ, seed=3)
+        assert rep.ok, rep.summary()
+        assert rep.factor_max_dev <= 1e-12
+
+    def test_merged_numeric(self, planar2):
+        sf, tf = planar2
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 2), merged=True,
+                      numeric=True, n_orders=FAST_FUZZ, seed=5)
+        assert rep.ok, rep.summary()
+
+    def test_cholesky(self, spd2):
+        sf, tf = spd2
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 2), backend="cholesky",
+                      n_orders=FAST_FUZZ, seed=7)
+        assert rep.ok, rep.summary()
+        assert rep.n_perturbed > 0
+
+    def test_lu2d(self, lu2d_sf):
+        rep = fuzz_2d(lu2d_sf, ProcessGrid2D(2, 3), n_orders=FAST_FUZZ,
+                      seed=13)
+        assert rep.ok, rep.summary()
+
+    def test_identity_order_matches_driver(self, planar2):
+        """The fuzzer's canonical run IS the driver's run, bit for bit."""
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        factor_3d(sf, tf, grid3, sim, numeric=True)
+        rep = fuzz_3d(sf, tf, grid3, numeric=True, n_orders=1, seed=0)
+        assert rep.canonical_ledger == ledger_state(sim)
+
+    def test_identity_order_matches_driver_2d(self, lu2d_sf):
+        grid = ProcessGrid2D(2, 3)
+        sim = Simulator(grid.size, Machine.edison_like())
+        factor_2d(lu2d_sf, grid, sim)
+        rep = fuzz_2d(lu2d_sf, grid, n_orders=1, seed=0)
+        assert rep.canonical_ledger == ledger_state(sim)
+
+
+@pytest.mark.slow
+class TestFuzzerSweep:
+    """Full ≥25-order sweeps per driver on the golden-size cases."""
+
+    def test_lu3d_pz4(self, planar4):
+        sf, tf = planar4
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 4),
+                      n_orders=FULL_FUZZ, seed=0)
+        assert rep.ok and rep.n_orders == FULL_FUZZ, rep.summary()
+        assert rep.n_perturbed > 0
+
+    def test_lu3d_pz4_numeric(self, planar4):
+        sf, tf = planar4
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 4), numeric=True,
+                      n_orders=FULL_FUZZ, seed=1)
+        assert rep.ok, rep.summary()
+
+    def test_merged_pz4_numeric(self, planar4):
+        sf, tf = planar4
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 4), merged=True,
+                      numeric=True, n_orders=FULL_FUZZ, seed=2)
+        assert rep.ok, rep.summary()
+
+    def test_cholesky_pz2_numeric(self, spd2):
+        sf, tf = spd2
+        rep = fuzz_3d(sf, tf, ProcessGrid3D(2, 2, 2), backend="cholesky",
+                      numeric=True, n_orders=FULL_FUZZ, seed=3)
+        assert rep.ok, rep.summary()
+
+    def test_lu2d_sweep(self, lu2d_sf):
+        rep = fuzz_2d(lu2d_sf, ProcessGrid2D(2, 3), numeric=True,
+                      n_orders=FULL_FUZZ, seed=4)
+        assert rep.ok, rep.summary()
+
+
+class TestOracle:
+    def test_conservation_clean_lu3d(self, planar2):
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=True)
+        assert conservation_issues(sim, res.plan) == []
+        check_conservation(sim, res.plan)
+
+    def test_conservation_clean_merged(self, planar2):
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d_merged(sf, tf, grid3, sim, numeric=False)
+        assert conservation_issues(sim, res.plan) == []
+
+    def test_tampered_ledger_detected(self, planar2):
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False)
+        sim.words_sent["fact"][0] += 5.0
+        issues = conservation_issues(sim, res.plan)
+        assert issues
+        with pytest.raises(VerificationError):
+            check_conservation(sim, res.plan)
+
+    def test_tampered_flops_detected(self, planar2):
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False)
+        sim.flops["schur"][1] += 1000.0
+        assert any("flops[schur]" in m
+                   for m in conservation_issues(sim, res.plan))
+
+    def test_lu_factors_against_dense_reference(self, planar2):
+        sf, tf = planar2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=True)
+        err = verify_factors(res.factors().to_dense(), sf.A_perm, "lu")
+        assert err < 1e-10
+
+    def test_cholesky_factors_against_scipy(self, spd2):
+        sf, tf = spd2
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_chol_3d(sf, tf, grid3, sim, numeric=True)
+        err = verify_factors(res.factors().to_dense(), sf.A_perm,
+                             "cholesky")
+        assert err < 1e-10
+
+    def test_wrong_factors_rejected(self, planar2):
+        sf, _tf = planar2
+        n = sf.A_perm.shape[0]
+        with pytest.raises(VerificationError):
+            verify_factors(np.eye(n), sf.A_perm, "lu")
+
+
+class TestBuilderHook:
+    """POST_BUILD_HOOK fires for standalone grid plans and 3D plans."""
+
+    def test_hook_sees_built_plans(self, lu2d_sf, planar2):
+        from repro.plan import build
+        seen = []
+        prev = build.POST_BUILD_HOOK
+        build.POST_BUILD_HOOK = lambda plan, sf: seen.append(type(plan))
+        try:
+            build_grid_plan(lu2d_sf, range(lu2d_sf.nb),
+                            ProcessGrid2D(2, 3), FactorOptions())
+            sf, tf = planar2
+            build_3d_plan(sf, tf, ProcessGrid3D(2, 2, 2), FactorOptions(),
+                          backend="lu")
+        finally:
+            build.POST_BUILD_HOOK = prev
+        assert [t.__name__ for t in seen] == ["GridPlan", "Plan3D"]
+
+    def test_suite_hook_is_installed(self):
+        from repro.plan import build
+        assert build.POST_BUILD_HOOK is not None
+
+
+class TestCliVerifyPlan:
+    @pytest.fixture()
+    def mtx(self, tmp_path):
+        from repro.cli import main
+        path = tmp_path / "m.mtx"
+        assert main(["generate", "--kind", "grid2d_5pt", "--size", "16",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_clean_run(self, mtx, capsys):
+        from repro.cli import main
+        rc = main(["solve", str(mtx), "--grid", "16,16", "--px", "2",
+                   "--py", "2", "--pz", "2", "--verify-plan"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan verification" in out and "clean" in out
+        assert "ledger conservation: clean" in out
+
+    def test_faulted_run_skips_conservation(self, mtx, capsys):
+        from repro.cli import main
+        rc = main(["solve", str(mtx), "--grid", "16,16", "--px", "2",
+                   "--py", "2", "--pz", "2", "--verify-plan",
+                   "--faults", "drop:src=0,count=2",
+                   "--tol", "1e-6"])
+        out = capsys.readouterr().out
+        assert "ledger conservation: skipped" in out
+        assert "plan verification" in out
+        assert rc in (0, 1)  # residual may degrade under retransmission
+
+
+# -- hypothesis property tests ---------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+
+from tests.conftest import plan_cases  # noqa: E402
+
+_PROP_SETTINGS = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture])
+
+
+def _build_from_case(case):
+    if case["pz"] == 1:
+        return build_grid_plan(
+            case["sf"], range(case["sf"].nb),
+            ProcessGrid2D(case["px"], case["py"]), case["opts"],
+            backend=case["backend"])
+    return build_3d_plan(
+        case["sf"], case["tf"],
+        ProcessGrid3D(case["px"], case["py"], case["pz"]), case["opts"],
+        backend="lu" if case["merged"] else case["backend"],
+        merged=case["merged"])
+
+
+def _all_tasks(plan):
+    if isinstance(plan, Plan3D):
+        out = []
+        for step in plan.levels:
+            for gp in step.grid_plans:
+                out.extend(gp.tasks)
+            out.extend(step.reduces)
+            out.append(step.barrier)
+        return out
+    return list(plan.tasks)
+
+
+class TestPlanProperties:
+    @_PROP_SETTINGS
+    @given(case=plan_cases())
+    def test_random_plans_analyze_clean(self, case):
+        plan = _build_from_case(case)
+        report = analyze_plan(plan, case["sf"])
+        assert report.ok, report.summary()
+
+    @_PROP_SETTINGS
+    @given(case=plan_cases())
+    def test_deps_acyclic_and_backward(self, case):
+        tasks = _all_tasks(_build_from_case(case))
+        tids = {t.tid for t in tasks}
+        assert len(tids) == len(tasks)  # unique
+        for t in tasks:
+            for d in t.deps:
+                assert d in tids and d < t.tid
+
+    @_PROP_SETTINGS
+    @given(case=plan_cases())
+    def test_every_task_reachable_from_roots(self, case):
+        """Forward reachability: every non-root task is reachable from a
+        panel root or a LevelBarrier (the DAG has no orphaned islands)."""
+        tasks = _all_tasks(_build_from_case(case))
+        roots = {t.tid for t in tasks
+                 if not t.deps and t.kind in ("panel_factor",
+                                              "level_barrier",
+                                              "ancestor_reduce")}
+        reached = set(roots)
+        for t in sorted(tasks, key=lambda t: t.tid):
+            if t.tid in reached:
+                continue
+            if any(d in reached for d in t.deps):
+                reached.add(t.tid)
+        missing = [t.tid for t in tasks if t.tid not in reached]
+        assert not missing, f"unreachable tasks: {missing[:10]}"
