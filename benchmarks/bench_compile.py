@@ -1,0 +1,183 @@
+"""Plan-compilation ablations: fused dispatch count and shm transport.
+
+Two ablations, both with hard bars, recorded in ``BENCH_compile.json``:
+
+* **Fused vs unfused dispatch** — the compile pass exists to cut
+  interpreter overhead, so the honest metric is how many dispatches the
+  interpreter performs, not modeled seconds (fusion never changes those:
+  ledgers are asserted bit-identical here). On the cost-only workload the
+  fused plan must need >= 3x fewer dispatches, and the wall-clock per
+  original task is reported for both forms.
+* **Shm vs pickle transport** — the zero-copy fan-out ships
+  ``(segment, offset, shape)`` descriptors instead of block bytes. On a
+  numeric fan-out the shm path must ship >= 10x fewer bytes than the
+  pickle path, with bit-identical ledgers and factors.
+
+The transport ablation runs the ``serial`` in-process backend so the
+byte accounting is exact and core count is irrelevant; host-parallel
+speedup bars live in ``bench_parallel_scaling.py`` (and are skipped
+honestly on small hosts).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scale
+from repro.comm import ProcessGrid3D, Simulator
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d import factor_3d
+from repro.lu3d.factor3d import CostOnlyData, Factor3DResult, _execute_plan3d
+from repro.plan import compile_plan
+from repro.plan.build import build_3d_plan
+from repro.sparse import grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+from repro.verify.oracle import ledger_state
+
+PZ = 8
+LEAF = 8
+#: Planar lattice edge per scale for the cost-only dispatch ablation.
+CONFIGS = {"tiny": 48, "small": 64, "medium": 80}
+#: The numeric transport ablation is fixed-size: byte ratios are a
+#: property of the transport, not the workload.
+TRANSPORT_NX, TRANSPORT_LEAF, TRANSPORT_PZ = 20, 16, 4
+MIN_DISPATCH_REDUCTION = 3.0
+MIN_SHM_BYTES_RATIO = 10.0
+REPS = 3
+OUT = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
+
+
+def _prepare(nx: int, leaf: int, pz: int):
+    A, geom = grid2d_5pt(nx)
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+def _exec_cost(plan3, sf, tf, grid3):
+    """Interpret one (possibly compiled) Plan3D cost-only; return the sim."""
+    sim = Simulator(grid3.size)
+    t0 = time.perf_counter()
+    _execute_plan3d(plan3, sf, sim, Factor3DResult(tf), FactorOptions(),
+                    None, CostOnlyData())
+    return time.perf_counter() - t0, sim
+
+
+def _dispatch_ablation(sf, tf):
+    # Compilation is a once-per-plan cost (recorded as compile_s); the
+    # interpreter-overhead row times the execution phase alone, which is
+    # what fusion speeds up and what repeated solves amortize against.
+    grid3 = ProcessGrid3D(2, 2, PZ)
+    opts = FactorOptions()
+    plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu")
+    t_compile = 1e9
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        comp = compile_plan(plan3, sf, opts)
+        t_compile = min(t_compile, time.perf_counter() - t0)
+    runs_f = [_exec_cost(comp.plan, sf, tf, grid3) for _ in range(REPS)]
+    runs_p = [_exec_cost(plan3, sf, tf, grid3) for _ in range(REPS)]
+    t_fused = min(r[0] for r in runs_f)
+    t_plain = min(r[0] for r in runs_p)
+    assert ledger_state(runs_f[-1][1]) == ledger_state(runs_p[-1][1]), \
+        "fused cost-only ledgers diverged from unfused"
+    st = comp.stats
+    n_before, n_after = st.n_tasks_before, st.n_tasks_after
+    return {
+        "dispatches_unfused": int(n_before),
+        "dispatches_fused": int(n_after),
+        "dispatch_reduction": round(float(st.dispatch_reduction), 3),
+        "fused_runs": int(st.n_fused),
+        "vector_unsafe_runs": int(st.n_vector_unsafe),
+        "compile_s": round(t_compile, 6),
+        "time_fused_s": round(t_fused, 6),
+        "time_unfused_s": round(t_plain, 6),
+        "exec_speedup": round(t_plain / t_fused, 3),
+        # interpreter-overhead row: original tasks retired per second of
+        # host time -- the quantity fusion improves.
+        "tasks_per_s_fused": round(n_before / t_fused, 1),
+        "tasks_per_s_unfused": round(n_before / t_plain, 1),
+        "ledgers_identical": True,
+    }
+
+
+def _transport_run(sf, tf, use_shm: bool):
+    grid3 = ProcessGrid3D(2, 2, TRANSPORT_PZ)
+    sim = Simulator(grid3.size)
+    res = factor_3d(sf, tf, grid3, sim, numeric=True,
+                    options=FactorOptions(n_workers=2,
+                                          parallel_backend="serial",
+                                          shm_transport=use_shm))
+    levels = [st for st in res.parallel_stats if hasattr(st, "transport")]
+    return (ledger_state(sim), res.factors().to_dense(), levels)
+
+
+def _transport_ablation():
+    sf, tf = _prepare(TRANSPORT_NX, TRANSPORT_LEAF, TRANSPORT_PZ)
+    led_s, F_s, shm_levels = _transport_run(sf, tf, True)
+    led_p, F_p, pkl_levels = _transport_run(sf, tf, False)
+    assert led_s == led_p, "shm ledgers diverged from pickle"
+    assert np.array_equal(F_s, F_p), "shm factors diverged from pickle"
+    assert {st.transport for st in shm_levels} == {"shm"}
+    assert {st.transport for st in pkl_levels} == {"pickle"}
+    shm_bytes = float(sum(st.bytes_shipped for st in shm_levels))
+    pkl_bytes = float(sum(st.bytes_shipped for st in pkl_levels))
+    return {
+        "workload": f"grid2d_5pt({TRANSPORT_NX}), "
+                    f"leaf {TRANSPORT_LEAF}, pz={TRANSPORT_PZ}, numeric",
+        "levels_fanned_out": len(shm_levels),
+        "shm_bytes": shm_bytes,
+        "pickle_bytes": pkl_bytes,
+        "bytes_ratio": round(pkl_bytes / shm_bytes, 2),
+        "ledgers_identical": True,
+        "factors_identical": True,
+    }
+
+
+def test_compile_ablations(benchmark):
+    sc = scale()
+    nx = CONFIGS[sc]
+    sf, tf = _prepare(nx, LEAF, PZ)
+
+    def experiment():
+        return {"dispatch": _dispatch_ablation(sf, tf),
+                "transport": _transport_ablation()}
+
+    rec = run_once(benchmark, experiment)
+    record = {
+        "bench": "bench_compile",
+        "scale": sc,
+        "workload": {"matrix": f"grid2d_5pt({nx})", "leaf": LEAF,
+                     "grid": f"2x2x{PZ}", "numeric": False,
+                     "n_supernodes": sf.nb, "reps_best_of": REPS},
+        "threshold_dispatch": MIN_DISPATCH_REDUCTION,
+        "threshold_bytes": MIN_SHM_BYTES_RATIO,
+        "skipped": None,
+        **rec,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    d, t = rec["dispatch"], rec["transport"]
+    print()
+    print(f"plan compilation @ {sc} (grid2d_5pt({nx}), leaf {LEAF}, "
+          f"pz={PZ}, best of {REPS}):")
+    print(f"  dispatches : {d['dispatches_unfused']} -> "
+          f"{d['dispatches_fused']}  ({d['dispatch_reduction']:.2f}x "
+          f"reduction, {d['fused_runs']} fused runs)")
+    print(f"  cost-only  : exec {d['time_unfused_s']:.3f}s -> "
+          f"{d['time_fused_s']:.3f}s  ({d['exec_speedup']:.2f}x, "
+          f"{d['tasks_per_s_unfused']:.0f} -> "
+          f"{d['tasks_per_s_fused']:.0f} tasks/s; "
+          f"compile once {d['compile_s']:.3f}s)")
+    print(f"  transport  : {t['pickle_bytes']:.0f}B pickle -> "
+          f"{t['shm_bytes']:.0f}B shm  ({t['bytes_ratio']:.1f}x fewer "
+          f"bytes over {t['levels_fanned_out']} levels)")
+    print(f"  record written to {OUT.name}")
+
+    assert d["dispatch_reduction"] >= MIN_DISPATCH_REDUCTION, \
+        f"dispatch reduction {d['dispatch_reduction']} < " \
+        f"{MIN_DISPATCH_REDUCTION}"
+    assert t["bytes_ratio"] >= MIN_SHM_BYTES_RATIO, \
+        f"shm byte ratio {t['bytes_ratio']} < {MIN_SHM_BYTES_RATIO}"

@@ -63,6 +63,40 @@ def _best(sf, tf, n_workers: int):
     return best, runs[-1][1], runs[-1][2]
 
 
+def _interpreter_overhead(sf, tf):
+    """Cost-only interpreter-overhead row: with no numeric kernels the
+    run is pure dispatch, so execution tasks/second isolates what the
+    compile pass (:mod:`repro.plan.compile`) removes. Compilation itself
+    is a once-per-plan cost, timed separately."""
+    from repro.lu3d.factor3d import (CostOnlyData, Factor3DResult,
+                                     _execute_plan3d)
+    from repro.plan import compile_plan
+    from repro.plan.build import build_3d_plan
+
+    grid3 = ProcessGrid3D(2, 2, PZ)
+    opts = FactorOptions()
+    plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu")
+    comp = compile_plan(plan3, sf, opts)
+
+    def exec_once(plan):
+        sim = Simulator(grid3.size)
+        t0 = time.perf_counter()
+        _execute_plan3d(plan, sf, sim, Factor3DResult(tf), opts,
+                        None, CostOnlyData())
+        return time.perf_counter() - t0
+
+    t_fused = min(exec_once(comp.plan) for _ in range(REPS))
+    t_plain = min(exec_once(plan3) for _ in range(REPS))
+    st = comp.stats
+    return {
+        "dispatches_unfused": int(st.n_tasks_before),
+        "dispatches_fused": int(st.n_tasks_after),
+        "dispatch_reduction": round(float(st.dispatch_reduction), 3),
+        "tasks_per_s_unfused": round(st.n_tasks_before / t_plain, 1),
+        "tasks_per_s_fused": round(st.n_tasks_before / t_fused, 1),
+    }
+
+
 def _ledgers(sim: Simulator) -> list[np.ndarray]:
     out = [sim.clock, sim.mem_current, sim.mem_peak]
     out += [sim.flops[k] for k in COMPUTE_KINDS]
@@ -102,7 +136,11 @@ def test_parallel_scaling(benchmark):
                 "mean_utilization": round(float(np.mean(
                     [st.utilization for st in res_p.parallel_stats
                      if hasattr(st, "utilization")])), 3),
+                "transports": sorted({st.transport
+                                      for st in res_p.parallel_stats
+                                      if hasattr(st, "transport")}),
             }
+        out["interpreter_overhead"] = _interpreter_overhead(sf, tf)
         return out
 
     rec = run_once(benchmark, experiment)
@@ -130,7 +168,14 @@ def test_parallel_scaling(benchmark):
     for nw in WORKER_COUNTS:
         r = rec[f"workers_{nw}"]
         print(f"  {nw} workers: {r['time_s']:.3f}s  -> {r['speedup']:.2f}x  "
-              f"(util {r['mean_utilization']:.2f})")
+              f"(util {r['mean_utilization']:.2f}, "
+              f"transport {'/'.join(r['transports'])})")
+    ov = rec["interpreter_overhead"]
+    print(f"  cost-only interpreter overhead: "
+          f"{ov['dispatches_unfused']} -> {ov['dispatches_fused']} "
+          f"dispatches ({ov['dispatch_reduction']:.2f}x), "
+          f"{ov['tasks_per_s_unfused']:.0f} -> "
+          f"{ov['tasks_per_s_fused']:.0f} tasks/s")
     print(f"  record written to {OUT.name}")
 
     if cores >= 4:

@@ -28,10 +28,16 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_resilience.py \
     --benchmark-only --benchmark-disable-gc -q -s
 REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
     --benchmark-only --benchmark-disable-gc -q
+# Compile-pass gate: the plan compiler must cut interpreter dispatches
+# >= 3x with bit-identical cost-only ledgers (fused-vs-unfused identity
+# is asserted inside the bench), and the shm worker transport must ship
+# >= 10x fewer bytes than pickle with identical ledgers and factors.
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_compile.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 # Verifier self-test gate (cheap): deleting a dependency edge from a real
 # plan MUST trip the static race detector — proves the analyzer guarding
 # the whole suite (tests/conftest.py installs it on every plan build) is
 # not vacuously green.
 python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, race detector armed"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, race detector armed"

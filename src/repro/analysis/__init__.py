@@ -10,7 +10,12 @@ benchmark harnesses.
 """
 
 from repro.analysis.metrics import FactorizationMetrics
-from repro.analysis.planstats import PlanStats, format_plan_summary, task_cost
+from repro.analysis.planstats import (
+    PlanStats,
+    format_compile_summary,
+    format_plan_summary,
+    task_cost,
+)
 from repro.analysis.report import (
     format_kernel_counters,
     format_parallel_stats,
@@ -21,4 +26,5 @@ from repro.analysis.trace import Trace, TraceEvent
 
 __all__ = ["FactorizationMetrics", "PlanStats", "Trace", "TraceEvent",
            "format_table", "format_kernel_counters", "format_parallel_stats",
-           "format_resilience_stats", "format_plan_summary", "task_cost"]
+           "format_resilience_stats", "format_compile_summary",
+           "format_plan_summary", "task_cost"]

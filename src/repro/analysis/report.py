@@ -84,7 +84,10 @@ def format_parallel_stats(result, title: str = "parallel execution") -> str:
     requested but the run stayed serial — that reason is printed here so
     the decision is never silent. Utilization is summed task seconds over
     ``workers x wall``; the serial fraction is the Amdahl share of
-    fork/export + merge/import time.
+    fork/export + merge/import time. The transport column says how each
+    level's replica blocks reached the workers (``shm`` descriptors vs
+    ``pickle`` copies vs ``none`` for cost-only) and ``shipped`` how many
+    payload bytes were serialized for the fan-out.
     """
     stats = getattr(result, "parallel_stats", None) or []
     levels = [st for st in stats if hasattr(st, "utilization")]
@@ -92,12 +95,15 @@ def format_parallel_stats(result, title: str = "parallel execution") -> str:
     out: list[str] = []
     if levels:
         rows = [[st.level, st.n_tasks, st.n_workers, st.backend,
+                 getattr(st, "transport", "none"),
+                 format_si(float(getattr(st, "bytes_shipped", 0.0))) + "B",
                  st.wall_seconds * 1e3, st.task_seconds * 1e3,
                  st.utilization, st.serial_fraction]
                 for st in levels]
         out.append(format_table(
-            ["level", "grids", "workers", "backend", "wall [ms]",
-             "task [ms]", "util", "serial frac"], rows, title=title))
+            ["level", "grids", "workers", "backend", "transport",
+             "shipped", "wall [ms]", "task [ms]", "util", "serial frac"],
+            rows, title=title))
     else:
         out.append(title)
     for fb in fallbacks:

@@ -30,6 +30,7 @@ from repro.lu2d.options import Factor2DResult, FactorOptions
 from repro.lu3d.factor3d import Factor3DResult, factor_3d
 from repro.plan.backends import cholesky_node_blocks
 from repro.plan.build import build_grid_plan
+from repro.plan.compile import compile_enabled, compile_plan
 from repro.plan.interpret import execute_grid_plan
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -50,9 +51,13 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
     opts = options or FactorOptions()
     plan = build_grid_plan(sf, nodes, grid, opts, backend="cholesky",
                            accelerated=sim.accelerator is not None)
-    result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
-                               grid=grid)
+    compiled = compile_plan(plan, sf, opts) \
+        if compile_enabled(opts, sim) else None
+    result = execute_grid_plan(compiled.plan if compiled else plan, sf, sim,
+                               data=data, options=opts, grid=grid)
     result.extras["plan"] = plan
+    if compiled is not None:
+        result.extras["compiled"] = compiled
     return result
 
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.analysis import (
     FactorizationMetrics,
     PlanStats,
+    format_compile_summary,
     format_parallel_stats,
     format_plan_summary,
     format_resilience_stats,
@@ -101,19 +102,25 @@ def cmd_solve(args) -> int:
     fault_plan = FaultPlan.parse(args.faults) if args.faults else None
     opts = FactorOptions(n_workers=args.workers, fault_plan=fault_plan,
                          checkpoint_every=args.checkpoint_every,
-                         recovery=args.recovery)
+                         recovery=args.recovery,
+                         compile_plan=not args.no_compile)
     solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
                     leaf_size=args.leaf_size, machine=Machine.edison_like(),
                     options=opts)
     solver.factorize()
     if args.verify_plan:
         from repro.verify import analyze_plan, conservation_issues
-        report = analyze_plan(solver.result.plan, solver.sf)
-        print(report.summary())
-        if not report.ok:
-            for issue in report.issues:
-                print(f"  [{issue.kind}] {issue.message}")
-            return 1
+        compiled = getattr(solver.result, "compiled", None)
+        plans = [("built plan", solver.result.plan)]
+        if compiled is not None:
+            plans.append(("compiled plan", compiled.plan))
+        for label, pl in plans:
+            report = analyze_plan(pl, solver.sf)
+            print(f"{label}: {report.summary()}")
+            if not report.ok:
+                for issue in report.issues:
+                    print(f"  [{issue.kind}] {issue.message}")
+                return 1
         if fault_plan is None:
             issues = conservation_issues(solver.sim, solver.result.plan)
             if issues:
@@ -150,6 +157,9 @@ def cmd_solve(args) -> int:
                                     machine=solver.sim.machine)
         print(format_plan_summary(
             stats, title=f"execution plan ({solver.result.plan.backend})"))
+        compiled = getattr(solver.result, "compiled", None)
+        if compiled is not None:
+            print(format_compile_summary(compiled))
     if args.x_out:
         np.savetxt(args.x_out, x)
         print(f"solution written to {args.x_out}")
@@ -273,11 +283,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="host worker processes for the per-level grid "
                         "fan-out (0 = one per core, 1 = serial); ledgers "
                         "and factors are identical at any setting")
+    s.add_argument("--no-compile", action="store_true",
+                   help="skip the plan-compilation pass (task fusion); "
+                        "ledgers and factors are identical either way — "
+                        "compilation only removes interpreter dispatch "
+                        "overhead")
     s.add_argument("--verify-plan", action="store_true",
                    help="after factorization, run the static plan analyzer "
-                        "(races, cycles, malformed collectives) and the "
-                        "ledger-conservation oracle; non-zero exit on any "
-                        "finding")
+                        "(races, cycles, malformed collectives) on the "
+                        "built plan and, when compilation ran, the "
+                        "compiled plan, then the ledger-conservation "
+                        "oracle; non-zero exit on any finding")
     s.add_argument("--dump-plan", action="store_true",
                    help="print the execution plan's task-kind totals and "
                         "critical-path length (tasks + modeled alpha-beta "

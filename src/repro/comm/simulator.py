@@ -65,6 +65,12 @@ if TYPE_CHECKING:  # avoid the comm <-> analysis import cycle at runtime
 
 __all__ = ["Simulator", "CommError", "LedgerDelta"]
 
+#: List-input compute batches below this size book through a scalar loop:
+#: ``np.asarray`` + the validation reductions + ``np.add.at`` cost more
+#: than per-element numpy indexing until batches reach a few hundred
+#: events. Both paths apply identical additions in identical order.
+_SCALAR_BATCH_MAX = 256
+
 
 class CommError(RuntimeError):
     """A causality or protocol violation in the simulated schedule."""
@@ -196,13 +202,46 @@ class Simulator:
         per-event drivers produce *exactly* the same simulation. With a
         trace attached the call falls back to per-event booking so the
         recorded intervals match the loop path, too.
+
+        Plain-``list`` inputs with a scalar ``n_block_updates`` (the plan
+        compiler's fused payloads) take a scalar fast path below
+        ``_SCALAR_BATCH_MAX`` events: same additions in the same order,
+        without the array conversion and reduction overhead that dwarfs
+        small batches.
         """
+        if kind not in COMPUTE_KINDS:
+            raise CommError(f"unknown compute kind {kind!r}")
+        if type(ranks) is list and type(flops) is list \
+                and isinstance(n_block_updates, (int, float)):
+            if len(ranks) != len(flops):
+                raise CommError("ranks and flops must have the same length")
+            if not ranks:
+                return
+            if min(ranks) < 0 or max(ranks) >= self.nranks:
+                raise CommError(
+                    f"batch contains ranks outside [0, {self.nranks})")
+            if min(flops) < 0:
+                raise CommError("flops must be non-negative")
+            if self.trace is None and self.faults is None \
+                    and len(ranks) < _SCALAR_BATCH_MAX:
+                gamma = self.machine.gamma_gemm \
+                    if kind in ("schur", "reduce_add") \
+                    else self.machine.gamma_panel
+                ov = n_block_updates * self.machine.gemm_overhead
+                clock = self.clock
+                fl = self.flops[kind]
+                tc = self.t_compute[kind]
+                for r, f in zip(ranks, flops):
+                    dt = f * gamma + ov
+                    clock[r] += dt
+                    fl[r] += f
+                    tc[r] += dt
+                self.event_counts[kind] += len(ranks)
+                return
         ranks = np.asarray(ranks, dtype=np.intp).ravel()
         flops = np.asarray(flops, dtype=np.float64).ravel()
         if ranks.shape != flops.shape:
             raise CommError("ranks and flops must have the same length")
-        if kind not in COMPUTE_KINDS:
-            raise CommError(f"unknown compute kind {kind!r}")
         if ranks.size == 0:
             return
         if int(ranks.min()) < 0 or int(ranks.max()) >= self.nranks:
@@ -290,7 +329,9 @@ class Simulator:
                        reduce_flops=None) -> None:
         """Book many matched ``send``→``recv`` pairs in one call.
 
-        ``srcs``, ``dsts`` and ``words`` are parallel arrays, one entry per
+        ``srcs``, ``dsts`` and ``words`` are parallel arrays — or plain
+        lists, which skip the array conversion and reduction overhead
+        entirely (the booking loop is scalar either way) — one entry per
         message. With ``reduce_kind`` set, each pair is followed by a
         compute event of that kind on the destination rank —
         :func:`repro.comm.collectives.reduce_pairwise`'s contract, with
@@ -302,30 +343,57 @@ class Simulator:
         subclasses, whose overridden ``send``/``recv``/``compute`` hooks
         must keep observing every event — fall back to the per-event loop.
         """
-        srcs = np.asarray(srcs, dtype=np.intp).ravel()
-        dsts = np.asarray(dsts, dtype=np.intp).ravel()
-        words = np.asarray(words, dtype=np.float64).ravel()
-        if not (srcs.shape == dsts.shape == words.shape):
-            raise CommError("srcs, dsts and words must have the same length")
         if reduce_kind is not None and reduce_kind not in COMPUTE_KINDS:
             raise CommError(f"unknown compute kind {reduce_kind!r}")
-        if srcs.size == 0:
-            return
-        lo = min(int(srcs.min()), int(dsts.min()))
-        hi = max(int(srcs.max()), int(dsts.max()))
-        if lo < 0 or hi >= self.nranks:
-            raise CommError(
-                f"batch contains ranks outside [0, {self.nranks})")
-        if float(words.min()) < 0:
-            raise CommError("words must be non-negative")
-        if reduce_flops is None:
-            flops = words
+        if type(srcs) is list and type(dsts) is list and type(words) is list \
+                and (reduce_flops is None or type(reduce_flops) is list):
+            if not (len(srcs) == len(dsts) == len(words)):
+                raise CommError(
+                    "srcs, dsts and words must have the same length")
+            if not srcs:
+                return
+            if min(min(srcs), min(dsts)) < 0 \
+                    or max(max(srcs), max(dsts)) >= self.nranks:
+                raise CommError(
+                    f"batch contains ranks outside [0, {self.nranks})")
+            if min(words) < 0:
+                raise CommError("words must be non-negative")
+            if reduce_flops is None:
+                flops = words
+            else:
+                flops = reduce_flops
+                if len(flops) != len(words):
+                    raise CommError("reduce_flops must match words in length")
+                if min(flops) < 0:
+                    raise CommError("flops must be non-negative")
+            n_events = len(srcs)
         else:
-            flops = np.asarray(reduce_flops, dtype=np.float64).ravel()
-            if flops.shape != words.shape:
-                raise CommError("reduce_flops must match words in length")
-            if float(flops.min()) < 0:
-                raise CommError("flops must be non-negative")
+            srcs = np.asarray(srcs, dtype=np.intp).ravel()
+            dsts = np.asarray(dsts, dtype=np.intp).ravel()
+            words = np.asarray(words, dtype=np.float64).ravel()
+            if not (srcs.shape == dsts.shape == words.shape):
+                raise CommError(
+                    "srcs, dsts and words must have the same length")
+            if srcs.size == 0:
+                return
+            lo = min(int(srcs.min()), int(dsts.min()))
+            hi = max(int(srcs.max()), int(dsts.max()))
+            if lo < 0 or hi >= self.nranks:
+                raise CommError(
+                    f"batch contains ranks outside [0, {self.nranks})")
+            if float(words.min()) < 0:
+                raise CommError("words must be non-negative")
+            if reduce_flops is None:
+                flops = words
+            else:
+                flops = np.asarray(reduce_flops, dtype=np.float64).ravel()
+                if flops.shape != words.shape:
+                    raise CommError("reduce_flops must match words in length")
+                if float(flops.min()) < 0:
+                    raise CommError("flops must be non-negative")
+            n_events = int(srcs.size)
+            srcs, dsts = srcs.tolist(), dsts.tolist()
+            words, flops = words.tolist(), flops.tolist()
         if self.trace is not None or self.topology is not None \
                 or self.faults is not None or type(self) is not Simulator:
             for s, d, w, f in zip(srcs, dsts, words, flops):
@@ -346,8 +414,7 @@ class Simulator:
             fl = self.flops[reduce_kind]
             tc = self.t_compute[reduce_kind]
         npairs = 0
-        for s, d, w, f in zip(srcs.tolist(), dsts.tolist(), words.tolist(),
-                              flops.tolist()):
+        for s, d, w, f in zip(srcs, dsts, words, flops):
             if s != d:
                 # send: the queue append/popleft pair cancels, so only the
                 # clock advance and the phase ledgers remain.
@@ -369,7 +436,7 @@ class Simulator:
             self.event_counts["send"] += npairs
             self.event_counts["recv"] += npairs
         if reduce_kind is not None:
-            self.event_counts[reduce_kind] += int(srcs.size)
+            self.event_counts[reduce_kind] += n_events
 
     # -- fork / merge -------------------------------------------------------
 

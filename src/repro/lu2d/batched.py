@@ -34,8 +34,9 @@ import numpy as np
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import Simulator
 
-__all__ = ["panel_offsets", "gather_panels", "batched_schur_update",
-           "batched_syrk_update"]
+__all__ = ["panel_offsets", "gather_panels", "schur_pair_costs",
+           "syrk_pair_costs", "apply_schur_numeric", "apply_syrk_numeric",
+           "batched_schur_update", "batched_syrk_update"]
 
 
 def panel_offsets(sizes: np.ndarray, panel) -> tuple[np.ndarray, np.ndarray]:
@@ -58,6 +59,56 @@ def gather_panels(store, k: int, lp, up) -> tuple[np.ndarray, np.ndarray]:
     return L, U
 
 
+def schur_pair_costs(k: int, lp, up, sizes: np.ndarray, grid: ProcessGrid2D
+                     ) -> tuple[np.ndarray, np.ndarray, int, float, float]:
+    """Per-pair cost arrays of supernode ``k``'s LU Schur update.
+
+    Returns ``(owners, flops, n_pairs, fill_used, fill_total)`` with
+    ``owners``/``flops`` in the per-block loop's row-major (i, j) order —
+    the exact arrays :func:`batched_schur_update` feeds to
+    ``Simulator.compute_batch``, exposed separately so the plan compiler
+    (:mod:`repro.plan.compile`) can concatenate them across a fused run.
+    """
+    lp = np.asarray(lp, dtype=np.int64)
+    up = np.asarray(up, dtype=np.int64)
+    if lp.size == 0 or up.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0), 0, 0.0, 0.0
+    s = int(sizes[k])
+    si = sizes[lp]
+    sj = sizes[up]
+    # Same association order as the loop path's 2.0 * si * s * sj, so the
+    # booked per-pair flops are bit-identical.
+    flops = (2.0 * si)[:, None] * s * sj[None, :]
+    owners = grid.owner_map(lp, up)
+    words = float(int(si.sum()) * int(sj.sum()))
+    return owners.ravel(), flops.ravel(), int(lp.size * up.size), words, words
+
+
+def apply_schur_numeric(store, k: int, lp, up, sizes: np.ndarray) -> None:
+    """Numeric body of the gathered LU Schur update (no event booking).
+
+    Row-blocked GEMM: one U gather, then ``W_i = L_ik @ U`` per L-panel
+    block — the product row stays cache-resident for its scatter, avoiding
+    the full ``|L| x |U|`` intermediate.
+    """
+    lp = np.asarray(lp, dtype=np.int64)
+    up = np.asarray(up, dtype=np.int64)
+    if lp.size == 0 or up.size == 0:
+        return
+    sj = sizes[up]
+    col_off = np.zeros(up.size + 1, dtype=np.int64)
+    np.cumsum(sj, out=col_off[1:])
+    U = np.concatenate([store[(k, int(j))] for j in up], axis=1)
+    cols = [(int(j), slice(int(col_off[b]), int(col_off[b + 1])))
+            for b, j in enumerate(up)]
+    for i in lp:
+        i = int(i)
+        Wi = store[(i, k)] @ U
+        for j, cs in cols:
+            dst = store[(i, j)]
+            np.subtract(dst, Wi[:, cs], out=dst)
+
+
 def batched_schur_update(store, k: int, lp, up, sizes: np.ndarray,
                          grid: ProcessGrid2D, sim: Simulator
                          ) -> tuple[int, float, float]:
@@ -68,36 +119,14 @@ def batched_schur_update(store, k: int, lp, up, sizes: np.ndarray,
     scattered_words, gemm_words)``; for LU every tile of ``W`` hits a
     destination block, so the fill ratio is 1.
     """
-    lp = np.asarray(lp, dtype=np.int64)
-    up = np.asarray(up, dtype=np.int64)
-    if lp.size == 0 or up.size == 0:
+    owners, flops, n_pairs, used, total = \
+        schur_pair_costs(k, lp, up, sizes, grid)
+    if n_pairs == 0:
         return 0, 0.0, 0.0
-    s = int(sizes[k])
-    si = sizes[lp]
-    sj = sizes[up]
     if store is not None:
-        # Row-blocked GEMM: one U gather, then W_i = L_ik @ U per L-panel
-        # block — the product row stays cache-resident for its scatter,
-        # avoiding the full |L|x|U| intermediate.
-        col_off = np.zeros(up.size + 1, dtype=np.int64)
-        np.cumsum(sj, out=col_off[1:])
-        U = np.concatenate([store[(k, int(j))] for j in up], axis=1)
-        cols = [(int(j), slice(int(col_off[b]), int(col_off[b + 1])))
-                for b, j in enumerate(up)]
-        for i in lp:
-            i = int(i)
-            Wi = store[(i, k)] @ U
-            for j, cs in cols:
-                dst = store[(i, j)]
-                np.subtract(dst, Wi[:, cs], out=dst)
-    # Same association order as the loop path's 2.0 * si * s * sj, so the
-    # booked per-pair flops are bit-identical.
-    flops = (2.0 * si)[:, None] * s * sj[None, :]
-    owners = grid.owner_map(lp, up)
-    sim.compute_batch(owners.ravel(), flops.ravel(), "schur",
-                      n_block_updates=1)
-    words = float(int(si.sum()) * int(sj.sum()))
-    return int(lp.size * up.size), words, words
+        apply_schur_numeric(store, k, lp, up, sizes)
+    sim.compute_batch(owners, flops, "schur", n_block_updates=1)
+    return n_pairs, used, total
 
 
 def batched_syrk_update(store, k: int, lp, sizes: np.ndarray,
@@ -111,29 +140,53 @@ def batched_syrk_update(store, k: int, lp, sizes: np.ndarray,
     GEMM cost below — so ledgers match the loop bit-for-bit. Returns
     ``(n_block_updates, scattered_words, gemm_words)``.
     """
+    owners, flops, n_pairs, used, total = syrk_pair_costs(k, lp, sizes, grid)
+    if n_pairs == 0:
+        return 0, 0.0, 0.0
+    if store is not None:
+        apply_syrk_numeric(store, k, lp, sizes)
+    sim.compute_batch(owners, flops, "schur", n_block_updates=1)
+    return n_pairs, used, total
+
+
+def syrk_pair_costs(k: int, lp, sizes: np.ndarray, grid: ProcessGrid2D
+                    ) -> tuple[np.ndarray, np.ndarray, int, float, float]:
+    """Per-pair cost arrays of supernode ``k``'s symmetric Schur update.
+
+    The Cholesky analogue of :func:`schur_pair_costs`: lower-triangle
+    (i, j) pairs in the loop path's row-major order, SYRK cost on the
+    diagonal tiles and GEMM cost below. Returns ``(owners, flops,
+    n_pairs, fill_used, fill_total)``.
+    """
     lp = np.asarray(lp, dtype=np.int64)
     if lp.size == 0:
-        return 0, 0.0, 0.0
+        return np.zeros(0, dtype=np.int64), np.zeros(0), 0, 0.0, 0.0
     s = int(sizes[k])
     sl = sizes[lp]
-    if store is not None:
-        off = np.zeros(lp.size + 1, dtype=np.int64)
-        np.cumsum(sl, out=off[1:])
-        PT = np.concatenate([store[(int(i), k)] for i in lp], axis=0).T
-        cols = [(int(j), slice(int(off[b]), int(off[b + 1])))
-                for b, j in enumerate(lp)]
-        for a, i in enumerate(lp):
-            i = int(i)
-            Wi = store[(i, k)] @ PT[:, :int(off[a + 1])]
-            for j, cs in cols[:a + 1]:
-                dst = store[(i, j)]
-                np.subtract(dst, Wi[:, cs], out=dst)
     ii, jj = np.tril_indices(lp.size)  # row-major: the loop path's order
     si, sj = sl[ii], sl[jj]
     flops = 2.0 * si * s * sj
     diag = ii == jj
     flops[diag] = si[diag] * s * sj[diag]
     owners = grid.owner_map(lp, lp)[ii, jj]
-    sim.compute_batch(owners, flops, "schur", n_block_updates=1)
     used = float((si * sj).sum())
-    return int(ii.size), used, float(int(sl.sum())) ** 2
+    return owners, flops, int(ii.size), used, float(int(sl.sum())) ** 2
+
+
+def apply_syrk_numeric(store, k: int, lp, sizes: np.ndarray) -> None:
+    """Numeric body of the gathered symmetric update (no event booking)."""
+    lp = np.asarray(lp, dtype=np.int64)
+    if lp.size == 0:
+        return
+    sl = sizes[lp]
+    off = np.zeros(lp.size + 1, dtype=np.int64)
+    np.cumsum(sl, out=off[1:])
+    PT = np.concatenate([store[(int(i), k)] for i in lp], axis=0).T
+    cols = [(int(j), slice(int(off[b]), int(off[b + 1])))
+            for b, j in enumerate(lp)]
+    for a, i in enumerate(lp):
+        i = int(i)
+        Wi = store[(i, k)] @ PT[:, :int(off[a + 1])]
+        for j, cs in cols[:a + 1]:
+            dst = store[(i, j)]
+            np.subtract(dst, Wi[:, cs], out=dst)

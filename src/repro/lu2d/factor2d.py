@@ -20,6 +20,7 @@ from repro.comm.simulator import Simulator
 from repro.lu2d.options import Factor2DResult, FactorOptions
 from repro.lu2d.storage import allocate_factor_storage
 from repro.plan.build import build_grid_plan
+from repro.plan.compile import compile_enabled, compile_plan
 from repro.plan.interpret import execute_grid_plan
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 
@@ -37,7 +38,9 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
     packed L\\U factors.
 
     The emitted plan is stored on ``result.extras['plan']`` so callers can
-    inspect the schedule (:class:`repro.analysis.PlanStats`).
+    inspect the schedule (:class:`repro.analysis.PlanStats`); when the
+    plan compiler ran, the executed :class:`repro.plan.CompiledPlan` is on
+    ``result.extras['compiled']``.
     """
     opts = options or FactorOptions()
     plan = build_grid_plan(sf, nodes, grid, opts, backend="lu",
@@ -46,10 +49,15 @@ def factor_nodes_2d(sf: SymbolicFactorization, nodes: list[int],
         from repro.resilience.engine import execute_grid_plan_resilient
         result = execute_grid_plan_resilient(plan, sf, sim, data=data,
                                              options=opts, grid=grid)
-    else:
-        result = execute_grid_plan(plan, sf, sim, data=data, options=opts,
-                                   grid=grid)
+        result.extras["plan"] = plan
+        return result
+    compiled = compile_plan(plan, sf, opts) \
+        if compile_enabled(opts, sim) else None
+    result = execute_grid_plan(compiled.plan if compiled else plan, sf, sim,
+                               data=data, options=opts, grid=grid)
     result.extras["plan"] = plan
+    if compiled is not None:
+        result.extras["compiled"] = compiled
     return result
 
 

@@ -44,6 +44,21 @@ class FactorOptions:
         ~32 pairs the gather/scatter fixed overhead exceeds the per-event
         savings. Both paths book identical ledgers, so the cutoff affects
         wall-clock only. Set to ``0`` to batch every panel.
+    compile_plan:
+        Run the plan compiler (:mod:`repro.plan.compile`) on the built
+        plan before executing it: maximal same-kind task runs are fused
+        into single vectorized dispatches (one batched ledger booking per
+        run/segment instead of one per task). Ledgers and factors are
+        bit-identical either way; resilience, tracing and accelerator
+        runs ignore the flag (they observe per-task boundaries). The
+        ``REPRO_COMPILE=0`` environment variable forces it off globally
+        (CI's uncompiled tier-1 run).
+    shm_transport:
+        Back the 3D process-pool fan-out's replica shipping with
+        ``multiprocessing.shared_memory``: workers receive (name, offset,
+        shape) descriptors instead of pickled block arrays. Falls back to
+        the pickle path when shared memory is unavailable; ``REPRO_SHM=0``
+        forces the fallback.
     n_workers:
         Host worker processes for the 3D drivers' per-level fan-out
         (:mod:`repro.parallel`). ``1`` (default) keeps the serial in-place
@@ -79,6 +94,8 @@ class FactorOptions:
     sparse_bcast: bool = False
     batched_schur: bool = True
     batch_min_pairs: int = 32
+    compile_plan: bool = True
+    shm_transport: bool = True
     n_workers: int = 1
     parallel_backend: str = "process"
     fault_plan: object | None = None   # repro.resilience.FaultPlan

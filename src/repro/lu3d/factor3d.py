@@ -28,6 +28,7 @@ path and records *why* on ``Factor3DResult.parallel_stats`` as a
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -44,7 +45,9 @@ from repro.parallel.engine import (
     ParallelFallback,
     resolve_workers,
 )
+from repro.parallel.shm import ShmTransport, ShmViewHandle, shm_enabled
 from repro.plan.build import build_3d_plan
+from repro.plan.compile import compile_enabled, compile_plan
 from repro.plan.interpret import execute_grid_plan, execute_reduce
 from repro.plan.tasks import Plan3D
 from repro.sparse.blockmatrix import BlockMatrix
@@ -74,6 +77,10 @@ class Factor3DResult:
     #: only for legacy ``factor_fn`` plug-ins' grid work, whose per-grid
     #: task lists are empty stubs.
     plan: Plan3D | None = None
+    #: The :class:`repro.plan.CompiledPlan` actually executed when the plan
+    #: compiler ran (``FactorOptions.compile_plan`` and the simulator allow
+    #: it); ``None`` otherwise. ``plan`` always stays the uncompiled DAG.
+    compiled: object | None = None
     #: :class:`repro.resilience.ResilienceStats` when the run went through
     #: the resilience engine (``FactorOptions.resilience_active()``);
     #: ``None`` for plain runs.
@@ -96,6 +103,9 @@ class CostOnlyData:
     """No numeric content: every view is ``None``, reductions book only."""
 
     accumulate = None
+    #: Shared-memory transport backing ``export`` / ``import_back``
+    #: (:class:`repro.parallel.ShmTransport`); ``None`` = pickle path.
+    transport = None
     #: Whether z-replica crash recovery can rebuild a grid's state from
     #: sibling replicas. True here: with no numeric content there is
     #: nothing to rebuild, so the policy is trivially applicable.
@@ -110,6 +120,10 @@ class CostOnlyData:
     def import_back(self, g, blocks) -> None:
         pass
 
+    def mark_executed_inline(self, gp) -> None:
+        """A grid plan ran inline (mutating replicas directly): invalidate
+        any cached shared-memory copy of its blocks. No-op without shm."""
+
     def snapshot(self):
         return None
 
@@ -121,20 +135,48 @@ class CostOnlyData:
 
 
 class ReplicaData(CostOnlyData):
-    """Standard numeric mode: per-grid replica views + z-axis summation."""
+    """Standard numeric mode: per-grid replica views + z-axis summation.
 
-    def __init__(self, replicas: ReplicaManager):
+    With a :class:`repro.parallel.ShmTransport` attached, ``export`` ships
+    (segment, offset, shape) descriptors instead of pickled arrays and only
+    re-copies blocks dirtied since the previous fan-out (the z-reduction
+    accumulations and inline-executed levels register dirty marks); any
+    shared-memory failure downgrades the rest of the run to the pickle path.
+    """
+
+    def __init__(self, replicas: ReplicaManager, transport=None):
         self.replicas = replicas
         self.accumulate = replicas.accumulate
+        self.transport = transport
+        if transport is not None:
+            replicas.add_dirty_hook(
+                lambda g, i, j: transport.mark_dirty(g, (i, j)))
 
     def view(self, gp):
         return self.replicas.view(gp.g)
 
     def export(self, gp):
+        tr = self.transport
+        if tr is not None:
+            handle = tr.export(gp.g,
+                               self.replicas.grid_block_refs(gp.g, gp.nodes))
+            if handle is not None:
+                return handle
+            self.transport = None  # shm failed: pickle for the rest of run
         return self.replicas.export_view(gp.g, gp.nodes)
 
     def import_back(self, g, blocks) -> None:
+        tr = self.transport
+        if tr is not None and isinstance(blocks, ShmViewHandle):
+            self.replicas.import_view(g, tr.views_for(blocks))
+            return
         self.replicas.import_view(g, blocks)
+
+    def mark_executed_inline(self, gp) -> None:
+        tr = self.transport
+        if tr is not None:
+            for key in self.replicas.grid_block_refs(gp.g, gp.nodes):
+                tr.mark_dirty(gp.g, key)
 
     def snapshot(self):
         return self.replicas.snapshot()
@@ -243,7 +285,12 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
                           accelerated=sim.accelerator is not None,
                           blocks_fn=blocks_fn)
     result.plan = plan3
-    data = ReplicaData(result.replicas) if numeric else CostOnlyData()
+    if numeric:
+        transport = ShmTransport() \
+            if engine is not None and shm_enabled(opts) else None
+        data = ReplicaData(result.replicas, transport=transport)
+    else:
+        data = CostOnlyData()
     if opts.resilience_active():
         if custom:
             raise ValueError(
@@ -258,8 +305,10 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
                                  rengine, _absorb_2d)
         result.resilience = rengine.stats
         return result
-    _execute_plan3d(plan3, sf, sim, result, opts, engine, data,
-                    factor_fn=factor_fn)
+    if compile_enabled(opts, sim):
+        result.compiled = compile_plan(plan3, sf, opts)
+    _execute_plan3d(result.compiled.plan if result.compiled else plan3,
+                    sf, sim, result, opts, engine, data, factor_fn=factor_fn)
     return result
 
 
@@ -332,6 +381,7 @@ def _execute_plan3d(plan3: Plan3D, sf, sim: Simulator,
                                                 data=data.view(gp),
                                                 options=opts, grid=grid)
                     _absorb_2d(result, r2d)
+                    data.mark_executed_inline(gp)
 
             if step.level > 0:
                 sim.set_phase("red")
@@ -342,6 +392,8 @@ def _execute_plan3d(plan3: Plan3D, sf, sim: Simulator,
     finally:
         if engine is not None:
             engine.close()
+        if data.transport is not None:
+            data.transport.close()
     if engine is not None:
         result.parallel_stats.extend(engine.stats)
 
@@ -358,14 +410,24 @@ def _fan_out_level(engine: ParallelExecutor, sf, sim: Simulator,
     """
     t0 = time.perf_counter()
     tasks = []
+    shipped = 0.0
+    mode = "none"
     for gp in step.grid_plans:
         sub = sim.fork(list(range(gp.base, gp.base + gp.px * gp.py)))
+        blocks = data.export(gp)
+        if isinstance(blocks, ShmViewHandle):
+            shipped += float(len(pickle.dumps(blocks)))
+            mode = "shm"
+        elif blocks is not None:
+            shipped += float(sum(a.nbytes for a in blocks.values()))
+            mode = "pickle"
         tasks.append(GridTask(g=gp.g, nodes=list(gp.nodes), px=gp.px,
                               py=gp.py, base=gp.base, sub=sub,
-                              blocks=data.export(gp),
+                              blocks=blocks,
                               plan=gp if gp.backend is not None else None))
     outcomes = engine.run_level(step.level, tasks,
-                                prep_seconds=time.perf_counter() - t0)
+                                prep_seconds=time.perf_counter() - t0,
+                                transport=mode, bytes_shipped=shipped)
     t1 = time.perf_counter()
     for out in outcomes:  # ascending grid id (engine sorts)
         sim.merge_delta(out.delta)

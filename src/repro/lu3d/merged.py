@@ -47,6 +47,7 @@ from repro.lu3d.factor3d import (
 from repro.lu3d.replication import replica_words_per_rank
 from repro.parallel.engine import ParallelFallback
 from repro.plan.build import _merged_grid, build_3d_plan
+from repro.plan.compile import compile_enabled, compile_plan
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -119,5 +120,8 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
                                  rengine, _absorb_2d)
         result.resilience = rengine.stats
         return result
-    _execute_plan3d(plan3, sf, sim, result, opts, engine, data)
+    if compile_enabled(opts, sim):
+        result.compiled = compile_plan(plan3, sf, opts)
+    _execute_plan3d(result.compiled.plan if result.compiled else plan3,
+                    sf, sim, result, opts, engine, data)
     return result

@@ -91,6 +91,7 @@ class ReplicaManager:
         self.sf = sf
         self.tf = tf
         self.blocks_fn = blocks_fn or node_blocks
+        self._dirty_hooks: list = []
         self._store: dict[tuple[int, int, int], np.ndarray] = {}
         layout = sf.layout
         for v in range(sf.nb):
@@ -129,6 +130,17 @@ class ReplicaManager:
                 for key in touched_block_keys(self.sf, nodes, self.blocks_fn)
                 if (g, *key) in store}
 
+    def grid_block_refs(self, g: int,
+                        nodes) -> dict[tuple[int, int], np.ndarray]:
+        """Like :meth:`export_view` but *direct* (non-copying) references,
+        deterministically ordered — the shared-memory transport's export
+        source (it copies only new/dirty blocks into its segments)."""
+        store = self._store
+        return {key: store[(g, *key)]
+                for key in sorted(touched_block_keys(self.sf, nodes,
+                                                     self.blocks_fn))
+                if (g, *key) in store}
+
     def import_view(self, g: int,
                     blocks: dict[tuple[int, int], np.ndarray]) -> None:
         """Write a worker's mutated blocks back into grid ``g``'s replicas.
@@ -143,6 +155,14 @@ class ReplicaManager:
     def accumulate(self, g_dst: int, g_src: int, i: int, j: int) -> None:
         """One Ancestor-Reduction hop: ``dst-copy += src-copy``."""
         self._store[(g_dst, i, j)] += self._store[(g_src, i, j)]
+        for hook in self._dirty_hooks:
+            hook(g_dst, i, j)
+
+    def add_dirty_hook(self, hook) -> None:
+        """Register ``hook(g, i, j)`` to fire whenever a replica block is
+        mutated outside plan execution (currently: :meth:`accumulate`) —
+        how the shm transport learns which cached blocks went stale."""
+        self._dirty_hooks.append(hook)
 
     # -- checkpoint / recovery support (repro.resilience) ------------------
 

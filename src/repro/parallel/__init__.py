@@ -7,11 +7,22 @@ factorizations out to a worker pool while keeping every simulator ledger
 bit-for-bit identical to the serial schedule (fork/merge of per-rank
 ledger state; see ``docs/simulator.md``). Enabled with
 ``FactorOptions(n_workers=...)`` or ``--workers`` on the CLI.
+
+Numeric fan-outs ship replica blocks over the zero-copy shared-memory
+transport (:mod:`repro.parallel.shm`) by default: workers receive
+``(segment, offset, shape)`` descriptors instead of pickled arrays and
+mutate the parent's segments in place. ``FactorOptions(shm_transport=
+False)`` or ``REPRO_SHM=0`` selects the pickle path; both produce
+bit-identical ledgers and factors.
 """
 
 from repro.parallel.engine import (BACKENDS, GridOutcome, GridTask,
                                    LevelStats, ParallelExecutor,
                                    ParallelFallback, resolve_workers)
+from repro.parallel.shm import (SHM_PREFIX, ShmBlockView, ShmTransport,
+                                ShmViewHandle, shm_available, shm_enabled)
 
 __all__ = ["BACKENDS", "GridOutcome", "GridTask", "LevelStats",
-           "ParallelExecutor", "ParallelFallback", "resolve_workers"]
+           "ParallelExecutor", "ParallelFallback", "SHM_PREFIX",
+           "ShmBlockView", "ShmTransport", "ShmViewHandle",
+           "resolve_workers", "shm_available", "shm_enabled"]

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import CommError, LedgerDelta, Simulator
+from repro.parallel.shm import ShmBlockView, ShmViewHandle
 
 __all__ = ["BACKENDS", "GridTask", "GridOutcome", "LevelStats",
            "ParallelExecutor", "ParallelFallback", "resolve_workers"]
@@ -65,7 +66,9 @@ class GridTask:
     The 2D grid is shipped as its ``(px, py, base)`` triple (cheaper than
     pickling the memoized rank tables); ``sub`` is the forked simulator
     carrying the grid's ledger state; ``blocks`` the exported replica
-    view (``None`` in cost-only mode).
+    view — a plain dict of arrays (pickle transport), a
+    :class:`repro.parallel.shm.ShmViewHandle` descriptor (shared-memory
+    transport), or ``None`` in cost-only mode.
     """
 
     g: int
@@ -74,7 +77,7 @@ class GridTask:
     py: int
     base: int
     sub: Simulator
-    blocks: dict | None
+    blocks: object | None
     #: The grid's :class:`repro.plan.GridPlan`, executed by the shared
     #: plan interpreter in the worker; ``None`` falls back to the legacy
     #: ``factor_fn`` plug-in path. The plan names its kernel backend as a
@@ -90,7 +93,7 @@ class GridOutcome:
 
     g: int
     delta: LedgerDelta
-    blocks: dict | None
+    blocks: object | None
     result: object
     task_seconds: float
 
@@ -106,6 +109,13 @@ class LevelStats:
     wall_seconds: float    # parallel region (submit -> last result)
     task_seconds: float    # sum of per-task busy time inside workers
     serial_seconds: float  # parent-side fork/export + merge/import time
+    #: Block transport used for this level's fan-out: ``'shm'`` (segment
+    #: descriptors), ``'pickle'`` (full array copies) or ``'none'``
+    #: (cost-only: no blocks shipped).
+    transport: str = "none"
+    #: Bytes of block payload serialized to the workers this level —
+    #: array bytes on the pickle path, descriptor bytes on the shm path.
+    bytes_shipped: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -152,16 +162,31 @@ def _worker_run(task: GridTask) -> GridOutcome:
 
 
 def _execute(sf, factor_fn, options, task: GridTask) -> GridOutcome:
-    """Run one grid's 2D factorization against its forked simulator."""
+    """Run one grid's 2D factorization against its forked simulator.
+
+    A :class:`repro.parallel.shm.ShmViewHandle` payload is materialized
+    into zero-copy views over the parent's shared segments; the in-place
+    block mutations then land directly in shared memory and only the
+    descriptor travels back.
+    """
     t0 = time.perf_counter()
     grid = ProcessGrid2D(task.px, task.py, base=task.base)
-    if task.plan is not None:
-        from repro.plan.interpret import execute_grid_plan
-        r2d = execute_grid_plan(task.plan, sf, task.sub, data=task.blocks,
-                                options=options, grid=grid)
-    else:
-        r2d = factor_fn(sf, task.nodes, grid, task.sub, data=task.blocks,
-                        options=options)
+    data = task.blocks
+    view = None
+    if isinstance(data, ShmViewHandle):
+        view = ShmBlockView(data)
+        data = view
+    try:
+        if task.plan is not None:
+            from repro.plan.interpret import execute_grid_plan
+            r2d = execute_grid_plan(task.plan, sf, task.sub, data=data,
+                                    options=options, grid=grid)
+        else:
+            r2d = factor_fn(sf, task.nodes, grid, task.sub, data=data,
+                            options=options)
+    finally:
+        if view is not None:
+            view.release()
     ranks = np.arange(task.base, task.base + task.px * task.py)
     delta = task.sub.extract_delta(ranks)
     return GridOutcome(g=task.g, delta=delta, blocks=task.blocks,
@@ -219,7 +244,8 @@ class ParallelExecutor:
     # -- level fan-out ----------------------------------------------------
 
     def run_level(self, level: int, tasks: list[GridTask],
-                  prep_seconds: float = 0.0) -> list[GridOutcome]:
+                  prep_seconds: float = 0.0, transport: str = "none",
+                  bytes_shipped: float = 0.0) -> list[GridOutcome]:
         """Execute a level's tasks concurrently; outcomes in grid order.
 
         ``prep_seconds`` is the parent-side time already spent forking
@@ -260,7 +286,8 @@ class ParallelExecutor:
             level=level, n_tasks=len(tasks), n_workers=self.n_workers,
             backend=self.backend, wall_seconds=wall,
             task_seconds=sum(o.task_seconds for o in outcomes),
-            serial_seconds=prep_seconds))
+            serial_seconds=prep_seconds, transport=transport,
+            bytes_shipped=bytes_shipped))
         return outcomes
 
     def add_merge_seconds(self, seconds: float) -> None:

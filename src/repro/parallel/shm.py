@@ -1,0 +1,259 @@
+"""Zero-copy shared-memory transport for the 3D fan-out's replica blocks.
+
+The pickle baseline ships every touched block array to the worker and back
+on every fanned-out level — O(replica bytes) through the pipe each way.
+This module replaces the payload with *descriptors*: the parent lays each
+grid's blocks out in ``multiprocessing.shared_memory`` segments once, and
+``export`` ships only a table of ``(segment name, offset, shape)`` triples.
+Workers attach the named segments and reconstruct zero-copy NumPy views
+(:class:`ShmBlockView`), mutate the blocks in place, and return the same
+tiny descriptor; the parent copies the mutated segments back into its
+replica store. Blocks are re-copied into shared memory only when dirtied
+between fan-outs (z-reduction accumulation, inline-executed levels) —
+steady-state levels ship descriptor bytes only.
+
+Cleanup is parent-owned: segments are created with the ``repro_shm_``
+prefix and unlinked in :meth:`ShmTransport.close`, which the 3D executor
+calls in a ``finally`` even when a worker crashes mid-level. Workers never
+close or unlink — their attachments die with the pool processes — and an
+attach never touches the ``resource_tracker`` (see :func:`_attach`), so
+only the parent's create-registration exists and ``unlink`` consumes it
+exactly once. Any failure to create or map a segment makes ``export``
+return ``None`` and the caller falls back to the pickle path;
+``REPRO_SHM=0`` forces that fallback globally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+    _HAVE_SHM = True
+except ImportError:  # pragma: no cover - stdlib build without _posixshmem
+    resource_tracker = shared_memory = None
+    _HAVE_SHM = False
+
+__all__ = [
+    "SHM_PREFIX",
+    "ShmBlockView",
+    "ShmTransport",
+    "ShmViewHandle",
+    "shm_available",
+    "shm_enabled",
+]
+
+#: Every segment name starts with this, so tests (and operators) can assert
+#: no ``/dev/shm/repro_shm_*`` files survive a run.
+SHM_PREFIX = "repro_shm_"
+
+_OFF_VALUES = ("0", "false", "off", "no")
+
+_NAME_COUNTER = itertools.count()
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` exists on this platform."""
+    return _HAVE_SHM
+
+
+def shm_enabled(options) -> bool:
+    """Whether a run with ``options`` should use the shm transport.
+
+    Requires platform support, ``FactorOptions.shm_transport`` and an
+    environment not forcing the pickle path (``REPRO_SHM=0/false/off/no``).
+    """
+    if os.environ.get("REPRO_SHM", "").strip().lower() in _OFF_VALUES:
+        return False
+    if options is not None and not getattr(options, "shm_transport", True):
+        return False
+    return shm_available()
+
+
+@dataclass(frozen=True)
+class ShmViewHandle:
+    """The wire payload: which grid, and where each block lives.
+
+    ``entries`` maps block key ``(i, j)`` to ``(segment name, byte offset,
+    shape)``; all blocks are float64. Pickling this is O(#blocks), not
+    O(block bytes) — that is the entire point.
+    """
+
+    g: int
+    entries: dict
+
+
+# Worker-side attachment cache: one mapping per segment name per process,
+# reused across levels. Never closed here — the mappings die with the
+# worker process; the parent (sole owner) unlinks the backing segments.
+_ATTACH_CACHE: dict = {}
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str):
+    """Attach to a named segment without a resource-tracker registration.
+
+    On Python <= 3.12 ``SharedMemory(name=...)`` registers attachments
+    with the (process-tree-wide) resource tracker just like creations, so
+    a worker's attach followed by the parent's ``unlink`` would unregister
+    the name twice and spray tracker errors at exit. Only the creating
+    parent should hold the registration — ``unlink`` consumes it — so the
+    register call is suppressed for the duration of the attach.
+    """
+    with _ATTACH_LOCK:
+        seg = _ATTACH_CACHE.get(name)
+        if seg is None:
+            orig = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig
+            _ATTACH_CACHE[name] = seg
+        return seg
+
+
+class ShmBlockView:
+    """Worker-side mapping ``(i, j) -> ndarray`` over attached segments.
+
+    Drop-in for the dict the pickle path ships: the plan interpreter only
+    needs ``__getitem__`` (mutating the returned array in place writes the
+    shared segment directly) plus ``__setitem__`` / ``__contains__``.
+    """
+
+    def __init__(self, handle: ShmViewHandle):
+        self._arrays = {}
+        for key, (name, off, shape) in handle.entries.items():
+            seg = _attach(name)
+            self._arrays[key] = np.ndarray(shape, dtype=np.float64,
+                                           buffer=seg.buf, offset=off)
+
+    def __getitem__(self, key):
+        return self._arrays[key]
+
+    def __setitem__(self, key, value):
+        self._arrays[key][:] = value
+
+    def __contains__(self, key):
+        return key in self._arrays
+
+    def __len__(self):
+        return len(self._arrays)
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def release(self) -> None:
+        """Drop the array views (the segment mappings stay cached)."""
+        self._arrays.clear()
+
+
+class _GridState:
+    """Parent-side layout of one grid's blocks in shared memory."""
+
+    __slots__ = ("segments", "entries", "views", "dirty")
+
+    def __init__(self):
+        self.segments = []   # SharedMemory objects this transport owns
+        self.entries = {}    # key -> (name, offset, shape)
+        self.views = {}      # key -> parent ndarray view into a segment
+        self.dirty = set()   # keys whose replica copy is newer than shm
+
+
+class ShmTransport:
+    """Parent-side segment owner, layout table and dirty tracker."""
+
+    def __init__(self):
+        self._grids: dict[int, _GridState] = {}
+        self._names: list[str] = []
+        self._broken = False
+
+    def export(self, g: int, arrays: dict) -> ShmViewHandle | None:
+        """Sync grid ``g``'s blocks into shared memory; return a handle.
+
+        ``arrays`` maps block key to the *live* replica array (no copies;
+        iteration order must be deterministic — the layout replays it).
+        Unknown keys get appended to a fresh segment; dirty known keys are
+        re-copied; clean known keys cost nothing. Returns ``None`` if
+        shared memory fails, permanently downgrading this transport.
+        """
+        if self._broken:
+            return None
+        try:
+            st = self._grids.setdefault(g, _GridState())
+            new = [(k, a) for k, a in arrays.items() if k not in st.entries]
+            if new:
+                total = sum(int(a.size) * 8 for _k, a in new)
+                seg = self._create(max(total, 1))
+                st.segments.append(seg)
+                off = 0
+                for k, a in new:
+                    view = np.ndarray(a.shape, dtype=np.float64,
+                                      buffer=seg.buf, offset=off)
+                    view[:] = a
+                    st.entries[k] = (seg.name, off, a.shape)
+                    st.views[k] = view
+                    off += int(a.size) * 8
+            for k in [k for k in st.dirty if k in arrays]:
+                st.views[k][:] = arrays[k]
+                st.dirty.discard(k)
+            return ShmViewHandle(g=g,
+                                 entries={k: st.entries[k] for k in arrays})
+        except (OSError, ValueError):
+            self._broken = True
+            self.close()
+            return None
+
+    def views_for(self, handle: ShmViewHandle) -> dict:
+        """Parent-side views of the handle's blocks (for copy-back)."""
+        views = self._grids[handle.g].views
+        return {k: views[k] for k in handle.entries}
+
+    def mark_dirty(self, g: int, key) -> None:
+        """Record that grid ``g``'s replica block ``key`` changed outside
+        shared memory, so the next export re-copies it."""
+        st = self._grids.get(g)
+        if st is not None and key in st.entries:
+            st.dirty.add(key)
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent; crash-safe ``finally``)."""
+        for st in self._grids.values():
+            st.views.clear()
+            for seg in st.segments:
+                try:
+                    seg.close()
+                except BufferError:  # a view is still alive; unlink anyway
+                    pass
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+        self._grids.clear()
+        # Serial/thread backends attach in this same process: purge those
+        # cached attachments so unlinked segments do not pin memory.
+        for name in self._names:
+            seg = _ATTACH_CACHE.pop(name, None)
+            if seg is not None:
+                try:
+                    seg.close()
+                except BufferError:
+                    pass
+        self._names.clear()
+
+    def _create(self, nbytes: int):
+        while True:
+            name = f"{SHM_PREFIX}{os.getpid()}_{next(_NAME_COUNTER)}"
+            try:
+                seg = shared_memory.SharedMemory(create=True, size=nbytes,
+                                                 name=name)
+            except FileExistsError:  # stale leftover from a killed run
+                continue
+            self._names.append(name)
+            return seg

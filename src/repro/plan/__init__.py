@@ -25,10 +25,17 @@ from repro.plan.backends import (
     get_backend,
 )
 from repro.plan.build import build_3d_plan, build_grid_plan, sink_tids
+from repro.plan.compile import (
+    CompiledPlan,
+    CompileStats,
+    compile_enabled,
+    compile_plan,
+)
 from repro.plan.interpret import execute_grid_plan, execute_reduce
 from repro.plan.tasks import (
     AncestorReduce,
     BcastSpec,
+    FusedTask,
     GridPlan,
     LevelBarrier,
     LevelStep,
@@ -45,6 +52,9 @@ __all__ = [
     "AncestorReduce",
     "BcastSpec",
     "CholeskyBackend",
+    "CompileStats",
+    "CompiledPlan",
+    "FusedTask",
     "GridPlan",
     "KernelBackend",
     "LUBackend",
@@ -58,6 +68,8 @@ __all__ = [
     "build_3d_plan",
     "build_grid_plan",
     "cholesky_node_blocks",
+    "compile_enabled",
+    "compile_plan",
     "execute_grid_plan",
     "execute_reduce",
     "get_backend",

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.lu2d.batched import batched_schur_update, batched_syrk_update
+from repro.lu2d.batched import (
+    apply_schur_numeric,
+    apply_syrk_numeric,
+    batched_schur_update,
+    batched_syrk_update,
+)
 from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, \
     solve_upper_panel
 from repro.lu2d.storage import node_blocks
@@ -90,6 +95,17 @@ class KernelBackend:
         raise NotImplementedError
 
     def exec_schur(self, ctx, task: SchurUpdate) -> None:
+        raise NotImplementedError
+
+    # -- numeric-only bodies (fused execution; repro.plan.compile) --------
+    # Same kernels as the exec_* methods but with no simulator bookings:
+    # the fused interpreter books one vectorized event batch per run and
+    # calls these per member for the data movement alone.
+
+    def panel_numeric(self, ctx, task) -> None:
+        raise NotImplementedError
+
+    def schur_numeric(self, ctx, task: SchurUpdate) -> None:
         raise NotImplementedError
 
 
@@ -270,6 +286,34 @@ class LUBackend(KernelBackend):
                     sim.compute(o, flops, "schur", n_block_updates=1)
                 ctx.result.schur_block_updates += 1
 
+    def panel_numeric(self, ctx, task):
+        k = task.node
+        if isinstance(task, PanelFactor):
+            ctx.result.perturbed_pivots += getrf_nopiv(
+                ctx.store[(k, k)], ctx.opts.pivot_eps)
+            return
+        i, j = task.block
+        if task.side == "U":
+            ctx.store[(k, j)][:] = solve_upper_panel(
+                ctx.store[(k, k)], ctx.store[(k, j)])
+        else:
+            ctx.store[(i, k)][:] = solve_lower_panel(
+                ctx.store[(k, k)], ctx.store[(i, k)])
+
+    def schur_numeric(self, ctx, task):
+        k = task.node
+        lp, up = ctx.sf.fill.lpanel[k], ctx.sf.fill.upanel[k]
+        if task.batched:
+            apply_schur_numeric(ctx.data, k, lp, up, ctx.sizes)
+            return
+        store = ctx.store
+        for i in lp:
+            i = int(i)
+            Lik = store[(i, k)]
+            for j in up:
+                j = int(j)
+                store[(i, j)] -= Lik @ store[(k, j)]
+
 
 class CholeskyBackend(KernelBackend):
     """Right-looking supernodal Cholesky (lower triangle, shifted potrf)."""
@@ -375,6 +419,29 @@ class CholeskyBackend(KernelBackend):
                     store[(i, j)] -= store[(i, k)] @ store[(j, k)].T
                 sim.compute(o, flops, "schur", n_block_updates=1)
                 ctx.result.schur_block_updates += 1
+
+    def panel_numeric(self, ctx, task):
+        from repro.cholesky.kernels import chol_panel_solve, potrf_shifted
+        k = task.node
+        if isinstance(task, PanelFactor):
+            L, nshift = potrf_shifted(ctx.store[(k, k)], ctx.opts.pivot_eps)
+            ctx.store[(k, k)][:] = L
+            ctx.result.perturbed_pivots += nshift
+            return
+        i = task.block[0]
+        ctx.store[(i, k)][:] = chol_panel_solve(
+            ctx.store[(k, k)], ctx.store[(i, k)])
+
+    def schur_numeric(self, ctx, task):
+        k = task.node
+        if task.batched:
+            apply_syrk_numeric(ctx.data, k, ctx.sf.fill.lpanel[k], ctx.sizes)
+            return
+        store = ctx.store
+        lp = [int(i) for i in ctx.sf.fill.lpanel[k]]
+        for a, i in enumerate(lp):
+            for j in lp[:a + 1]:
+                store[(i, j)] -= store[(i, k)] @ store[(j, k)].T
 
 
 _BACKENDS: dict[str, KernelBackend] = {}

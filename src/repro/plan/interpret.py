@@ -29,13 +29,14 @@ from repro.plan.backends import get_backend
 from repro.plan.tasks import (
     AncestorReduce,
     BcastSpec,
+    FusedTask,
     GridPlan,
     PanelBcast,
     PanelFactor,
     SchurUpdate,
 )
 
-__all__ = ["GridContext", "dispatch_task", "execute_grid_plan",
+__all__ = ["GridContext", "dispatch_task", "exec_fused", "execute_grid_plan",
            "execute_reduce"]
 
 
@@ -144,7 +145,9 @@ def dispatch_task(be, ctx: GridContext, task) -> None:
     randomized legal orders — both paths book events through the exact
     same backend calls and bookkeeping.
     """
-    if isinstance(task, PanelFactor):
+    if isinstance(task, FusedTask):
+        exec_fused(be, ctx, task)
+    elif isinstance(task, PanelFactor):
         be.exec_panel_factor(ctx, task)
         ctx.result.panel_steps += 1
     elif isinstance(task, PanelBcast):
@@ -154,6 +157,64 @@ def dispatch_task(be, ctx: GridContext, task) -> None:
         ctx.free_buffers(task.node)
     else:  # pragma: no cover - builders emit only the three kinds
         raise TypeError(f"unexpected task in grid plan: {task!r}")
+
+
+def exec_fused(be, ctx: GridContext, task: FusedTask) -> None:
+    """Execute one fused run as its precompiled vectorized dispatch.
+
+    Books the exact event sequence the member-by-member replay would —
+    one ``compute_batch`` (plus one ``sendrecv_batch`` per panel segment)
+    instead of per-member Python dispatch. Panel-segment payloads are
+    plain lists, which the Simulator batch entries book through a scalar
+    loop below their internal threshold; the concatenated Schur cost
+    arrays stay ndarrays and keep the vectorized path. Both paths book
+    bit-identical ledgers by the Simulator batch contract.
+    ``vector_safe=False`` fused tasks replay their members through
+    :func:`dispatch_task`, preserving error behavior for plans the
+    compiler could not prove safe.
+    """
+    if not task.vector_safe or task.payload is None:
+        for m in task.members:
+            dispatch_task(be, ctx, m)
+        return
+    sim = ctx.sim
+    if task.fused_kind == "schur_update":
+        pay = task.payload
+        if ctx.numeric:
+            for m in task.members:
+                be.schur_numeric(ctx, m)
+        if len(pay.owners):
+            sim.compute_batch(pay.owners, pay.flops, "schur",
+                              n_block_updates=1)
+        res = ctx.result
+        for m, (used, total) in zip(task.members, pay.member_fill):
+            if m.n_pairs:
+                res.schur_block_updates += m.n_pairs
+                if m.batched:
+                    res.n_batched_gemms += 1
+                    ctx.fill_used += used
+                    ctx.fill_total += total
+            ctx.free_buffers(m.node)
+        return
+    kind = "diag" if task.fused_kind == "panel_factor" else "panel"
+    members = task.members
+    for seg in task.payload:
+        if ctx.numeric:
+            for m in members[seg.start:seg.stop]:
+                be.panel_numeric(ctx, m)
+        sim.compute_batch(seg.owners, seg.flops, kind)
+        if seg.srcs:
+            sim.sendrecv_batch(seg.srcs, seg.dsts, seg.words)
+        if ctx.opts.track_buffers and seg.allocs:
+            result = ctx.result
+            for node, r, words in seg.allocs:
+                sim.alloc(r, words)
+                ctx.buffers.setdefault(node, []).append((r, words))
+                ctx.buf_current[r] += words
+                if ctx.buf_current[r] > result.buffer_peak_words:
+                    result.buffer_peak_words = float(ctx.buf_current[r])
+    if task.fused_kind == "panel_factor":
+        ctx.result.panel_steps += len(members)
 
 
 def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,

@@ -31,8 +31,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["BcastSpec", "Task", "PanelFactor", "PanelBcast", "SchurUpdate",
-           "AncestorReduce", "LevelBarrier", "GridPlan", "LevelStep",
-           "Plan3D", "task_comm", "task_flops"]
+           "AncestorReduce", "LevelBarrier", "FusedTask", "FusedSchurPayload",
+           "PanelSegment", "GridPlan", "LevelStep", "Plan3D", "task_comm",
+           "task_flops"]
 
 
 @dataclass(frozen=True)
@@ -156,6 +157,73 @@ class LevelBarrier(Task):
     kind = "level_barrier"
 
 
+@dataclass(frozen=True, eq=False)
+class FusedSchurPayload:
+    """Precomputed cost arrays of a fused ``SchurUpdate`` run.
+
+    ``owners``/``flops`` are the members' per-pair cost arrays concatenated
+    in member order — exactly what each member's batched kernel would have
+    passed to ``Simulator.compute_batch``, so one batched call over the
+    concatenation books the identical ledger. ``member_fill`` carries each
+    member's ``(fill_used, fill_total)`` contribution so the result
+    counters stay bit-identical too.
+    """
+
+    owners: np.ndarray
+    flops: np.ndarray
+    member_fill: tuple[tuple[float, float], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class PanelSegment:
+    """One vectorizable slice ``members[start:stop]`` of a fused panel run.
+
+    Within a segment no member's compute owner appears in an *earlier*
+    member's communicator, so hoisting the segment's compute bookings
+    above its communication (the one event reorder vectorization needs)
+    cannot change any rank's clock. ``srcs``/``dsts``/``words`` are the
+    members' broadcast trees flattened to point-to-point pairs in replay
+    order (route hop first, then the binomial-tree spans); ``allocs`` is
+    the serial order of ``(node, rank, words)`` receive-buffer charges.
+    The event columns are plain lists: segments are usually a handful of
+    events, where the interpreter books them through the scalar simulator
+    calls anyway, and list storage skips an array round-trip per segment
+    on both sides.
+    """
+
+    start: int
+    stop: int
+    owners: list[int]
+    flops: list[float]
+    srcs: list[int]
+    dsts: list[int]
+    words: list[float]
+    allocs: tuple[tuple[int, int, float], ...]
+
+
+@dataclass(frozen=True, kw_only=True, eq=False)
+class FusedTask(Task):
+    """A maximal run of same-kind grid tasks executed as one dispatch.
+
+    Emitted by the compile pass (:mod:`repro.plan.compile`), never by the
+    builders. ``members`` is the original contiguous run in plan list
+    order; ``deps`` is the union of the members' external dependencies and
+    ``tid`` is the last member's tid, so DAG edges from later tasks into
+    the run stay valid and ``dep < tid`` still holds. ``payload`` holds
+    the precomputed vectorized form (:class:`FusedSchurPayload` for Schur
+    runs, a tuple of :class:`PanelSegment` for panel runs); ``None`` when
+    ``vector_safe`` is False, in which case the interpreter replays the
+    members one by one (same ledgers, no fusion win).
+    """
+
+    members: tuple[Task, ...]
+    fused_kind: str
+    vector_safe: bool = True
+    payload: object = None
+
+    kind = "fused"
+
+
 def _bcast_comm(spec: BcastSpec) -> tuple[int, float]:
     """(messages, words) a BcastSpec moves: binomial tree + route hop."""
     hops = len(spec.ranks) - 1
@@ -168,6 +236,13 @@ def _bcast_comm(spec: BcastSpec) -> tuple[int, float]:
 
 def task_comm(task: Task) -> tuple[int, float]:
     """Total (messages, words) ``task`` puts on the network."""
+    if isinstance(task, FusedTask):
+        msgs, words = 0, 0.0
+        for m in task.members:
+            mm, mw = task_comm(m)
+            msgs += mm
+            words += mw
+        return msgs, words
     if isinstance(task, (PanelFactor, PanelBcast)):
         msgs, words = 0, 0.0
         for spec in task.bcasts:
@@ -191,6 +266,14 @@ def task_comm(task: Task) -> tuple[int, float]:
 def task_flops(task: Task) -> tuple[str, float]:
     """``(compute kind, flops)`` of ``task`` (kind '' when it computes
     nothing). Reduces pay one flop per word at the receiving copy."""
+    if isinstance(task, FusedTask):
+        # Members share a kind, so their flops land in one ledger.
+        kind = ""
+        flops = 0.0
+        for m in task.members:
+            kind, f = task_flops(m)
+            flops += f
+        return kind, flops
     if isinstance(task, PanelFactor):
         return "diag", task.flops
     if isinstance(task, PanelBcast):

@@ -33,8 +33,8 @@ only structural checks apply to them.
 
 from __future__ import annotations
 
-from repro.plan.tasks import AncestorReduce, PanelBcast, PanelFactor, \
-    SchurUpdate
+from repro.plan.tasks import AncestorReduce, FusedTask, PanelBcast, \
+    PanelFactor, SchurUpdate
 
 __all__ = ["READ", "WRITE", "ACCUM", "GLOBAL_VIEW", "conflicts",
            "grid_task_accesses", "reduce_accesses", "grid_task_ranks",
@@ -63,8 +63,15 @@ def grid_task_accesses(backend: str, sf, task) -> list[tuple[int, int, str]]:
     Mirrors the kernel backends (:mod:`repro.plan.backends`): the LU Schur
     update reads both panels and accumulates into the full ``lp x up``
     cross product; the Cholesky one reads the L panel and accumulates into
-    the lower triangle of its outer product.
+    the lower triangle of its outer product. A compiler-emitted
+    :class:`~repro.plan.tasks.FusedTask` touches the union of its members'
+    accesses — its one dispatch performs all of their work.
     """
+    if isinstance(task, FusedTask):
+        acc: list[tuple[int, int, str]] = []
+        for m in task.members:
+            acc.extend(grid_task_accesses(backend, sf, m))
+        return acc
     if isinstance(task, PanelFactor):
         return [(task.node, task.node, WRITE)]
     if isinstance(task, PanelBcast):
@@ -121,7 +128,11 @@ def grid_task_ranks(backend: str, sf, task, grid,
     ordering constraints.
     """
     ranks: set[int] = set()
-    if isinstance(task, (PanelFactor, PanelBcast)):
+    if isinstance(task, FusedTask):
+        for m in task.members:
+            ranks.update(grid_task_ranks(backend, sf, m, grid,
+                                         buffer_ranks=buffer_ranks))
+    elif isinstance(task, (PanelFactor, PanelBcast)):
         ranks.add(task.owner)
         for spec in task.bcasts:
             ranks.add(spec.root)
@@ -152,8 +163,11 @@ def panel_buffer_ranks(plan) -> dict[int, frozenset]:
     receive buffers (allocated by the node's diagonal and panel
     broadcasts, freed by its Schur update)."""
     out: dict[int, set[int]] = {}
-    for t in plan.tasks:
-        if isinstance(t, (PanelFactor, PanelBcast)):
+    stack = list(plan.tasks)
+    for t in stack:
+        if isinstance(t, FusedTask):
+            stack.extend(t.members)
+        elif isinstance(t, (PanelFactor, PanelBcast)):
             s = out.setdefault(t.node, set())
             for spec in t.bcasts:
                 s.update(spec.ranks)

@@ -45,8 +45,9 @@ from repro.comm.simulator import Simulator
 from repro.lu2d.options import FactorOptions
 from repro.plan.backends import get_backend
 from repro.plan.build import build_3d_plan, build_grid_plan
+from repro.plan.compile import compile_plan
 from repro.plan.interpret import GridContext, dispatch_task, execute_reduce
-from repro.plan.tasks import GridPlan, Plan3D
+from repro.plan.tasks import FusedTask, GridPlan, Plan3D
 from repro.verify.access import (
     grid_task_ranks,
     panel_buffer_ranks,
@@ -138,6 +139,16 @@ class _Unit:
         self.ranks = ranks
 
 
+def _task_buffer_ranks(task, bufranks) -> frozenset | None:
+    """The per-node buffer-rank lookup, unioned over a fusion's members."""
+    if isinstance(task, FusedTask):
+        s: set[int] = set()
+        for m in task.members:
+            s.update(bufranks.get(m.node, ()))
+        return frozenset(s)
+    return bufranks.get(task.node)
+
+
 def _plan3d_units(plan3: Plan3D, sf) -> tuple[list[_Unit], dict]:
     """Flatten a 3D plan into canonical-order units + per-context plans."""
     units: list[_Unit] = []
@@ -151,7 +162,7 @@ def _plan3d_units(plan3: Plan3D, sf) -> tuple[list[_Unit], dict]:
             for t in gp.tasks:
                 ranks = grid_task_ranks(
                     gp.backend, sf, t, grid,
-                    buffer_ranks=bufranks.get(t.node))
+                    buffer_ranks=_task_buffer_ranks(t, bufranks))
                 units.append(_Unit("grid", t, ctx_key=key,
                                    ranks=frozenset(ranks)))
         for red in step.reduces:
@@ -168,7 +179,7 @@ def _grid_plan_units(plan: GridPlan, sf) -> tuple[list[_Unit], dict]:
     units = [_Unit("grid", t, ctx_key=key,
                    ranks=frozenset(grid_task_ranks(
                        plan.backend, sf, t, grid,
-                       buffer_ranks=bufranks.get(t.node))))
+                       buffer_ranks=_task_buffer_ranks(t, bufranks))))
              for t in plan.tasks]
     return units, {key: plan}
 
@@ -258,7 +269,7 @@ def _fuzz(units, ctx_plans, setup, sf, opts, *, driver: str,
 def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
             numeric: bool = False, n_orders: int = 25, seed: int = 0,
             options: FactorOptions | None = None, machine=None,
-            matrix=None) -> FuzzReport:
+            matrix=None, compile: bool = False) -> FuzzReport:
     """Fuzz a 3D plan (standard, merged, or Cholesky via ``backend``).
 
     Builds the plan and the numeric state exactly as the corresponding
@@ -266,7 +277,9 @@ def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
     :func:`repro.lu3d.merged.factor_3d_merged` /
     :func:`repro.cholesky.factor_chol_3d`), so the identity-order run
     books the drivers' golden-pinned ledgers — the tests assert that
-    chain explicitly.
+    chain explicitly. With ``compile=True`` the plan is run through the
+    compile pass first and the *fused* tasks are the schedulable units,
+    so random legal orders exercise the rewritten dependency edges.
     """
     # Imported here: repro.lu3d.factor3d pulls repro.parallel, which in
     # turn reaches back into repro.verify for its pre-flight check.
@@ -293,6 +306,8 @@ def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
         plan3 = build_3d_plan(sf, tf, grid3, opts, backend=backend,
                               merged=False, blocks_fn=blocks_fn)
         charge = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+    if compile:
+        plan3 = compile_plan(plan3, sf, opts).plan
 
     def setup():
         sim = Simulator(grid3.size, mach)
@@ -322,10 +337,11 @@ def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
 
 def fuzz_2d(sf, grid, *, backend: str = "lu", numeric: bool = False,
             n_orders: int = 25, seed: int = 0,
-            options: FactorOptions | None = None, machine=None
-            ) -> FuzzReport:
+            options: FactorOptions | None = None, machine=None,
+            compile: bool = False) -> FuzzReport:
     """Fuzz a single-grid 2D plan (:func:`repro.lu2d.factor2d.factor_2d`
-    setup: full node range, static factor storage charged up front)."""
+    setup: full node range, static factor storage charged up front).
+    ``compile=True`` fuzzes the compiled (fused) form of the plan."""
     from repro.lu2d.storage import allocate_factor_storage
     from repro.lu3d.factor3d import CostOnlyData, GlobalStoreData
     from repro.sparse.blockmatrix import BlockMatrix
@@ -334,6 +350,8 @@ def fuzz_2d(sf, grid, *, backend: str = "lu", numeric: bool = False,
     mach = machine if machine is not None else Machine.edison_like()
     nodes = list(range(sf.nb))
     plan = build_grid_plan(sf, nodes, grid, opts, backend=backend)
+    if compile:
+        plan = compile_plan(plan, sf, opts).plan
 
     def setup():
         sim = Simulator(grid.size, mach)

@@ -46,6 +46,7 @@ import numpy as np
 from repro.comm.grid import ProcessGrid2D
 from repro.plan.tasks import (
     AncestorReduce,
+    FusedTask,
     GridPlan,
     LevelBarrier,
     PanelBcast,
@@ -292,6 +293,13 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
         pos_of[t.tid] = e.pos
         if e.is_reduce:
             _check_reduce(e, merged, add)
+        elif isinstance(t, FusedTask):
+            # Fused runs keep their members' payloads verbatim: run the
+            # broadcast/rank checks per member so a malformed spec inside
+            # a fusion is still caught.
+            for m in t.members:
+                if isinstance(m, (PanelFactor, PanelBcast)):
+                    _check_bcasts(_Entry(m, e.pos, grid=e.grid), add)
         elif isinstance(t, (PanelFactor, PanelBcast)):
             _check_bcasts(e, add)
     for e in entries:
@@ -304,7 +312,9 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
             elif dp >= e.pos:
                 add("cycle", f"task {t.tid} depends on later task {d} "
                     "(forward edge / cycle)", (t.tid, d))
-        if not t.deps and not isinstance(t, (PanelFactor, LevelBarrier)) \
+        root_ok = isinstance(t, (PanelFactor, LevelBarrier)) or \
+            (isinstance(t, FusedTask) and t.fused_kind == "panel_factor")
+        if not t.deps and not root_ok \
                 and not (e.is_reduce and e.level_index == 0):
             add("disconnected", f"task {t.tid} ({t.kind}) has no "
                 "dependencies but is not a panel root or level barrier",
@@ -336,7 +346,8 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
             for g, i, j, mode in reduce_accesses(t):
                 key = (("replica", g), i, j)
                 accesses.setdefault(key, []).append((e.pos, t.tid, mode))
-        elif isinstance(t, (PanelFactor, PanelBcast, SchurUpdate)):
+        elif isinstance(t, (PanelFactor, PanelBcast, SchurUpdate,
+                            FusedTask)):
             for i, j, mode in grid_task_accesses(e.backend, sf, t):
                 key = (e.view, i, j)
                 accesses.setdefault(key, []).append((e.pos, t.tid, mode))
@@ -351,6 +362,10 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
             pa, tida, ma = accs[a]
             for b in range(a + 1, n):
                 pb, tidb, mb = accs[b]
+                if pa == pb:
+                    # Same entry: a fused task's members access the block
+                    # more than once — internally ordered by construction.
+                    continue
                 if not conflicts(ma, mb):
                     continue
                 pairs += 1
@@ -376,7 +391,11 @@ def grid_plan_rank_escapes(plan: GridPlan) -> list[str]:
     """
     lo, hi = plan.base, plan.base + plan.px * plan.py
     out: list[str] = []
-    for t in plan.tasks:
+    stack = list(plan.tasks)
+    for t in stack:
+        if isinstance(t, FusedTask):
+            stack.extend(t.members)
+            continue
         if not isinstance(t, (PanelFactor, PanelBcast)):
             continue
         bad = set()
@@ -408,23 +427,33 @@ def _race_edge_candidates(plan) -> list[tuple]:
     Other edges (``PanelFactor -> SchurUpdate`` readiness edges, barrier
     anchors) are ordering-only — removing them may leave the block
     accesses transitively ordered, which would make the self-test flaky.
+
+    Compiled plans qualify through the same two classes with
+    :class:`FusedTask` nodes standing in for their ``fused_kind``: a fused
+    panel-bcast run's dep on the fused panel-factor run is the union of
+    its members' diagonal-read edges, so dropping it unorders every one of
+    those write/read pairs at once.
     """
     if isinstance(plan, GridPlan):
         walk = [((), plan)]
     else:
         walk = [((li, gi), gp) for li, step in enumerate(plan.levels)
                 for gi, gp in enumerate(step.grid_plans)]
+
+    def kind_of(task) -> str | None:
+        if task is None:
+            return None
+        return task.fused_kind if isinstance(task, FusedTask) else task.kind
+
     cands: list[tuple] = []
     for loc, gp in walk:
         by_tid = {t.tid: t for t in gp.tasks}
         for ti, t in enumerate(gp.tasks):
+            tk = kind_of(t)
             for d in t.deps:
-                dep_task = by_tid.get(d)
-                if isinstance(t, PanelBcast) \
-                        and isinstance(dep_task, PanelFactor):
-                    cands.append((loc, ti, d))
-                elif isinstance(t, SchurUpdate) \
-                        and isinstance(dep_task, PanelBcast):
+                dk = kind_of(by_tid.get(d))
+                if (tk, dk) in (("panel_bcast", "panel_factor"),
+                                ("schur_update", "panel_bcast")):
                     cands.append((loc, ti, d))
     return cands
 
@@ -449,8 +478,9 @@ def drop_dep_edge(plan, seed: int = 0):
         old = tasks[ti]
         tasks[ti] = dataclasses.replace(
             old, deps=tuple(d for d in old.deps if d != dep))
-        desc = (f"dropped dep {dep} from task {old.tid} ({old.kind}, "
-                f"node {old.node})")
+        label = old.fused_kind + " fusion" if isinstance(old, FusedTask) \
+            else f"{old.kind}, node {old.node}"
+        desc = f"dropped dep {dep} from task {old.tid} ({label})"
         return GridPlan(backend=gp.backend, g=gp.g, level=gp.level,
                         px=gp.px, py=gp.py, base=gp.base, nodes=gp.nodes,
                         tasks=tasks), desc
