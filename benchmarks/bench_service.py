@@ -1,0 +1,225 @@
+"""Factorization-service benchmark: plan-cache amortization + throughput.
+
+Measures what the :mod:`repro.service` layer exists for, recorded in
+``BENCH_service.json``:
+
+* **Cold vs warm refactorization** — a cache-miss request pays symbolic
+  analysis + plan build + compile + execution; a cache-hit replays the
+  cached plan and pays kernels only. The warm path must be >= 2x faster
+  (hard bar), and its ledgers must be *bit-identical* to a cold run with
+  factors agreeing to 1e-12 — asserted here across all four drivers
+  (LU 2D via pz=1, LU 3D, merged-grid, Cholesky) with the PR-5 oracle
+  as referee.
+* **Requests/sec at 1 / 4 / 16 concurrent clients** — throughput of the
+  thread-pool front-end against a warm cache. This container has one
+  core, so scaling numbers are recorded honestly rather than gated.
+* **Cache-hit ratio** — for the mixed workload above.
+"""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from benchmarks.conftest import run_once, scale
+from repro.cholesky import SparseCholesky3D
+from repro.comm import ProcessGrid3D, Simulator
+from repro.lu3d.merged import factor_3d_merged
+from repro.service import FactorizationService
+from repro.solve import SparseLU3D
+from repro.sparse import grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+from repro.verify.oracle import ledger_state
+
+#: Lattice edge per scale (n = nx^2 unknowns).
+CONFIGS = {"tiny": 16, "small": 24, "medium": 32}
+LEAF = 16
+MIN_WARM_SPEEDUP = 2.0
+CLIENT_COUNTS = (1, 4, 16)
+JOBS_PER_CLIENT = 2
+WARM_REPS = 5
+OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _perturbed(A, seed):
+    B = A.tocsr(copy=True)
+    rng = np.random.default_rng(seed)
+    B.data = B.data * (1.0 + 0.1 * rng.random(B.nnz))
+    return ((B + B.T) * 0.5).tocsr()
+
+
+def _spd(A):
+    return (A + 4.0 * sp.identity(A.shape[0], format="csr")).tocsr()
+
+
+# -- bit-identity oracle across the four drivers ---------------------------
+
+def _check_facade(cls, A1, A2, geom, pz):
+    """Warm refactorize vs fresh cold solver: identical ledgers, 1e-12."""
+    kw = dict(geometry=geom, px=2, py=2, pz=pz, leaf_size=LEAF)
+    warm = cls(A1, **kw).factorize()
+    warm.refactorize(A2)
+    assert warm.result.bundle is not None
+    cold = cls(A2, **kw).factorize()
+    assert ledger_state(warm.sim) == ledger_state(cold.sim), \
+        f"{cls.__name__} pz={pz}: warm ledger != cold"
+    Fw, Fc = warm.result.factors(), cold.result.factors()
+    worst = 0.0
+    for key in Fc.blocks:
+        np.testing.assert_allclose(Fw.blocks[key], Fc.blocks[key],
+                                   rtol=0, atol=1e-12)
+        worst = max(worst, float(np.max(np.abs(Fw.blocks[key]
+                                               - Fc.blocks[key]))))
+    return worst
+
+
+def _check_merged(A1, A2, geom):
+    sf = symbolic_factorize(A1, geom, leaf_size=LEAF)
+    tf = greedy_partition(sf, 4)
+    grid3 = ProcessGrid3D(2, 2, 4)
+    sim0 = Simulator(grid3.size)
+    r0 = factor_3d_merged(sf, tf, grid3, sim0, numeric=True)
+    A2p = sf.perm.apply_matrix(A2)
+    sim_w = Simulator(grid3.size)
+    rw = factor_3d_merged(sf, tf, grid3, sim_w, numeric=True, matrix=A2p,
+                          cached=r0.bundle)
+    sim_c = Simulator(grid3.size)
+    rc = factor_3d_merged(sf, tf, grid3, sim_c, numeric=True, matrix=A2p)
+    assert ledger_state(sim_w) == ledger_state(sim_c), \
+        "merged: warm ledger != cold"
+    worst = 0.0
+    for key, arr in rc.merged_blocks.blocks.items():
+        np.testing.assert_allclose(rw.merged_blocks.blocks[key], arr,
+                                   rtol=0, atol=1e-12)
+        worst = max(worst, float(np.max(np.abs(
+            rw.merged_blocks.blocks[key] - arr))))
+    return worst
+
+
+def _identity_oracle(A, geom):
+    A1, A2 = _perturbed(A, 11), _perturbed(A, 12)
+    S1, S2 = _spd(A1), _spd(A2)
+    return {
+        "lu_2d_max_factor_diff": _check_facade(SparseLU3D, A1, A2, geom, 1),
+        "lu_3d_max_factor_diff": _check_facade(SparseLU3D, A1, A2, geom, 4),
+        "cholesky_max_factor_diff": _check_facade(SparseCholesky3D, S1, S2,
+                                                  geom, 4),
+        "merged_max_factor_diff": _check_merged(A1, A2, geom),
+        "ledgers_identical": True,
+    }
+
+
+# -- cold/warm amortization ------------------------------------------------
+
+def _cold_warm(A, geom):
+    """Request wall time on a miss vs on hits, through the service."""
+    with FactorizationService(geometry=geom, px=2, py=2, pz=4,
+                              leaf_size=LEAF, max_workers=1) as svc:
+        t0 = time.perf_counter()
+        job = svc.solve(_perturbed(A, 0))
+        cold_s = time.perf_counter() - t0
+        assert not job.cache_hit
+        warm = []
+        for s in range(1, WARM_REPS + 1):
+            M = _perturbed(A, s)
+            t0 = time.perf_counter()
+            job = svc.solve(M)
+            warm.append(time.perf_counter() - t0)
+            assert job.cache_hit
+        (entry,) = svc.stats()["per_entry"]
+    warm_s = float(np.median(warm))
+    return {
+        "cold_request_s": round(cold_s, 6),
+        "warm_request_s_median": round(warm_s, 6),
+        "warm_request_s_best": round(min(warm), 6),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "symbolic_plus_plan_build_s": round(entry["build_seconds"], 6),
+        "plan_build_compile_s": round(entry["plan_build_seconds"], 6),
+    }
+
+
+# -- multi-client throughput ----------------------------------------------
+
+def _throughput(A, geom):
+    rows = {}
+    mats = [_perturbed(A, 100 + s) for s in range(
+        max(CLIENT_COUNTS) * JOBS_PER_CLIENT)]
+    for clients in CLIENT_COUNTS:
+        n_jobs = clients * JOBS_PER_CLIENT
+        with FactorizationService(geometry=geom, px=2, py=2, pz=4,
+                                  leaf_size=LEAF,
+                                  max_workers=clients) as svc:
+            svc.solve(mats[0])  # warm the cache outside the timed window
+
+            def client(ms):
+                return [svc.solve(M) for M in ms]
+
+            chunks = [mats[c::clients][:JOBS_PER_CLIENT]
+                      for c in range(clients)]
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                jobs = [j for f in [pool.submit(client, ch)
+                                    for ch in chunks] for j in f.result()]
+            wall = time.perf_counter() - t0
+            st = svc.stats()
+        assert len(jobs) == n_jobs and all(j.cache_hit for j in jobs)
+        rows[str(clients)] = {
+            "jobs": n_jobs,
+            "wall_s": round(wall, 6),
+            "req_per_s": round(n_jobs / wall, 2),
+            "hit_ratio": round(st["hit_ratio"], 4),
+        }
+    return rows
+
+
+def test_service_amortization(benchmark):
+    sc = scale()
+    nx = CONFIGS[sc]
+    A, geom = grid2d_5pt(nx)
+
+    def experiment():
+        return {"cold_warm": _cold_warm(A, geom),
+                "throughput": _throughput(A, geom),
+                "identity": _identity_oracle(A, geom)}
+
+    rec = run_once(benchmark, experiment)
+    record = {
+        "bench": "bench_service",
+        "scale": sc,
+        "workload": {"matrix": f"grid2d_5pt({nx})", "leaf": LEAF,
+                     "grid": "2x2x4", "numeric": True,
+                     "warm_reps": WARM_REPS,
+                     "jobs_per_client": JOBS_PER_CLIENT},
+        "threshold_warm_speedup": MIN_WARM_SPEEDUP,
+        "note": "single-core container: requests/sec at 4/16 clients "
+                "documents front-end overhead, not host parallelism",
+        **rec,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    cw, tp = rec["cold_warm"], rec["throughput"]
+    print()
+    print(f"factorization service @ {sc} (grid2d_5pt({nx}), leaf {LEAF}, "
+          f"grid 2x2x4):")
+    print(f"  cold request : {cw['cold_request_s'] * 1e3:8.2f} ms "
+          f"(symbolic+plan build "
+          f"{cw['symbolic_plus_plan_build_s'] * 1e3:.2f} ms)")
+    print(f"  warm request : {cw['warm_request_s_median'] * 1e3:8.2f} ms "
+          f"median -> {cw['warm_speedup']:.2f}x")
+    for c in CLIENT_COUNTS:
+        row = tp[str(c)]
+        print(f"  {c:2d} client(s) : {row['req_per_s']:7.1f} req/s "
+              f"({row['jobs']} jobs in {row['wall_s'] * 1e3:.1f} ms, "
+              f"hit ratio {row['hit_ratio']:.2f})")
+    print("  identity     : warm ledgers bit-identical on all four "
+          "drivers; max |warm - cold| factor entry "
+          f"{max(v for k, v in rec['identity'].items() if k.endswith('diff')):.2e}")
+    print(f"  record written to {OUT.name}")
+
+    assert rec["identity"]["ledgers_identical"]
+    assert cw["warm_speedup"] >= MIN_WARM_SPEEDUP, \
+        f"warm speedup {cw['warm_speedup']} < {MIN_WARM_SPEEDUP}"

@@ -34,10 +34,16 @@ REPRO_SCALE=small python -m pytest benchmarks/bench_fig9_16nodes.py \
 # >= 10x fewer bytes than pickle with identical ledgers and factors.
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_compile.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Factorization-service gate: a cache-hit request (plan replay) must run
+# >= 2x faster than a cache-miss request (symbolic + plan build + compile
+# + execute), with warm ledgers bit-identical to cold and factors within
+# 1e-12 on all four drivers (LU 2D, LU 3D, merged, Cholesky).
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_service.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 # Verifier self-test gate (cheap): deleting a dependency edge from a real
 # plan MUST trip the static race detector — proves the analyzer guarding
 # the whole suite (tests/conftest.py installs it on every plan build) is
 # not vacuously green.
 python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, race detector armed"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, race detector armed"

@@ -18,6 +18,7 @@ from repro.cholesky.factor import factor_chol_3d
 from repro.lu2d.factor2d import FactorOptions
 from repro.solve.refine import RefinementResult, iterative_refinement
 from repro.sparse.generators import GridGeometry
+from repro.sparse.pattern import pattern_of, symmetrize_pattern
 from repro.symbolic.symbolic_factor import symbolic_factorize
 from repro.tree.partition import greedy_partition, naive_partition
 from repro.utils import check_square_sparse
@@ -65,6 +66,9 @@ class SparseCholesky3D:
         self.sim: Simulator | None = None
         self.result = None
         self._L = None
+        self._pattern = None
+        self._bundle = None
+        self._shared_symbolic = False
 
     def analyze(self) -> "SparseCholesky3D":
         tree = None
@@ -83,15 +87,47 @@ class SparseCholesky3D:
                                      max_block=self._max_block, tree=tree)
         part = greedy_partition if self._partition == "greedy" else naive_partition
         self.tf = part(self.sf, self.grid.pz)
+        self._pattern = symmetrize_pattern(self.A, stored=True)
+        self._bundle = None
+        self._shared_symbolic = False
         return self
+
+    def adopt(self, sf, tf, pattern=None, bundle=None) -> "SparseCholesky3D":
+        """Attach a shared symbolic factorization + partition (read-only),
+        mirroring :meth:`repro.solve.SparseLU3D.adopt` — the
+        :mod:`repro.service` entry point."""
+        self.sf = sf
+        self.tf = tf
+        self._pattern = pattern if pattern is not None else \
+            symmetrize_pattern(self.A, stored=True)
+        self._bundle = bundle
+        self._shared_symbolic = True
+        return self
+
+    def _usable_bundle(self, sim: Simulator):
+        if self._bundle is None:
+            return None
+        try:
+            self._bundle.check(self.grid, "cholesky", False,
+                               sim.accelerator is not None, self.options)
+        except ValueError:
+            return None
+        return self._bundle
 
     def factorize(self) -> "SparseCholesky3D":
         if self.sf is None:
             self.analyze()
         self.sim = Simulator(self.grid.size, self.machine)
+        cached = self._usable_bundle(self.sim)
+        replicas = self.result.replicas if cached is not None \
+            and self.result is not None else None
+        matrix = self.sf.perm.apply_matrix(self.A) \
+            if self._shared_symbolic else None
         self.result = factor_chol_3d(self.sf, self.tf, self.grid, self.sim,
                                      numeric=self.numeric,
-                                     options=self.options)
+                                     options=self.options, matrix=matrix,
+                                     cached=cached, replicas=replicas)
+        self._bundle = self.result.bundle or self._bundle
         if self.numeric:
             self._L = self.result.replicas.home_view()
         return self
@@ -112,23 +148,18 @@ class SparseCholesky3D:
         if self.sf is None:
             self.A = A_new
             return self.factorize()
-        from repro.sparse.pattern import pattern_of, symmetrize_pattern
-        old = symmetrize_pattern(self.A)
-        new = pattern_of(A_new)
-        outside = (new - new.multiply(old)).nnz
+        if self._pattern is None:
+            self._pattern = symmetrize_pattern(self.A, stored=True)
+        new = pattern_of(A_new)  # eliminates explicitly-stored zeros
+        outside = (new - new.multiply(self._pattern)).nnz
         if outside:
             raise ValueError(
                 f"{outside} entries of the new matrix fall outside the "
                 "original pattern; run a fresh analyze()+factorize()")
         self.A = A_new
-        self.sf.A_perm = self.sf.perm.apply_matrix(A_new)
-        self.sim = Simulator(self.grid.size, self.machine)
-        self.result = factor_chol_3d(self.sf, self.tf, self.grid, self.sim,
-                                     numeric=self.numeric,
-                                     options=self.options)
-        if self.numeric:
-            self._L = self.result.replicas.home_view()
-        return self
+        if not self._shared_symbolic:
+            self.sf.A_perm = self.sf.perm.apply_matrix(A_new)
+        return self.factorize()
 
     # -- solve -----------------------------------------------------------
 

@@ -64,14 +64,23 @@ def factor_nodes_chol_2d(sf: SymbolicFactorization, nodes, grid: ProcessGrid2D,
 def factor_chol_3d(sf: SymbolicFactorization, tf: TreeForest,
                    grid3: ProcessGrid3D, sim: Simulator, numeric: bool = True,
                    options: FactorOptions | None = None,
-                   charge_storage: bool = True) -> Factor3DResult:
+                   charge_storage: bool = True, matrix=None,
+                   cached=None, replicas=None) -> Factor3DResult:
     """Algorithm 1 with the Cholesky kernel backend plugged in.
 
     In numeric mode the SYRK update of an ``i == j`` diagonal block also
     writes its (unreferenced) strict upper triangle; correctness tests
     compare ``tril(L) tril(L)^T`` against ``A``.
+
+    ``matrix`` overrides ``sf.A_perm`` as the value source (the lower
+    triangle is taken here, matching the default); ``cached`` /
+    ``replicas`` replay a previous run's plan bundle and replica storage,
+    as in :func:`repro.lu3d.factor_3d`.
     """
-    matrix = sp.tril(sf.A_perm).tocsr() if numeric else None
+    values = None
+    if numeric:
+        values = sp.tril(sf.A_perm if matrix is None else matrix).tocsr()
     return factor_3d(sf, tf, grid3, sim, numeric=numeric, options=options,
                      charge_storage=charge_storage, backend="cholesky",
-                     blocks_fn=cholesky_node_blocks, matrix=matrix)
+                     blocks_fn=cholesky_node_blocks, matrix=values,
+                     cached=cached, replicas=replicas)

@@ -49,6 +49,7 @@ from repro.parallel.shm import ShmTransport, ShmViewHandle, shm_enabled
 from repro.plan.build import build_3d_plan
 from repro.plan.compile import compile_enabled, compile_plan
 from repro.plan.interpret import execute_grid_plan, execute_reduce
+from repro.plan.replay import PlanBundle, plan_options_key
 from repro.plan.tasks import Plan3D
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
@@ -85,6 +86,11 @@ class Factor3DResult:
     #: the resilience engine (``FactorOptions.resilience_active()``);
     #: ``None`` for plain runs.
     resilience: object | None = None
+    #: The :class:`repro.plan.PlanBundle` of pattern-only build products
+    #: this run used (built cold or passed in via ``cached=``); feed it
+    #: back as ``factor_3d(..., cached=result.bundle)`` to replay the plan
+    #: against fresh values. ``None`` for legacy ``factor_fn`` runs.
+    bundle: PlanBundle | None = None
 
     def factors(self) -> BlockMatrix:
         """Assembled L\\U factors (numeric runs only)."""
@@ -219,7 +225,9 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
               sim: Simulator, numeric: bool = True,
               options: FactorOptions | None = None,
               charge_storage: bool = True, factor_fn=None, blocks_fn=None,
-              matrix=None, backend: str = "lu") -> Factor3DResult:
+              matrix=None, backend: str = "lu",
+              cached: PlanBundle | None = None,
+              replicas: ReplicaManager | None = None) -> Factor3DResult:
     """Run Algorithm 1 on the 3D process grid.
 
     Parameters
@@ -248,6 +256,15 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
     built structure-only and each grid's work is delegated to the callable
     instead of the plan interpreter.
 
+    ``cached`` replays a previous run's :class:`repro.plan.PlanBundle`
+    (``result.bundle``): the build/compile/analyze phases are skipped and
+    the cached DAG executes against the fresh values — same events, same
+    order, so ledgers stay bit-identical to a cold run. The bundle is
+    validated against (grid shape, backend, merged/accelerated mode,
+    plan-relevant options) and refused loudly on mismatch. ``replicas``
+    additionally reuses a previous run's :class:`ReplicaManager` storage
+    (reset in place) instead of allocating a fresh one.
+
     With ``pz == 1`` this degenerates exactly to the baseline 2D algorithm
     (one layer, no reduction) — tests rely on that equivalence.
     """
@@ -255,6 +272,13 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
     opts = options or FactorOptions()
     custom = factor_fn is not None
+    if cached is not None:
+        if custom:
+            raise ValueError(
+                "cached plan replay drives the plan interpreter; it cannot "
+                "replay through a custom factor_fn")
+        cached.check(grid3, backend, False, sim.accelerator is not None, opts)
+        blocks_fn = cached.blocks_fn
     if blocks_fn is None:
         if custom:
             blocks_fn = node_blocks
@@ -264,27 +288,52 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
     result = Factor3DResult(tf=tf)
 
     if charge_storage:
-        words = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+        if cached is not None:
+            words = cached.replica_words(sf, tf, grid3)
+        else:
+            words = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
     if numeric:
-        pattern = {(i, j) for v in range(sf.nb)
-                   for i, j, _w in blocks_fn(sf, v)}
+        if cached is not None:
+            pattern = cached.block_pattern(sf)
+        else:
+            pattern = {(i, j) for v in range(sf.nb)
+                       for i, j, _w in blocks_fn(sf, v)}
         A_vals = sf.A_perm if matrix is None else matrix
         base = BlockMatrix.from_csr(A_vals, sf.layout, block_pattern=pattern)
-        result.replicas = ReplicaManager(sf, tf, base, blocks_fn=blocks_fn)
+        if replicas is not None:
+            replicas.reset(base)
+            result.replicas = replicas
+        else:
+            result.replicas = ReplicaManager(sf, tf, base,
+                                             blocks_fn=blocks_fn)
 
     engine, fallback = _make_engine(opts, sim, sf,
                                     factor_fn if custom else None)
     if fallback is not None:
         result.parallel_stats.append(fallback)
 
-    plan3 = build_3d_plan(sf, tf, grid3, opts,
-                          backend=None if custom else backend, merged=False,
-                          accelerated=sim.accelerator is not None,
-                          blocks_fn=blocks_fn)
+    if cached is not None:
+        bundle = cached
+        plan3 = bundle.plan3
+    else:
+        t0 = time.perf_counter()
+        plan3 = build_3d_plan(sf, tf, grid3, opts,
+                              backend=None if custom else backend,
+                              merged=False,
+                              accelerated=sim.accelerator is not None,
+                              blocks_fn=blocks_fn)
+        bundle = None if custom else PlanBundle(
+            backend=backend, merged=False,
+            grid_shape=(grid3.px, grid3.py, grid3.pz),
+            accelerated=sim.accelerator is not None,
+            opts_key=plan_options_key(opts),
+            blocks_fn=blocks_fn, plan3=plan3,
+            build_seconds=time.perf_counter() - t0)
     result.plan = plan3
+    result.bundle = bundle
     if numeric:
         transport = ShmTransport() \
             if engine is not None and shm_enabled(opts) else None
@@ -306,7 +355,8 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         result.resilience = rengine.stats
         return result
     if compile_enabled(opts, sim):
-        result.compiled = compile_plan(plan3, sf, opts)
+        result.compiled = (bundle.compiled(sf, opts) if bundle is not None
+                           else compile_plan(plan3, sf, opts))
     _execute_plan3d(result.compiled.plan if result.compiled else plan3,
                     sf, sim, result, opts, engine, data, factor_fn=factor_fn)
     return result

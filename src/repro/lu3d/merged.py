@@ -32,6 +32,8 @@ no-op (its messages remain, for the cost ledgers).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.comm.grid import ProcessGrid3D
@@ -46,8 +48,10 @@ from repro.lu3d.factor3d import (
 )
 from repro.lu3d.replication import replica_words_per_rank
 from repro.parallel.engine import ParallelFallback
+from repro.lu2d.storage import node_blocks
 from repro.plan.build import _merged_grid, build_3d_plan
-from repro.plan.compile import compile_enabled, compile_plan
+from repro.plan.compile import compile_enabled
+from repro.plan.replay import PlanBundle, plan_options_key
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
@@ -59,7 +63,8 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
                      grid3: ProcessGrid3D, sim: Simulator,
                      options: FactorOptions | None = None,
                      charge_storage: bool = True,
-                     numeric: bool = False) -> Factor3DResult:
+                     numeric: bool = False, matrix=None,
+                     cached: PlanBundle | None = None) -> Factor3DResult:
     """Algorithm 1 with merged-grid ancestor levels.
 
     ``FactorOptions(n_workers != 1)`` fans the per-forest factorizations
@@ -68,21 +73,33 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
     block copy is shared across sibling forests (see the in-line note),
     and records that decision as a :class:`ParallelFallback` on
     ``parallel_stats``.
+
+    ``matrix`` overrides ``sf.A_perm`` as the numeric value source (same
+    pattern, fresh values — the re-factorization workflow); ``cached``
+    replays a previous run's :class:`repro.plan.PlanBundle` instead of
+    rebuilding/recompiling the plan, exactly as in
+    :func:`repro.lu3d.factor_3d`.
     """
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
     opts = options or FactorOptions()
+    if cached is not None:
+        cached.check(grid3, "lu", True, sim.accelerator is not None, opts)
     result = Factor3DResult(tf=tf)
     store = None
     if numeric:
-        store = BlockMatrix.from_csr(sf.A_perm, sf.layout,
+        A_vals = sf.A_perm if matrix is None else matrix
+        store = BlockMatrix.from_csr(A_vals, sf.layout,
                                      block_pattern=sf.fill.all_blocks())
         result.merged_blocks = store  # global-copy store (numeric mode)
 
     if charge_storage:
         # Same static replica storage as the standard algorithm: merging
         # re-partitions ownership, it does not change what is stored.
-        words = replica_words_per_rank(sf, tf, grid3)
+        if cached is not None:
+            words = cached.replica_words(sf, tf, grid3)
+        else:
+            words = replica_words_per_rank(sf, tf, grid3)
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
@@ -105,9 +122,22 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
         if fallback is not None:
             result.parallel_stats.append(fallback)
 
-    plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu", merged=True,
-                          accelerated=sim.accelerator is not None)
+    if cached is not None:
+        bundle = cached
+        plan3 = bundle.plan3
+    else:
+        t0 = time.perf_counter()
+        plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu", merged=True,
+                              accelerated=sim.accelerator is not None)
+        bundle = PlanBundle(
+            backend="lu", merged=True,
+            grid_shape=(grid3.px, grid3.py, grid3.pz),
+            accelerated=sim.accelerator is not None,
+            opts_key=plan_options_key(opts),
+            blocks_fn=node_blocks, plan3=plan3,
+            build_seconds=time.perf_counter() - t0)
     result.plan = plan3
+    result.bundle = bundle
     data = GlobalStoreData(store) if numeric else CostOnlyData()
     if opts.resilience_active():
         from repro.lu3d.factor3d import _absorb_2d
@@ -121,7 +151,7 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
         result.resilience = rengine.stats
         return result
     if compile_enabled(opts, sim):
-        result.compiled = compile_plan(plan3, sf, opts)
+        result.compiled = bundle.compiled(sf, opts)
     _execute_plan3d(result.compiled.plan if result.compiled else plan3,
                     sf, sim, result, opts, engine, data)
     return result

@@ -164,6 +164,33 @@ class ReplicaManager:
         how the shm transport learns which cached blocks went stale."""
         self._dirty_hooks.append(hook)
 
+    def reset(self, base: BlockMatrix) -> None:
+        """Re-initialize every replica to Fig. 5's initial state with fresh
+        values, in place — the plan-replay path's allocation-free setup.
+
+        Home copies are refilled from ``base`` (structurally missing blocks
+        become zero fill again), non-home copies are zeroed, and dirty
+        hooks are dropped: each execution's transport registers its own,
+        and a stale hook would mark blocks dirty against a closed segment.
+        Array identities are preserved, so any outstanding views (and a
+        previous run's :class:`HomeView`) resolve to the new values.
+        """
+        sf, tf = self.sf, self.tf
+        store = self._store
+        self._dirty_hooks.clear()
+        for v in range(sf.nb):
+            grids = tf.grids_of_node(v)
+            home = grids.start
+            for i, j, _w in self.blocks_fn(sf, v):
+                blk = base.get(i, j)
+                if blk is None:
+                    store[(home, i, j)][:] = 0.0
+                else:
+                    store[(home, i, j)][:] = blk
+                for g in grids:
+                    if g != home:
+                        store[(g, i, j)][:] = 0.0
+
     # -- checkpoint / recovery support (repro.resilience) ------------------
 
     def snapshot(self) -> dict[tuple[int, int, int], np.ndarray]:

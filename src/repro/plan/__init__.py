@@ -32,6 +32,7 @@ from repro.plan.compile import (
     compile_plan,
 )
 from repro.plan.interpret import execute_grid_plan, execute_reduce
+from repro.plan.replay import PlanBundle, plan_options_key
 from repro.plan.tasks import (
     AncestorReduce,
     BcastSpec,
@@ -63,6 +64,7 @@ __all__ = [
     "PanelBcast",
     "PanelFactor",
     "Plan3D",
+    "PlanBundle",
     "SchurUpdate",
     "Task",
     "build_3d_plan",
@@ -73,6 +75,7 @@ __all__ = [
     "execute_grid_plan",
     "execute_reduce",
     "get_backend",
+    "plan_options_key",
     "sink_tids",
     "task_comm",
     "task_flops",

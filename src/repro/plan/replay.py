@@ -1,0 +1,163 @@
+"""Plan replay: everything a factorization run builds that depends only
+on the *pattern*, packaged for reuse across numeric re-factorizations.
+
+The cold path of :func:`repro.lu3d.factor3d.factor_3d` spends most of its
+non-kernel time on work that is a pure function of (sparsity pattern,
+process-grid shape, plan-relevant options): building the level-schedule
+task DAG (:func:`repro.plan.build.build_3d_plan`), compiling it
+(:func:`repro.plan.compile.compile_plan`), computing the static replica
+storage vector and deriving the numeric block pattern. For the
+circuit/transient-simulation workload (GLU3.0, PAPERS.md) — thousands of
+numeric factorizations against one pattern — that interpreter-side build
+cost is paid over and over for identical results.
+
+A :class:`PlanBundle` captures those products once. The drivers attach the
+bundle of every cold run to ``Factor3DResult.bundle``; passing it back via
+``factor_3d(..., cached=bundle)`` (or ``factor_3d_merged``) skips the
+build/compile/analyze phases entirely, so a warm re-factorization costs
+only kernel execution plus fresh-value setup. The executed plan object is
+*the same* DAG the cold run walked, and the interpreter books events in
+the same order against a fresh simulator — warm ledgers are bit-for-bit
+identical to cold ones (pinned by ``tests/test_service.py`` and the
+``bench_service.py`` oracles).
+
+Bundles are validated, not trusted: :meth:`PlanBundle.check` rejects reuse
+under a different grid shape, backend, merged/accelerated mode or
+plan-relevant options (see :func:`plan_options_key`). Lazy products
+(compiled plan, replica words, block pattern) are memoized under a lock so
+concurrent service jobs (:mod:`repro.service`) can share one bundle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.plan.compile import compile_plan
+from repro.plan.tasks import Plan3D
+
+__all__ = ["PlanBundle", "plan_options_key"]
+
+
+def plan_options_key(options) -> tuple:
+    """The :class:`~repro.lu2d.options.FactorOptions` fields a built plan
+    depends on.
+
+    Everything else — pivoting threshold, worker counts, transport,
+    resilience schedule, the ``compile_plan`` toggle itself — is a
+    property of one *execution*, not of the DAG, so bundles (and service
+    cache entries) stay valid across those settings.
+    """
+    return (options.lookahead, options.sparse_bcast, options.batched_schur,
+            options.batch_min_pairs, options.track_buffers)
+
+
+@dataclass
+class PlanBundle:
+    """One factorization's reusable, pattern-only build products.
+
+    Attributes
+    ----------
+    backend:
+        Kernel backend the plan was built for (``'lu'`` / ``'cholesky'``,
+        or ``None`` for a legacy ``factor_fn`` structure-only plan).
+    merged:
+        Whether ``plan3`` is the merged-grid variant.
+    grid_shape:
+        ``(px, py, pz)`` of the 3D grid the plan's ranks refer to.
+    accelerated:
+        Whether the plan was built for a simulator with an accelerator
+        attached (the builder emits different batching in that case).
+    opts_key:
+        :func:`plan_options_key` of the options the plan was built with.
+    blocks_fn:
+        The per-node block enumerator the build used (LU vs Cholesky
+        storage); reused for replica construction on replay.
+    plan3:
+        The built :class:`~repro.plan.tasks.Plan3D` (never mutated by
+        execution — one object serves every replay).
+    build_seconds:
+        Host seconds the cold build spent on plan construction; the
+        lazily-added compile cost accumulates into ``compile_seconds``.
+    """
+
+    backend: str | None
+    merged: bool
+    grid_shape: tuple[int, int, int]
+    accelerated: bool
+    opts_key: tuple
+    blocks_fn: object
+    plan3: Plan3D
+    build_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    _compiled: object | None = None
+    _replica_words: object | None = None
+    _block_pattern: object | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def check(self, grid3, backend, merged: bool, accelerated: bool,
+              options) -> None:
+        """Refuse replay under conditions the cached plan was not built
+        for — a wrong-bundle replay would book a wrong-but-plausible
+        ledger, which is strictly worse than failing loudly."""
+        shape = (grid3.px, grid3.py, grid3.pz)
+        if shape != self.grid_shape:
+            raise ValueError(
+                f"cached plan was built for grid {self.grid_shape}, "
+                f"got {shape}")
+        if backend != self.backend or merged != self.merged:
+            raise ValueError(
+                f"cached plan was built for backend={self.backend!r} "
+                f"merged={self.merged}, got backend={backend!r} "
+                f"merged={merged}")
+        if accelerated != self.accelerated:
+            raise ValueError(
+                "cached plan was built "
+                + ("with" if self.accelerated else "without")
+                + " an accelerator attached; rebuild for this simulator")
+        if plan_options_key(options) != self.opts_key:
+            raise ValueError(
+                "cached plan was built with different plan-relevant "
+                f"options {self.opts_key} (lookahead, sparse_bcast, "
+                "batched_schur, batch_min_pairs, track_buffers); got "
+                f"{plan_options_key(options)}")
+
+    # -- memoized lazy products -------------------------------------------
+
+    def compiled(self, sf, options):
+        """The :class:`~repro.plan.compile.CompiledPlan`, compiled once.
+
+        Callers gate on :func:`repro.plan.compile.compile_enabled` first;
+        a bundle whose first execution could not compile (say, a trace was
+        attached) compiles here on the first one that can.
+        """
+        with self._lock:
+            if self._compiled is None:
+                t0 = time.perf_counter()
+                self._compiled = compile_plan(self.plan3, sf, options)
+                self.compile_seconds += time.perf_counter() - t0
+            return self._compiled
+
+    def replica_words(self, sf, tf, grid3):
+        """Static factor + replica storage per rank (memoized)."""
+        with self._lock:
+            if self._replica_words is None:
+                from repro.lu3d.replication import replica_words_per_rank
+                self._replica_words = replica_words_per_rank(
+                    sf, tf, grid3, blocks_fn=self.blocks_fn)
+            return self._replica_words
+
+    def block_pattern(self, sf):
+        """The numeric replica block pattern ``{(i, j)}`` (memoized)."""
+        with self._lock:
+            if self._block_pattern is None:
+                self._block_pattern = {
+                    (i, j) for v in range(sf.nb)
+                    for i, j, _w in self.blocks_fn(sf, v)}
+            return self._block_pattern
+
+    @property
+    def total_build_seconds(self) -> float:
+        """Build + compile host cost the cache amortizes away."""
+        return self.build_seconds + self.compile_seconds

@@ -1,0 +1,38 @@
+"""Factorization-as-a-service: plan cache + async multi-client front-end.
+
+The re-factorization workload (GLU3.0's circuit simulation loop —
+PAPERS.md) factors thousands of matrices sharing one sparsity pattern.
+This package amortizes everything that depends only on the pattern:
+
+- :mod:`repro.service.cache` — a bounded-LRU :class:`PlanCache` keyed by
+  canonical pattern fingerprint × grid shape × solver configuration ×
+  plan-relevant options, holding the symbolic factorization, tree-forest
+  partition, built plan and compiled plan with per-entry hit/build/exec
+  accounting;
+- :mod:`repro.service.service` — :class:`FactorizationService`, a
+  thread-pool front-end where concurrent clients submit ``(A_values, b)``
+  jobs that replay shared cached plans (warm jobs skip
+  build/compile/analyze entirely and stay bit-identical to cold runs).
+
+See ``docs/api.md`` ("repro.service") and ``benchmarks/bench_service.py``
+for the measured cold-vs-warm speedup and throughput.
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    PlanCache,
+    PlanEntry,
+    cache_key,
+    pattern_fingerprint,
+)
+from repro.service.service import FactorizationService, JobResult
+
+__all__ = [
+    "CacheStats",
+    "FactorizationService",
+    "JobResult",
+    "PlanCache",
+    "PlanEntry",
+    "cache_key",
+    "pattern_fingerprint",
+]

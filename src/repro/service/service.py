@@ -1,0 +1,227 @@
+"""The factorization service: an async multi-client front-end.
+
+:class:`FactorizationService` accepts ``(A_values, b)`` jobs from many
+concurrent clients and executes them on a thread pool against shared
+:class:`~repro.service.cache.PlanCache` entries:
+
+1. the job's matrix is fingerprinted (:func:`~repro.service.cache.cache_key`);
+2. a cache miss runs the symbolic phase + plan build *once* — concurrent
+   clients racing on the same cold pattern block on a per-key build lock
+   and then hit;
+3. every job then adopts the entry's read-only symbolic objects
+   (:meth:`repro.solve.SparseLU3D.adopt`) and replays the cached plan
+   bundle against its own values — only numeric kernels run, with
+   ledgers bit-identical to a cold factorization (the PR-5 oracles are
+   the referee, pinned in ``tests/test_service.py``).
+
+Worker threads suit this workload: jobs spend their time in numpy/BLAS
+(which release the GIL) and share large read-only state (symbolic
+factorization, plan DAG) that a process pool would have to pickle per
+job. Each job gets its own solver, simulator and replica storage — the
+only shared mutable state is the cache's counters, which take locks.
+
+The service never equilibrates (``equil`` rescales values per matrix,
+which would break value-independent plan sharing guarantees the cache
+relies on for *timing*, not correctness — callers that need GESP
+equilibration should use :class:`repro.solve.SparseLU3D` directly).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.machine import Machine
+from repro.lu2d.options import FactorOptions
+from repro.service.cache import PlanCache, PlanEntry, cache_key
+
+__all__ = ["FactorizationService", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one service job.
+
+    ``cache_hit`` is whether the plan cache already held this pattern;
+    ``build_seconds`` is the symbolic + plan-build cost this request paid
+    (0.0 on hits — that is the amortization the service exists for).
+    ``solver`` is the per-job solver facade, exposing ``result`` (ledgers,
+    factors) and further ``solve`` calls against the same factorization.
+    """
+
+    x: np.ndarray | None
+    residual: float | None
+    cache_hit: bool
+    fingerprint: str
+    build_seconds: float
+    factor_seconds: float
+    solve_seconds: float
+    makespan: float
+    solver: object
+
+
+class FactorizationService:
+    """Persistent multi-client factorization front-end.
+
+    Parameters mirror the solver facades; they form the *default* job
+    configuration, overridable per request via ``submit`` keyword
+    arguments (``backend``, ``px``/``py``/``pz``, ``leaf_size``,
+    ``nd_method``, ``max_block``, ``partition``, ``relax``,
+    ``geometry``, ``numeric``, ``options``). ``capacity`` bounds the LRU
+    plan cache; ``max_workers`` sizes the thread pool.
+
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    _CFG_KEYS = ("backend", "px", "py", "pz", "leaf_size", "nd_method",
+                 "max_block", "partition", "relax", "geometry", "numeric",
+                 "options")
+
+    def __init__(self, px: int = 1, py: int = 1, pz: int = 1,
+                 backend: str = "lu", machine: Machine | None = None,
+                 options: FactorOptions | None = None, capacity: int = 8,
+                 max_workers: int = 4, leaf_size: int = 64,
+                 nd_method: str = "bfs", max_block: int | None = 256,
+                 partition: str = "greedy", relax: int = 0,
+                 geometry=None, numeric: bool = True):
+        if backend not in ("lu", "cholesky"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.machine = machine or Machine.edison_like()
+        self.cache = PlanCache(capacity)
+        self._defaults = dict(
+            backend=backend, px=px, py=py, pz=pz, leaf_size=leaf_size,
+            nd_method=nd_method, max_block=max_block, partition=partition,
+            relax=relax, geometry=geometry, numeric=numeric,
+            options=options or FactorOptions())
+        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+                                        thread_name_prefix="repro-svc")
+        self._closed = False
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, A: sp.spmatrix, b: np.ndarray | None = None,
+               **overrides) -> Future:
+        """Enqueue one factorization job; returns a ``Future[JobResult]``.
+
+        ``b`` (optional) is solved against the fresh factors with
+        iterative refinement. Unknown override keys are rejected."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        bad = set(overrides) - set(self._CFG_KEYS)
+        if bad:
+            raise TypeError(f"unknown job option(s): {sorted(bad)}")
+        cfg = dict(self._defaults, **overrides)
+        return self._pool.submit(self._run_job, A, b, cfg)
+
+    def solve(self, A: sp.spmatrix, b: np.ndarray | None = None,
+              **overrides) -> JobResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(A, b, **overrides).result()
+
+    def stats(self) -> dict:
+        """Cache counters + per-entry hit/build/exec split."""
+        cs = self.cache.stats()
+        return {
+            "hits": cs.hits,
+            "misses": cs.misses,
+            "evictions": cs.evictions,
+            "entries": cs.entries,
+            "hit_ratio": cs.hit_ratio,
+            "per_entry": self.cache.entry_stats(),
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FactorizationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- job execution -----------------------------------------------------
+
+    def _make_solver(self, A, cfg):
+        if cfg["backend"] == "cholesky":
+            from repro.cholesky.driver import SparseCholesky3D
+            cls, extra = SparseCholesky3D, {}
+        else:
+            from repro.solve.driver import SparseLU3D
+            cls, extra = SparseLU3D, {"equil": False}
+        return cls(A, geometry=cfg["geometry"], px=cfg["px"], py=cfg["py"],
+                   pz=cfg["pz"], leaf_size=cfg["leaf_size"],
+                   machine=self.machine, partition=cfg["partition"],
+                   options=cfg["options"], numeric=cfg["numeric"],
+                   nd_method=cfg["nd_method"], max_block=cfg["max_block"],
+                   relax=cfg["relax"], **extra)
+
+    def _build_entry(self, key, A, cfg) -> PlanEntry:
+        """Cold path: symbolic phase + plan build + compile, once per key.
+
+        The plan bundle is materialized *here* (not lazily by the first
+        factorization) so that every job — including the one that paid
+        the miss — replays the same DAG, and racing clients never build
+        duplicate plans.
+        """
+        from repro.plan.backends import get_backend
+        from repro.plan.build import build_3d_plan
+        from repro.plan.replay import PlanBundle, plan_options_key
+
+        solver = self._make_solver(A, cfg)
+        solver.analyze()
+        opts = cfg["options"]
+        backend = cfg["backend"]
+        blocks_fn = get_backend(backend).node_blocks
+        grid3 = solver.grid
+        t0 = time.perf_counter()
+        plan3 = build_3d_plan(solver.sf, solver.tf, grid3, opts,
+                              backend=backend, merged=False,
+                              accelerated=False, blocks_fn=blocks_fn)
+        bundle = PlanBundle(
+            backend=backend, merged=False,
+            grid_shape=(grid3.px, grid3.py, grid3.pz),
+            accelerated=False, opts_key=plan_options_key(opts),
+            blocks_fn=blocks_fn, plan3=plan3,
+            build_seconds=time.perf_counter() - t0)
+        return PlanEntry(key=key, sf=solver.sf, tf=solver.tf,
+                         pattern=solver._pattern, bundle=bundle,
+                         build_seconds=0.0)
+
+    def _run_job(self, A, b, cfg) -> JobResult:
+        key = cache_key(A, (cfg["px"], cfg["py"], cfg["pz"]),
+                        cfg["backend"], cfg["options"],
+                        leaf_size=cfg["leaf_size"],
+                        nd_method=cfg["nd_method"],
+                        max_block=cfg["max_block"],
+                        partition=cfg["partition"], relax=cfg["relax"],
+                        geometry=cfg["geometry"])
+        entry, hit = self.cache.get_or_build(
+            key, lambda: self._build_entry(key, A, cfg))
+
+        t0 = time.perf_counter()
+        solver = self._make_solver(A, cfg)
+        solver.adopt(entry.sf, entry.tf, pattern=entry.pattern,
+                     bundle=entry.bundle)
+        solver.factorize()
+        t1 = time.perf_counter()
+        x = residual = None
+        if b is not None:
+            if not cfg["numeric"]:
+                raise ValueError("b given but numeric=False: cost-only "
+                                 "jobs cannot solve")
+            x = solver.solve(b)
+            bv = np.asarray(b, dtype=np.float64)
+            residual = float(np.linalg.norm(A @ x - bv)
+                             / max(np.linalg.norm(bv), 1e-300))
+        t2 = time.perf_counter()
+        entry.record_job(t2 - t0, hit)
+        return JobResult(
+            x=x, residual=residual, cache_hit=hit, fingerprint=key[0],
+            build_seconds=0.0 if hit else entry.build_seconds,
+            factor_seconds=t1 - t0, solve_seconds=t2 - t1,
+            makespan=solver.sim.makespan, solver=solver)

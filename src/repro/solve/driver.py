@@ -36,6 +36,7 @@ from repro.solve.refine import RefinementResult, iterative_refinement
 from repro.solve.triangular import backward_solve, forward_solve,\
     transposed_solve
 from repro.sparse.generators import GridGeometry
+from repro.sparse.pattern import pattern_of, symmetrize_pattern
 from repro.symbolic.symbolic_factor import SymbolicFactorization, symbolic_factorize
 from repro.tree.partition import greedy_partition, naive_partition
 from repro.utils import check_square_sparse
@@ -106,6 +107,17 @@ class SparseLU3D:
         self.sim: Simulator | None = None
         self.result: Factor3DResult | None = None
         self._factor_blocks = None
+        #: Pattern the symbolic phase covered (captured at analyze time,
+        #: explicitly-stored zeros included) — the containment referee for
+        #: :meth:`refactorize`.
+        self._pattern: sp.csr_matrix | None = None
+        #: :class:`repro.plan.PlanBundle` of the last factorization —
+        #: replayed by repeat factorizations against the same pattern.
+        self._bundle = None
+        #: True when ``sf``/``tf`` are adopted from a shared cache entry
+        #: (:mod:`repro.service`): treat them read-only — values travel
+        #: via ``matrix=`` instead of rebinding ``sf.A_perm``.
+        self._shared_symbolic = False
 
     # -- pipeline ------------------------------------------------------------
 
@@ -127,15 +139,65 @@ class SparseLU3D:
                                      max_block=self._max_block, tree=tree)
         part = greedy_partition if self._partition == "greedy" else naive_partition
         self.tf = part(self.sf, self.grid.pz)
+        self._pattern = symmetrize_pattern(self._A_work, stored=True)
+        self._bundle = None
+        self._shared_symbolic = False
         return self
 
+    def adopt(self, sf: SymbolicFactorization, tf, pattern=None,
+              bundle=None) -> "SparseLU3D":
+        """Attach a *shared* symbolic factorization + partition.
+
+        The :mod:`repro.service` entry point: a cache entry's symbolic
+        objects (and optionally its plan bundle) are adopted in place of
+        running :meth:`analyze`. Adopted objects are treated as read-only
+        — every factorization passes its values through ``matrix=`` rather
+        than rebinding ``sf.A_perm``, so any number of concurrent solvers
+        can share one entry safely. ``pattern`` is the stored-zeros
+        symmetrized pattern the symbolic phase covered (computed from the
+        solver's own matrix when omitted).
+        """
+        self.sf = sf
+        self.tf = tf
+        self._pattern = pattern if pattern is not None else \
+            symmetrize_pattern(self._A_work, stored=True)
+        self._bundle = bundle
+        self._shared_symbolic = True
+        return self
+
+    def _usable_bundle(self, sim: Simulator):
+        """The retained plan bundle iff it matches this run's conditions
+        (grid, backend, accelerator, plan-relevant options) — else None
+        and the run rebuilds cold."""
+        if self._bundle is None:
+            return None
+        try:
+            self._bundle.check(self.grid, "lu", False,
+                               sim.accelerator is not None, self.options)
+        except ValueError:
+            return None
+        return self._bundle
+
     def factorize(self) -> "SparseLU3D":
-        """Numeric (or cost-only) factorization; idempotent symbolic phase."""
+        """Numeric (or cost-only) factorization; idempotent symbolic phase.
+
+        Repeat calls (and :meth:`refactorize`) replay the retained plan
+        bundle — build/compile/analyze are skipped, ledgers stay
+        bit-identical to a cold run.
+        """
         if self.sf is None:
             self.analyze()
         self.sim = Simulator(self.grid.size, self.machine)
+        cached = self._usable_bundle(self.sim)
+        replicas = self.result.replicas if cached is not None \
+            and self.result is not None else None
+        matrix = self.sf.perm.apply_matrix(self._A_work) \
+            if self._shared_symbolic else None
         self.result = factor_3d(self.sf, self.tf, self.grid, self.sim,
-                                numeric=self.numeric, options=self.options)
+                                numeric=self.numeric, options=self.options,
+                                matrix=matrix, cached=cached,
+                                replicas=replicas)
+        self._bundle = self.result.bundle or self._bundle
         if self.numeric:
             self._factor_blocks = self.result.replicas.home_view()
         return self
@@ -149,8 +211,16 @@ class SparseLU3D:
         workhorse of implicit time stepping with varying coefficients.
 
         Raises ``ValueError`` if ``A_new`` has entries outside the
-        original pattern (the cached symbolic fill would be insufficient);
-        a *sub*-pattern is fine, its missing entries are simply zero.
+        *analyzed* pattern (the cached symbolic fill would be
+        insufficient); a *sub*-pattern is fine, its missing entries are
+        simply zero. Explicitly-stored zeros — common in Matrix Market
+        files — are immaterial on both sides: they are dropped from the
+        incoming matrix before comparing, and the analyzed pattern keeps
+        the ones the symbolic phase covered structurally.
+
+        Warm path: the plan bundle and replica storage of the previous
+        run are replayed — only the numeric kernels re-execute, with
+        ledgers bit-identical to a cold ``factorize()``.
         """
         A_new = check_square_sparse(A_new)
         if A_new.shape != self.A.shape:
@@ -161,10 +231,10 @@ class SparseLU3D:
             self._A_work = self.equ.apply(A_new) if self.equ is not None \
                 else A_new
             return self.factorize()
-        from repro.sparse.pattern import pattern_of, symmetrize_pattern
-        old = symmetrize_pattern(self.A)
-        new = pattern_of(A_new)
-        outside = (new - new.multiply(old)).nnz
+        if self._pattern is None:  # analyzed before this field existed
+            self._pattern = symmetrize_pattern(self._A_work, stored=True)
+        new = pattern_of(A_new)  # eliminates explicitly-stored zeros
+        outside = (new - new.multiply(self._pattern)).nnz
         if outside:
             raise ValueError(
                 f"{outside} entries of the new matrix fall outside the "
@@ -176,15 +246,13 @@ class SparseLU3D:
             self._A_work = self.equ.apply(A_new)
         else:
             self._A_work = A_new
-        # Refresh the permuted values inside the cached symbolic object;
-        # pattern containment guarantees the cached fill still covers it.
-        self.sf.A_perm = self.sf.perm.apply_matrix(self._A_work)
-        self.sim = Simulator(self.grid.size, self.machine)
-        self.result = factor_3d(self.sf, self.tf, self.grid, self.sim,
-                                numeric=self.numeric, options=self.options)
-        if self.numeric:
-            self._factor_blocks = self.result.replicas.home_view()
-        return self
+        if not self._shared_symbolic:
+            # Refresh the permuted values inside the cached symbolic
+            # object; pattern containment guarantees the cached fill
+            # still covers it. (Adopted symbolic objects stay untouched —
+            # factorize() routes the values via ``matrix=``.)
+            self.sf.A_perm = self.sf.perm.apply_matrix(self._A_work)
+        return self.factorize()
 
     def _grid_of(self, k: int):
         return self.grid.layer(self.tf.home_grid(k))

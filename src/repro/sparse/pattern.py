@@ -24,24 +24,34 @@ def strip_diagonal(P: sp.spmatrix) -> sp.csr_matrix:
                          shape=Q.shape)
 
 
-def pattern_of(A: sp.spmatrix) -> sp.csr_matrix:
-    """Return the boolean structural pattern of ``A`` (explicit zeros dropped)."""
+def pattern_of(A: sp.spmatrix, stored: bool = False) -> sp.csr_matrix:
+    """Return the boolean structural pattern of ``A`` (explicit zeros dropped).
+
+    ``stored=True`` keeps explicitly-stored zero entries instead — the
+    *structural* view the symbolic layer effectively analyzes (nested
+    dissection and block fill walk the stored index structure, so a zero
+    stored in a Matrix Market file still produces fill). The default drops
+    them, which is the right notion for "which entries carry values".
+    """
     A = check_square_sparse(A)
     A = A.copy()
-    A.eliminate_zeros()
+    if not stored:
+        A.eliminate_zeros()
     P = A.astype(bool).tocsr()
     P.data[:] = True
     return P
 
 
-def symmetrize_pattern(A: sp.spmatrix) -> sp.csr_matrix:
+def symmetrize_pattern(A: sp.spmatrix, stored: bool = False) -> sp.csr_matrix:
     """Return the boolean pattern of ``A + A^T`` with a full diagonal.
 
     The full diagonal mirrors SuperLU_DIST's assumption of a zero-free
     diagonal after MC64-style row permutation; the factorization layer
-    requires every diagonal block to be structurally present.
+    requires every diagonal block to be structurally present. ``stored``
+    is forwarded to :func:`pattern_of` (keep explicitly-stored zeros —
+    the pattern the symbolic phase actually covered).
     """
-    P = pattern_of(A)
+    P = pattern_of(A, stored=stored)
     S = (P + P.T).tocsr()
     S = (S + sp.identity(A.shape[0], dtype=bool, format="csr")).tocsr()
     S.data[:] = True

@@ -75,7 +75,7 @@ class TestPublicApiHygiene:
         "repro.sparse", "repro.ordering", "repro.symbolic", "repro.tree",
         "repro.comm", "repro.lu2d", "repro.lu3d", "repro.solve",
         "repro.model", "repro.analysis", "repro.cholesky", "repro.tune",
-        "repro.experiments", "repro.verify",
+        "repro.experiments", "repro.verify", "repro.service",
     ])
     def test_subpackage_all_resolves(self, pkg):
         mod = importlib.import_module(pkg)
@@ -92,7 +92,8 @@ class TestPublicApiHygiene:
         """Every def/class reachable from a subpackage __all__ is documented."""
         for pkg in ("repro.sparse", "repro.comm", "repro.lu2d", "repro.lu3d",
                     "repro.solve", "repro.model", "repro.tree",
-                    "repro.cholesky", "repro.tune", "repro.verify"):
+                    "repro.cholesky", "repro.tune", "repro.verify",
+                    "repro.service"):
             mod = importlib.import_module(pkg)
             for name in mod.__all__:
                 obj = getattr(mod, name)

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro import SparseLU3D, grid2d_5pt
+from repro import FactorOptions, SparseLU3D, grid2d_5pt
+from repro.verify.oracle import ledger_state
 
 
 @pytest.fixture()
@@ -99,6 +100,202 @@ class TestRefactorize:
             solver.refactorize(A)
             x = solver.solve(b)
             assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-12
+
+
+def _with_stored_zeros(A, entries):
+    """A copy of ``A`` that *stores* explicit zeros at ``entries``."""
+    C = A.tocoo()
+    rows = np.concatenate([C.row, [i for i, _ in entries]])
+    cols = np.concatenate([C.col, [j for _, j in entries]])
+    vals = np.concatenate([C.data, np.zeros(len(entries))])
+    Z = sp.csr_matrix((vals, (rows, cols)), shape=A.shape)
+    assert Z.nnz == A.nnz + len(entries)  # zeros really stored
+    return Z
+
+
+class TestExplicitZeros:
+    """Explicitly-stored zeros (Matrix Market idiom) must never cause a
+    spurious same-pattern rejection — in either matrix of the pair."""
+
+    def test_value_appearing_at_stored_zero_accepted(self):
+        # The symbolic phase walks the STORED structure, so a zero stored
+        # in the original matrix produced fill for that position; giving
+        # it a real value later is a same-pattern refactorization.
+        A, _ = grid2d_5pt(8)
+        A0 = _with_stored_zeros(A, [(0, 5), (5, 0)])
+        solver = SparseLU3D(A0, px=2, py=2, pz=1, leaf_size=16)
+        solver.factorize()
+        A1 = A0.copy()
+        d = A1.data.copy()
+        d[d == 0.0] = 0.5
+        A1.data = d
+        solver.refactorize(A1)  # was: "2 entries ... outside the pattern"
+        b = np.ones(A.shape[0])
+        x = solver.solve(b)
+        assert np.linalg.norm(A1 @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_incoming_stored_zeros_accepted(self):
+        A, _ = grid2d_5pt(8)
+        solver = SparseLU3D(A, px=2, py=1, pz=1, leaf_size=16)
+        solver.factorize()
+        # New matrix stores zeros at positions INSIDE the pattern: fine.
+        A1 = A.tocsr(copy=True)
+        d = A1.data.copy()
+        d[0] = 0.0
+        A1.data = d
+        A1_stored = sp.csr_matrix((A1.data, A1.indices, A1.indptr),
+                                  shape=A1.shape)
+        solver.refactorize(A1_stored)
+        x = solver.solve(np.ones(A.shape[0]))
+        assert np.linalg.norm(A1 @ x - 1.0) < 1e-10
+
+    def test_incoming_stored_zero_outside_pattern_accepted(self):
+        # A stored zero OUTSIDE the analyzed pattern carries no value —
+        # eliminate_zeros() drops it before the containment check.
+        A, _ = grid2d_5pt(8)
+        n = A.shape[0]
+        solver = SparseLU3D(A, px=1, py=2, pz=1, leaf_size=16)
+        solver.factorize()
+        A1 = _with_stored_zeros(A, [(0, n - 1), (n - 1, 0)])
+        solver.refactorize(A1)
+        x = solver.solve(np.ones(n))
+        assert np.linalg.norm(A @ x - 1.0) < 1e-10
+
+    def test_containment_vs_analyzed_not_current_pattern(self):
+        # Refactorizing with a sub-pattern must not shrink what later
+        # refactorizations are checked against.
+        A, _ = grid2d_5pt(8)
+        n = A.shape[0]
+        solver = SparseLU3D(A, px=1, py=1, pz=1, leaf_size=16)
+        solver.factorize()
+        solver.refactorize(sp.csr_matrix(sp.diags(np.full(n, 4.0))))
+        solver.refactorize(A)  # full pattern again: still contained
+        x = solver.solve(np.ones(n))
+        assert np.linalg.norm(A @ x - 1.0) / np.sqrt(n) < 1e-10
+
+    def test_genuinely_outside_still_rejected(self):
+        A, _ = grid2d_5pt(8)
+        n = A.shape[0]
+        solver = SparseLU3D(A, px=1, py=1, pz=1, leaf_size=16)
+        solver.factorize()
+        bad = A.tolil(copy=True)
+        bad[0, n - 1] = 1.0
+        with pytest.raises(ValueError, match="outside"):
+            solver.refactorize(bad.tocsr())
+
+
+#: The refactorize × execution-mode interaction matrix: the plan-replay
+#: warm path must stay bit-identical to a cold factorization under every
+#: combination of the compiler and the worker fan-out/transport.
+INTERACTION_MODES = [
+    ("serial-compiled", FactorOptions(compile_plan=True)),
+    ("serial-uncompiled", FactorOptions(compile_plan=False)),
+    ("workers-shm", FactorOptions(n_workers=2, parallel_backend="serial",
+                                  shm_transport=True)),
+    ("workers-pickle", FactorOptions(n_workers=2, parallel_backend="serial",
+                                     shm_transport=False)),
+    ("workers-uncompiled", FactorOptions(n_workers=2,
+                                         parallel_backend="serial",
+                                         compile_plan=False)),
+]
+
+
+class TestRefactorizeInteractions:
+    @pytest.mark.parametrize("label,opts",
+                             INTERACTION_MODES,
+                             ids=[m[0] for m in INTERACTION_MODES])
+    def test_warm_matches_cold_bit_for_bit(self, stepping_pair, label, opts):
+        A1, A2, g, n = stepping_pair
+        kw = dict(geometry=g, px=2, py=2, pz=2, leaf_size=24, options=opts)
+        solver = SparseLU3D(A1, **kw)
+        solver.factorize()
+        assert solver.result.bundle is not None
+        bundle = solver.result.bundle
+        solver.refactorize(A2)  # warm: replays the retained bundle
+        assert solver.result.bundle is bundle
+        cold = SparseLU3D(A2, **kw)
+        cold.factorize()
+        assert ledger_state(solver.sim) == ledger_state(cold.sim)
+        Fw, Fc = solver.result.factors(), cold.result.factors()
+        for key in Fc.blocks:
+            np.testing.assert_allclose(Fw.blocks[key], Fc.blocks[key],
+                                       rtol=0, atol=1e-12)
+        b = np.random.default_rng(7).random(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(A2 @ x - b) / np.linalg.norm(b) < 1e-12
+
+    @pytest.mark.parametrize("label,opts",
+                             INTERACTION_MODES[:2] + INTERACTION_MODES[2:3],
+                             ids=["serial-compiled", "serial-uncompiled",
+                                  "workers-shm"])
+    def test_cholesky_warm_matches_cold(self, stepping_pair, label, opts):
+        from repro.cholesky import SparseCholesky3D
+        A1, A2, g, n = stepping_pair
+        kw = dict(geometry=g, px=2, py=2, pz=2, leaf_size=24, options=opts)
+        solver = SparseCholesky3D(A1, **kw)
+        solver.factorize()
+        solver.refactorize(A2)
+        cold = SparseCholesky3D(A2, **kw)
+        cold.factorize()
+        assert ledger_state(solver.sim) == ledger_state(cold.sim)
+        Fw, Fc = solver.result.factors(), cold.result.factors()
+        for key in Fc.blocks:
+            np.testing.assert_allclose(Fw.blocks[key], Fc.blocks[key],
+                                       rtol=0, atol=1e-12)
+        b = np.ones(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(A2 @ x - b) / np.linalg.norm(b) < 1e-12
+
+
+class TestWarmReplayMechanics:
+    def test_repeat_factorize_replays_bundle(self, stepping_pair):
+        A1, _, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        plan_first = solver.result.plan
+        led_first = ledger_state(solver.sim)
+        solver.factorize()  # idempotent AND warm
+        assert solver.result.plan is plan_first
+        assert ledger_state(solver.sim) == led_first
+
+    def test_replicas_storage_reused(self, stepping_pair):
+        A1, A2, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        replicas = solver.result.replicas
+        solver.refactorize(A2)
+        assert solver.result.replicas is replicas
+
+    def test_option_change_rebuilds_cold(self, stepping_pair):
+        # A plan-relevant option change invalidates the retained bundle;
+        # the run must rebuild (not raise, not replay the wrong DAG).
+        A1, A2, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24,
+                            options=FactorOptions(lookahead=8))
+        solver.factorize()
+        bundle = solver.result.bundle
+        solver.options = FactorOptions(lookahead=0)
+        solver.refactorize(A2)
+        assert solver.result.bundle is not bundle
+        cold = SparseLU3D(A2, geometry=g, px=2, py=2, pz=2, leaf_size=24,
+                          options=FactorOptions(lookahead=0))
+        cold.factorize()
+        assert ledger_state(solver.sim) == ledger_state(cold.sim)
+
+    def test_bundle_check_rejects_wrong_grid(self, stepping_pair):
+        from repro import ProcessGrid3D, Simulator
+        from repro.comm.machine import Machine
+        from repro.lu3d.factor3d import factor_3d
+        A1, _, g, _ = stepping_pair
+        solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
+        solver.factorize()
+        wrong = ProcessGrid3D(2, 2, 1)
+        from repro.tree.partition import greedy_partition
+        tf1 = greedy_partition(solver.sf, 1)
+        sim = Simulator(wrong.size, Machine.edison_like())
+        with pytest.raises(ValueError, match="grid"):
+            factor_3d(solver.sf, tf1, wrong, sim,
+                      cached=solver.result.bundle)
 
 
 class TestCholeskyRefactorize:

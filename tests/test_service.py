@@ -1,0 +1,305 @@
+"""Tests for the factorization service (plan cache + async front-end).
+
+The referee for every warm path is the PR-5 oracle: `ledger_state`
+bit-identity against a plain cold solver run, plus 1e-12 factor
+agreement. The cache layer is additionally tested for single-build
+semantics under concurrent clients and bounded-LRU eviction.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import FactorOptions, ProcessGrid3D, Simulator, grid2d_5pt
+from repro.cholesky import SparseCholesky3D
+from repro.comm.machine import Machine
+from repro.service import (
+    FactorizationService,
+    PlanCache,
+    PlanEntry,
+    cache_key,
+    pattern_fingerprint,
+)
+from repro.solve import SparseLU3D
+from repro.verify.oracle import ledger_state
+
+
+def _perturbed(A, seed):
+    """Fresh values on exactly A's stored structure (kept symmetric)."""
+    B = A.tocsr(copy=True)
+    rng = np.random.default_rng(seed)
+    B.data = B.data * (1.0 + 0.1 * rng.random(B.nnz))
+    return ((B + B.T) * 0.5).tocsr()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    A, geom = grid2d_5pt(12)
+    return A, geom
+
+
+class TestFingerprint:
+    def test_values_irrelevant(self, problem):
+        A, _ = problem
+        assert pattern_fingerprint(A) == pattern_fingerprint(_perturbed(A, 3))
+
+    def test_pattern_relevant(self, problem):
+        A, _ = problem
+        bad = A.tolil(copy=True)
+        bad[0, A.shape[0] - 1] = 1.0
+        assert pattern_fingerprint(A) != pattern_fingerprint(bad.tocsr())
+
+    def test_stored_zeros_are_structure(self, problem):
+        # A matrix that STORES zeros analyzes differently (they produce
+        # fill), so it must key a different cache entry.
+        A, _ = problem
+        C = A.tocoo()
+        Z = sp.csr_matrix(
+            (np.concatenate([C.data, [0.0]]),
+             (np.concatenate([C.row, [0]]), np.concatenate([C.col, [7]]))),
+            shape=A.shape)
+        assert pattern_fingerprint(A) != pattern_fingerprint(Z)
+
+    def test_format_independent(self, problem):
+        A, _ = problem
+        assert pattern_fingerprint(A.tocoo()) == pattern_fingerprint(A.tocsc())
+
+    def test_key_covers_options_and_grid(self, problem):
+        A, _ = problem
+        k1 = cache_key(A, (2, 2, 2), "lu", FactorOptions())
+        assert k1 == cache_key(A, (2, 2, 2), "lu", FactorOptions())
+        assert k1 != cache_key(A, (2, 2, 4), "lu", FactorOptions())
+        assert k1 != cache_key(A, (2, 2, 2), "cholesky", FactorOptions())
+        assert k1 != cache_key(A, (2, 2, 2), "lu", FactorOptions(lookahead=0))
+        # runtime-only knobs share the entry
+        assert k1 == cache_key(A, (2, 2, 2), "lu",
+                               FactorOptions(n_workers=4, compile_plan=False))
+
+
+class TestPlanCache:
+    def _entry(self, key):
+        return PlanEntry(key=key, sf=None, tf=None, pattern=None,
+                         bundle=None, build_seconds=0.0)
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_build(key, lambda k=key: self._entry(k))
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.evictions == 1
+        assert cache.get("a") is None          # oldest evicted
+        assert cache.get("c") is not None
+
+    def test_recency_touch(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_build("a", lambda: self._entry("a"))
+        cache.get_or_build("b", lambda: self._entry("b"))
+        cache.get_or_build("a", lambda: self._entry("a"))  # touch a
+        cache.get_or_build("c", lambda: self._entry("c"))  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+
+    def test_single_build_under_racing_clients(self):
+        cache = PlanCache(capacity=4)
+        builds = []
+        gate = threading.Event()
+
+        def builder():
+            gate.wait(5)
+            builds.append(1)
+            return self._entry("k")
+
+        threads = [threading.Thread(
+            target=lambda: cache.get_or_build("k", builder))
+            for _ in range(6)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        st = cache.stats()
+        assert st.misses == 1 and st.hits == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestServiceCorrectness:
+    @pytest.mark.parametrize("pz", [1, 4], ids=["lu2d", "lu3d"])
+    def test_warm_job_bit_identical_to_cold_solver(self, problem, pz):
+        A, geom = problem
+        kw = dict(geometry=geom, px=2, py=2, pz=pz, leaf_size=16)
+        with FactorizationService(max_workers=2, **kw) as svc:
+            svc.solve(_perturbed(A, 0))           # cold: populates cache
+            A1 = _perturbed(A, 1)
+            job = svc.solve(A1)
+            assert job.cache_hit and job.build_seconds == 0.0
+            cold = SparseLU3D(A1, **kw).factorize()
+            assert ledger_state(job.solver.sim) == ledger_state(cold.sim)
+            Fw, Fc = job.solver.result.factors(), cold.result.factors()
+            for key in Fc.blocks:
+                np.testing.assert_allclose(Fw.blocks[key], Fc.blocks[key],
+                                           rtol=0, atol=1e-12)
+
+    def test_cholesky_backend(self, problem):
+        A, geom = problem
+        S = (A + 4.0 * sp.identity(A.shape[0], format="csr")).tocsr()
+        kw = dict(geometry=geom, px=2, py=2, pz=2, leaf_size=16)
+        with FactorizationService(backend="cholesky", max_workers=2,
+                                  **kw) as svc:
+            svc.solve(S)
+            S1 = (_perturbed(A, 2)
+                  + 4.0 * sp.identity(A.shape[0], format="csr")).tocsr()
+            job = svc.solve(S1, np.ones(A.shape[0]))
+            assert job.cache_hit
+            assert job.residual < 1e-12
+            cold = SparseCholesky3D(S1, **kw).factorize()
+            # job.solver.sim also booked solve-phase events (b was given),
+            # so ledger identity is checked factor-only via a b-less job.
+            job2 = svc.solve(S1)
+            assert ledger_state(job2.solver.sim) == ledger_state(cold.sim)
+            Fw, Fc = job.solver.result.factors(), cold.result.factors()
+            for key in Fc.blocks:
+                np.testing.assert_allclose(Fw.blocks[key], Fc.blocks[key],
+                                           rtol=0, atol=1e-12)
+
+    def test_merged_driver_replay(self, problem):
+        # The merged-grid driver replays plan bundles through its own
+        # entry point (factor_3d_merged cached=...).
+        from repro.lu3d.merged import factor_3d_merged
+        from repro.symbolic.symbolic_factor import symbolic_factorize
+        from repro.tree.partition import greedy_partition
+        A, geom = problem
+        sf = symbolic_factorize(A, geom, leaf_size=16)
+        tf = greedy_partition(sf, 4)
+        g3 = ProcessGrid3D(2, 2, 4)
+        machine = Machine.edison_like()
+        sim_cold0 = Simulator(g3.size, machine)
+        r0 = factor_3d_merged(sf, tf, g3, sim_cold0, numeric=True)
+        A1p = sf.perm.apply_matrix(_perturbed(A, 5))
+        sim_warm = Simulator(g3.size, machine)
+        rw = factor_3d_merged(sf, tf, g3, sim_warm, numeric=True,
+                              matrix=A1p, cached=r0.bundle)
+        sim_cold = Simulator(g3.size, machine)
+        rc = factor_3d_merged(sf, tf, g3, sim_cold, numeric=True,
+                              matrix=A1p)
+        assert ledger_state(sim_warm) == ledger_state(sim_cold)
+        for key, arr in rc.merged_blocks.blocks.items():
+            np.testing.assert_allclose(rw.merged_blocks.blocks[key], arr,
+                                       rtol=0, atol=1e-12)
+
+    def test_solve_residual(self, problem):
+        A, geom = problem
+        b = np.ones(A.shape[0])
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16) as svc:
+            job = svc.solve(_perturbed(A, 3), b)
+            assert job.x is not None and job.residual < 1e-12
+
+
+class TestServiceFrontend:
+    def test_concurrent_clients_one_build(self, problem):
+        A, geom = problem
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16, max_workers=4) as svc:
+            futs = [svc.submit(_perturbed(A, s)) for s in range(8)]
+            results = [f.result() for f in futs]
+        assert sum(not r.cache_hit for r in results) == 1
+        st = svc.stats()
+        assert st["misses"] == 1 and st["hits"] == 7
+        assert st["hit_ratio"] == pytest.approx(7 / 8)
+        (entry,) = st["per_entry"]
+        assert entry["jobs"] == 8 and entry["hits"] == 7
+
+    def test_distinct_patterns_distinct_entries(self, problem):
+        A, geom = problem
+        B, _ = grid2d_5pt(10)
+        with FactorizationService(leaf_size=16, max_workers=2) as svc:
+            svc.solve(A)
+            svc.solve(B)
+            svc.solve(_perturbed(A, 1))
+        st = svc.stats()
+        assert st["entries"] == 2 and st["misses"] == 2 and st["hits"] == 1
+
+    def test_eviction_under_capacity_bound(self, problem):
+        A, _ = problem
+        B, _ = grid2d_5pt(10)
+        C, _ = grid2d_5pt(8)
+        with FactorizationService(leaf_size=16, capacity=2,
+                                  max_workers=1) as svc:
+            for M in (A, B, C):        # third pattern evicts the first
+                svc.solve(M)
+            st1 = svc.stats()
+            svc.solve(_perturbed(A, 1))  # A was evicted: rebuilds
+        assert st1["evictions"] == 1 and st1["entries"] == 2
+        assert svc.stats()["misses"] == 4
+
+    def test_per_request_overrides(self, problem):
+        A, geom = problem
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16) as svc:
+            j1 = svc.solve(A)
+            j2 = svc.solve(A, pz=1)    # different grid: its own entry
+            assert not j2.cache_hit
+            assert j1.solver.grid.pz == 2 and j2.solver.grid.pz == 1
+            with pytest.raises(TypeError, match="unknown job option"):
+                svc.submit(A, nonsense=3)
+
+    def test_cost_only_job(self, problem):
+        A, geom = problem
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16, numeric=False) as svc:
+            job = svc.solve(A)
+            assert job.x is None and job.makespan > 0
+            with pytest.raises(ValueError, match="cost-only"):
+                svc.solve(A, np.ones(A.shape[0]))
+
+    def test_closed_service_rejects(self, problem):
+        A, _ = problem
+        svc = FactorizationService(leaf_size=16)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(A)
+
+    def test_entry_timing_split(self, problem):
+        A, geom = problem
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16) as svc:
+            svc.solve(A)
+            svc.solve(_perturbed(A, 1))
+        (entry,) = svc.stats()["per_entry"]
+        assert entry["build_seconds"] > 0           # symbolic + plan build
+        assert entry["plan_build_seconds"] > 0      # amortized away on hits
+        assert entry["exec_seconds"] > 0
+
+
+class TestSharedSymbolicSafety:
+    def test_adopted_sf_values_never_mutated(self, problem):
+        # Concurrent jobs pass values via matrix=; the shared sf.A_perm
+        # must keep the FIRST matrix's values throughout.
+        A, geom = problem
+        with FactorizationService(geometry=geom, px=2, py=2, pz=2,
+                                  leaf_size=16, max_workers=4) as svc:
+            j0 = svc.solve(_perturbed(A, 0))
+            sf = j0.solver.sf
+            frozen = sf.A_perm.copy()
+            futs = [svc.submit(_perturbed(A, s)) for s in range(1, 9)]
+            for f in futs:
+                f.result()
+            assert (sf.A_perm != frozen).nnz == 0
+
+    def test_concurrent_warm_jobs_each_bit_identical(self, problem):
+        A, geom = problem
+        mats = {s: _perturbed(A, s) for s in range(6)}
+        kw = dict(geometry=geom, px=2, py=2, pz=2, leaf_size=16)
+        with FactorizationService(max_workers=4, **kw) as svc:
+            svc.solve(mats[0])  # warm the cache
+            futs = {s: svc.submit(M) for s, M in mats.items()}
+            jobs = {s: f.result() for s, f in futs.items()}
+        for s, M in mats.items():
+            cold = SparseLU3D(M, **kw).factorize()
+            assert ledger_state(jobs[s].solver.sim) == ledger_state(cold.sim)
