@@ -1,0 +1,109 @@
+"""Dense vs compact block-volume ablation, recorded in ``BENCH_comm.json``.
+
+The block-volume model (:mod:`repro.comm.volume`) prices every message
+and stored block either dense (``rows * cols`` words — the seed
+convention) or compact (``min(dense, 1.5 * nnz)`` off the per-block
+fill-in tables of :mod:`repro.symbolic.blocknnz`). This ablation runs the
+same cost-only 3D factorization under both modes on one planar matrix
+(``grid2d_5pt``: small separators, sparse ancestor blocks) and one
+non-planar matrix (``grid3d_7pt``: the fill-heavy regime SpComm3D
+targets) and records the per-phase word totals.
+
+Hard bars:
+
+* compact never exceeds dense in any phase on any matrix — the model is
+  a per-block ``min``, so a violation means the pricing leaked somewhere;
+* the non-planar total shrinks by >= 1.5x — the headline claim that
+  index+value transport beats dense buffers precisely where fill is
+  heaviest, not just on friendly planar problems.
+
+Word ledgers are mode-dependent but *numeric*-independent, so the runs
+are cost-only; the bit-identity of factors across modes is pinned by
+``tests/test_volume.py``, not here.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import run_once, scale
+from repro.comm import ProcessGrid3D, Simulator
+from repro.comm.simulator import PHASES
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d import factor_3d
+from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+#: Per-scale workloads: (planar lattice edge, brick edge, leaf, Pz).
+CONFIGS = {
+    "tiny": {"planar_nx": 14, "brick_nx": 6, "leaf": 16, "pz": 2},
+    "small": {"planar_nx": 24, "brick_nx": 8, "leaf": 16, "pz": 4},
+    "medium": {"planar_nx": 32, "brick_nx": 10, "leaf": 24, "pz": 4},
+}
+MIN_NONPLANAR_REDUCTION = 1.5
+OUT = Path(__file__).resolve().parent.parent / "BENCH_comm.json"
+
+
+def _phase_volumes(sf, tf, pz: int, compact: bool) -> dict:
+    grid3 = ProcessGrid3D(2, 2, pz)
+    sim = Simulator(grid3.size)
+    factor_3d(sf, tf, grid3, sim, numeric=False,
+              options=FactorOptions(compact_comm=compact))
+    return {p: float(sim.words_per_rank(phase=p).sum()) for p in PHASES}
+
+
+def _case(name: str, A, geom, leaf: int, pz: int) -> dict:
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    tf = greedy_partition(sf, pz)
+    dense = _phase_volumes(sf, tf, pz, compact=False)
+    compact = _phase_volumes(sf, tf, pz, compact=True)
+    for p in PHASES:
+        assert compact[p] <= dense[p] + 1e-9, \
+            f"{name} phase {p}: compact {compact[p]} > dense {dense[p]}"
+    total_d = sum(dense.values())
+    total_c = sum(compact.values())
+    return {
+        "matrix": name,
+        "n": int(A.shape[0]),
+        "n_supernodes": int(sf.nb),
+        "grid": f"2x2x{pz}",
+        "dense_words": {p: dense[p] for p in PHASES},
+        "compact_words": {p: compact[p] for p in PHASES},
+        "dense_total": total_d,
+        "compact_total": total_c,
+        "reduction": round(total_d / total_c, 3) if total_c else 1.0,
+    }
+
+
+def test_comm_volume_ablation(benchmark):
+    sc = scale()
+    cfg = CONFIGS[sc]
+
+    def experiment():
+        A_p, g_p = grid2d_5pt(cfg["planar_nx"])
+        A_b, g_b = grid3d_7pt(cfg["brick_nx"])
+        return [
+            _case(f"grid2d_5pt({cfg['planar_nx']})", A_p, g_p,
+                  cfg["leaf"], cfg["pz"]),
+            _case(f"grid3d_7pt({cfg['brick_nx']})", A_b, g_b,
+                  cfg["leaf"], cfg["pz"]),
+        ]
+
+    cases = run_once(benchmark, experiment)
+    nonplanar = cases[1]
+    assert nonplanar["reduction"] >= MIN_NONPLANAR_REDUCTION, \
+        f"non-planar reduction {nonplanar['reduction']} below " \
+        f"{MIN_NONPLANAR_REDUCTION}x"
+    record = {
+        "bench": "bench_comm_volume",
+        "scale": sc,
+        "threshold_nonplanar_reduction": MIN_NONPLANAR_REDUCTION,
+        "skipped": None,
+        "cases": cases,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    for c in cases:
+        print(f"{c['matrix']:>18}: dense {c['dense_total']:.0f} words, "
+              f"compact {c['compact_total']:.0f} words "
+              f"({c['reduction']}x reduction)")

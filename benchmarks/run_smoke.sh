@@ -40,10 +40,15 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_compile.py \
 # 1e-12 on all four drivers (LU 2D, LU 3D, merged, Cholesky).
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_service.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Comm-volume gate: compact block pricing must never exceed dense in any
+# phase (per-block min), and must cut the non-planar total >= 1.5x — the
+# regime where dense buffers overstate volume the most.
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_comm_volume.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 # Verifier self-test gate (cheap): deleting a dependency edge from a real
 # plan MUST trip the static race detector — proves the analyzer guarding
 # the whole suite (tests/conftest.py installs it on every plan build) is
 # not vacuously green.
 python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, race detector armed"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, compact volume <= dense with >= 1.5x non-planar cut, race detector armed"

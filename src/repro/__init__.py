@@ -22,6 +22,12 @@ See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.cholesky import SparseCholesky3D
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.lu2d import FactorOptions, factor_2d
+from repro.lu3d import factor_3d
+from repro.ordering import Permutation, nested_dissection
+from repro.solve import SparseLU3D, iterative_refinement
 from repro.sparse import (
     BlockLayout,
     BlockMatrix,
@@ -30,20 +36,14 @@ from repro.sparse import (
     delaunay_mesh_2d,
     grid2d_5pt,
     grid2d_9pt,
-    grid3d_7pt,
     grid3d_27pt,
+    grid3d_7pt,
     kkt_like,
     random_symmetric_pattern,
     thin_slab_7pt,
 )
-from repro.ordering import Permutation, nested_dissection
 from repro.symbolic import SymbolicFactorization, symbolic_factorize
 from repro.tree import TreeForest, critical_path_cost, greedy_partition, naive_partition
-from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
-from repro.lu2d import FactorOptions, factor_2d
-from repro.lu3d import factor_3d
-from repro.solve import SparseLU3D, iterative_refinement
-from repro.cholesky import SparseCholesky3D
 from repro.tune import suggest_grid
 
 __version__ = "1.0.0"

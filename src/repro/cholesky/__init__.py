@@ -13,13 +13,13 @@ enumerator plugged in, demonstrating that the 3D schedule really is
 factorization-variant independent.
 """
 
-from repro.cholesky.kernels import potrf_shifted, chol_panel_solve
+from repro.cholesky.driver import SparseCholesky3D
 from repro.cholesky.factor import (
     cholesky_node_blocks,
     factor_chol_3d,
     factor_nodes_chol_2d,
 )
-from repro.cholesky.driver import SparseCholesky3D
+from repro.cholesky.kernels import chol_panel_solve, potrf_shifted
 
 __all__ = [
     "SparseCholesky3D",

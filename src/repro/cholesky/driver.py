@@ -10,11 +10,11 @@ import numpy as np
 import scipy.linalg as la
 import scipy.sparse as sp
 
+from repro.cholesky.factor import factor_chol_3d
 from repro.comm.collectives import bcast
 from repro.comm.grid import ProcessGrid3D
 from repro.comm.machine import Machine
 from repro.comm.simulator import Simulator
-from repro.cholesky.factor import factor_chol_3d
 from repro.lu2d.factor2d import FactorOptions
 from repro.solve.refine import RefinementResult, iterative_refinement
 from repro.sparse.generators import GridGeometry

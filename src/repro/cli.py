@@ -103,7 +103,8 @@ def cmd_solve(args) -> int:
     opts = FactorOptions(n_workers=args.workers, fault_plan=fault_plan,
                          checkpoint_every=args.checkpoint_every,
                          recovery=args.recovery,
-                         compile_plan=not args.no_compile)
+                         compile_plan=not args.no_compile,
+                         compact_comm=args.compact)
     if args.steps:
         return _solve_steps(args, A, geom, opts)
     solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
@@ -345,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "ledgers and factors are identical either way — "
                         "compilation only removes interpreter dispatch "
                         "overhead")
+    s.add_argument("--compact", action="store_true",
+                   help="price block messages and replica storage with the "
+                        "sparsity-aware compact model (repro.comm.volume): "
+                        "min(dense, 1.5*nnz) words per block; factors are "
+                        "identical, only the communication/storage ledgers "
+                        "(and the worker wire format) change")
     s.add_argument("--verify-plan", action="store_true",
                    help="after factorization, run the static plan analyzer "
                         "(races, cycles, malformed collectives) on the "

@@ -18,14 +18,25 @@ the factorization's real message/compute schedule against virtual ranks:
   sends, so volume conservation (Σ sent = Σ received) holds by construction.
 """
 
-from repro.comm.machine import Machine
-from repro.comm.simulator import Simulator, CommError, LedgerDelta
-from repro.comm.grid import ProcessGrid2D, ProcessGrid3D, near_square_grid
 from repro.comm.collectives import bcast, reduce_pairwise
+from repro.comm.grid import ProcessGrid2D, ProcessGrid3D, near_square_grid
+from repro.comm.machine import Machine
+from repro.comm.simulator import CommError, LedgerDelta, Simulator
 from repro.comm.topology import DragonflyTopology, Torus3D, UniformTopology
+from repro.comm.volume import (
+    BlockVolume,
+    CompactVolume,
+    DenseVolume,
+    compact_enabled,
+    volume_for,
+    volume_kind,
+)
 
 __all__ = [
+    "BlockVolume",
     "CommError",
+    "CompactVolume",
+    "DenseVolume",
     "DragonflyTopology",
     "LedgerDelta",
     "Machine",
@@ -35,6 +46,9 @@ __all__ = [
     "Torus3D",
     "UniformTopology",
     "bcast",
+    "compact_enabled",
     "near_square_grid",
     "reduce_pairwise",
+    "volume_for",
+    "volume_kind",
 ]

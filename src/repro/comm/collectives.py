@@ -119,6 +119,8 @@ def reduce_pairwise(sim: Simulator, src: int, dst: int, words: float,
     The receiver pays the element-wise addition (``add_flops`` defaults to
     one flop per word, the cost of summing the two block copies).
     """
+    if words < 0:
+        raise ValueError("words must be non-negative")
     sim.send(src, dst, words)
     sim.recv(dst, src)
     flops = words if add_flops is None else add_flops

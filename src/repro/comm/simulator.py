@@ -48,10 +48,9 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
-
-from typing import TYPE_CHECKING
 
 # COMPUTE_KINDS / PHASES are canonically defined in repro.comm.events and
 # re-exported here: the ledger layout is keyed by them and most callers

@@ -8,13 +8,13 @@ reports. The ``benchmarks/`` directory contains one pytest-benchmark file
 per table/figure that drives these and prints the comparison.
 """
 
-from repro.experiments.matrices import TestMatrix, paper_suite, prepared
 from repro.experiments.harness import (
     PreparedMatrix,
     RunRecord,
     pz_sweep,
     run_configuration,
 )
+from repro.experiments.matrices import TestMatrix, paper_suite, prepared
 
 __all__ = [
     "PreparedMatrix",

@@ -21,10 +21,10 @@ supernodes with the current Schur update (Section II-F), which is what lets
 communication hide behind computation in the simulator's timing model.
 """
 
-from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
 from repro.lu2d.batched import (batched_schur_update, batched_syrk_update,
                                 gather_panels, panel_offsets)
-from repro.lu2d.factor2d import FactorOptions, Factor2DResult, factor_2d, factor_nodes_2d
+from repro.lu2d.factor2d import Factor2DResult, FactorOptions, factor_2d, factor_nodes_2d
+from repro.lu2d.kernels import getrf_nopiv, solve_lower_panel, solve_upper_panel
 from repro.lu2d.storage import allocate_factor_storage, factor_words_per_rank
 
 __all__ = [

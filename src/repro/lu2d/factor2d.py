@@ -70,8 +70,10 @@ def factor_2d(sf: SymbolicFactorization, grid: ProcessGrid2D, sim: Simulator,
     ledgers before factorization, as SuperLU_DIST allocates it after the
     symbolic phase.
     """
+    from repro.comm.volume import volume_for
     nodes = list(range(sf.nb))
     if charge_storage:
-        allocate_factor_storage(sf, nodes, grid, sim)
+        allocate_factor_storage(sf, nodes, grid, sim,
+                                volume=volume_for(sf, options))
     sim.set_phase("fact")
     return factor_nodes_2d(sf, nodes, grid, sim, data=data, options=options)

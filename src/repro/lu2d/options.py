@@ -86,6 +86,14 @@ class FactorOptions:
         axis (the paper's ancestor replication, exploited for fault
         tolerance), falling back to restart where no replicas exist
         (2D runs, the merged variant's single global copy).
+    compact_comm:
+        Price every block message and block of factor/replica storage with
+        the sparsity-aware compact model (:mod:`repro.comm.volume`):
+        ``min(dense, 1.5 * nnz)`` words per block off the filled pattern's
+        per-block nnz tables, instead of dense ``rows * cols``. Numerics
+        are unaffected — only the booked word counts (and the worker
+        transport's wire format) change. The ``REPRO_COMPACT`` environment
+        variable overrides the flag either way (``1``/``0``).
     """
 
     lookahead: int = 8
@@ -101,6 +109,7 @@ class FactorOptions:
     fault_plan: object | None = None   # repro.resilience.FaultPlan
     checkpoint_every: int = 0
     recovery: str = "restart"
+    compact_comm: bool = False
 
     def __post_init__(self):
         if self.lookahead < 0:

@@ -37,18 +37,29 @@ def node_blocks(sf: SymbolicFactorization, k: int
 
 
 def factor_words_per_rank(sf: SymbolicFactorization, nodes: Iterable[int],
-                          grid: ProcessGrid2D, nranks: int) -> np.ndarray:
-    """Words of L/U factor storage each global rank owns for ``nodes``."""
+                          grid: ProcessGrid2D, nranks: int,
+                          volume=None) -> np.ndarray:
+    """Words of L/U factor storage each global rank owns for ``nodes``.
+
+    ``volume`` is the :class:`repro.comm.volume.BlockVolume` pricing each
+    block (``None`` = dense, the historical ``rows * cols`` accounting).
+    """
     words = np.zeros(nranks)
-    for k in nodes:
-        for i, j, w in node_blocks(sf, k):
-            words[grid.owner(i, j)] += w
+    if volume is None:
+        for k in nodes:
+            for i, j, w in node_blocks(sf, k):
+                words[grid.owner(i, j)] += w
+    else:
+        for k in nodes:
+            for i, j, w in node_blocks(sf, k):
+                words[grid.owner(i, j)] += volume.cap(i, j, float(w))
     return words
 
 
 def allocate_factor_storage(sf: SymbolicFactorization, nodes: Iterable[int],
-                            grid: ProcessGrid2D, sim: Simulator) -> None:
+                            grid: ProcessGrid2D, sim: Simulator,
+                            volume=None) -> None:
     """Charge the static factor storage of ``nodes`` to the owners' ledgers."""
-    words = factor_words_per_rank(sf, nodes, grid, sim.nranks)
+    words = factor_words_per_rank(sf, nodes, grid, sim.nranks, volume=volume)
     for r in np.flatnonzero(words):
         sim.alloc(int(r), float(words[r]))

@@ -15,8 +15,8 @@ mirroring how the real implementation reuses SuperLU_DIST's 2D factorization
 routine on the local tree-forest.
 """
 
-from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
 from repro.lu3d.factor3d import Factor3DResult, factor_3d
+from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
 
 __all__ = [
     "Factor3DResult",

@@ -60,19 +60,21 @@ def factor_3d_dense25(sf: SymbolicFactorization, tf: TreeForest,
             "(Section VII); numeric execution uses factor_3d")
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
-    l = tf.l
+    nlev = tf.l
     opts = options or FactorOptions()
     result = Factor3DResult(tf=tf)
 
     if charge_storage:
-        words = replica_words_per_rank(sf, tf, grid3)
+        from repro.comm.volume import volume_for
+        words = replica_words_per_rank(sf, tf, grid3,
+                                       volume=volume_for(sf, opts))
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
     # Leaf level: the genuine per-block 2D engine, one forest per layer.
     sim.set_phase("fact")
     for g in range(tf.pz):
-        nodes = tf.forests[(l, g)]
+        nodes = tf.forests[(nlev, g)]
         if nodes:
             r2d = factor_nodes_2d(sf, nodes, grid3.layer(g), sim,
                                   data=None, options=opts)
@@ -80,9 +82,9 @@ def factor_3d_dense25(sf: SymbolicFactorization, tf: TreeForest,
     result.per_level_makespan.append(sim.makespan)
 
     # First reduction: as in Algorithm 1 (partial sums must still meet).
-    for lvl in range(l, 0, -1):
+    for lvl in range(nlev, 0, -1):
         sim.set_phase("red")
-        half = 2 ** (l - lvl)
+        half = 2 ** (nlev - lvl)
         for gdst in range(0, tf.pz, 2 * half):
             gsrc = gdst + half
             for la in range(lvl - 1, -1, -1):
@@ -98,7 +100,7 @@ def factor_3d_dense25(sf: SymbolicFactorization, tf: TreeForest,
         # replication range of each forest.
         sim.set_phase("fact")
         q = lvl - 1
-        c = 2 ** (l - q)
+        c = 2 ** (nlev - q)
         for b in range(2 ** q):
             nodes = tf.forests[(q, b)]
             if not nodes:

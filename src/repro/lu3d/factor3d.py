@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.comm.grid import ProcessGrid2D, ProcessGrid3D
 from repro.comm.simulator import Simulator
+from repro.comm.volume import compact_enabled, volume_for
 from repro.lu2d.options import FactorOptions
 from repro.lu2d.storage import node_blocks
 from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
@@ -45,7 +46,14 @@ from repro.parallel.engine import (
     ParallelFallback,
     resolve_workers,
 )
-from repro.parallel.shm import ShmTransport, ShmViewHandle, shm_enabled
+from repro.parallel.shm import (
+    PackedBlock,
+    ShmTransport,
+    ShmViewHandle,
+    pack_view,
+    shm_enabled,
+    unpack_view,
+)
 from repro.plan.build import build_3d_plan
 from repro.plan.compile import compile_enabled, compile_plan
 from repro.plan.interpret import execute_grid_plan, execute_reduce
@@ -148,12 +156,20 @@ class ReplicaData(CostOnlyData):
     re-copies blocks dirtied since the previous fan-out (the z-reduction
     accumulations and inline-executed levels register dirty marks); any
     shared-memory failure downgrades the rest of the run to the pickle path.
+
+    With ``compact`` (the compact communication mode), pickle-path exports
+    ship index+value :class:`repro.parallel.shm.PackedBlock` payloads for
+    sparse blocks instead of full dense views — the runtime counterpart of
+    the compact word pricing. Packing is lossless (dropped entries are
+    exact zeros), so factors stay bit-identical to the dense transport.
     """
 
-    def __init__(self, replicas: ReplicaManager, transport=None):
+    def __init__(self, replicas: ReplicaManager, transport=None,
+                 compact: bool = False):
         self.replicas = replicas
         self.accumulate = replicas.accumulate
         self.transport = transport
+        self.compact = compact
         if transport is not None:
             replicas.add_dirty_hook(
                 lambda g, i, j: transport.mark_dirty(g, (i, j)))
@@ -169,13 +185,17 @@ class ReplicaData(CostOnlyData):
             if handle is not None:
                 return handle
             self.transport = None  # shm failed: pickle for the rest of run
-        return self.replicas.export_view(gp.g, gp.nodes)
+        view = self.replicas.export_view(gp.g, gp.nodes)
+        return pack_view(view) if self.compact else view
 
     def import_back(self, g, blocks) -> None:
         tr = self.transport
         if tr is not None and isinstance(blocks, ShmViewHandle):
             self.replicas.import_view(g, tr.views_for(blocks))
             return
+        if isinstance(blocks, dict) and \
+                any(isinstance(v, PackedBlock) for v in blocks.values()):
+            blocks = unpack_view(blocks)
         self.replicas.import_view(g, blocks)
 
     def mark_executed_inline(self, gp) -> None:
@@ -286,12 +306,14 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
             from repro.plan.backends import get_backend
             blocks_fn = get_backend(backend).node_blocks
     result = Factor3DResult(tf=tf)
+    volume = volume_for(sf, opts)
 
     if charge_storage:
         if cached is not None:
             words = cached.replica_words(sf, tf, grid3)
         else:
-            words = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+            words = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn,
+                                           volume=volume)
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
@@ -330,14 +352,15 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
             grid_shape=(grid3.px, grid3.py, grid3.pz),
             accelerated=sim.accelerator is not None,
             opts_key=plan_options_key(opts),
-            blocks_fn=blocks_fn, plan3=plan3,
+            blocks_fn=blocks_fn, plan3=plan3, volume=volume,
             build_seconds=time.perf_counter() - t0)
     result.plan = plan3
     result.bundle = bundle
     if numeric:
         transport = ShmTransport() \
             if engine is not None and shm_enabled(opts) else None
-        data = ReplicaData(result.replicas, transport=transport)
+        data = ReplicaData(result.replicas, transport=transport,
+                           compact=compact_enabled(opts))
     else:
         data = CostOnlyData()
     if opts.resilience_active():

@@ -38,7 +38,9 @@ import numpy as np
 
 from repro.comm.grid import ProcessGrid3D
 from repro.comm.simulator import Simulator
+from repro.comm.volume import volume_for
 from repro.lu2d.options import FactorOptions
+from repro.lu2d.storage import node_blocks
 from repro.lu3d.factor3d import (
     CostOnlyData,
     Factor3DResult,
@@ -48,7 +50,6 @@ from repro.lu3d.factor3d import (
 )
 from repro.lu3d.replication import replica_words_per_rank
 from repro.parallel.engine import ParallelFallback
-from repro.lu2d.storage import node_blocks
 from repro.plan.build import _merged_grid, build_3d_plan
 from repro.plan.compile import compile_enabled
 from repro.plan.replay import PlanBundle, plan_options_key
@@ -86,6 +87,7 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
     if cached is not None:
         cached.check(grid3, "lu", True, sim.accelerator is not None, opts)
     result = Factor3DResult(tf=tf)
+    volume = volume_for(sf, opts)
     store = None
     if numeric:
         A_vals = sf.A_perm if matrix is None else matrix
@@ -99,7 +101,7 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
         if cached is not None:
             words = cached.replica_words(sf, tf, grid3)
         else:
-            words = replica_words_per_rank(sf, tf, grid3)
+            words = replica_words_per_rank(sf, tf, grid3, volume=volume)
         for r in np.flatnonzero(words):
             sim.alloc(int(r), float(words[r]))
 
@@ -134,7 +136,7 @@ def factor_3d_merged(sf: SymbolicFactorization, tf: TreeForest,
             grid_shape=(grid3.px, grid3.py, grid3.pz),
             accelerated=sim.accelerator is not None,
             opts_key=plan_options_key(opts),
-            blocks_fn=node_blocks, plan3=plan3,
+            blocks_fn=node_blocks, plan3=plan3, volume=volume,
             build_seconds=time.perf_counter() - t0)
     result.plan = plan3
     result.bundle = bundle

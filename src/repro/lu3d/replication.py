@@ -14,10 +14,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.grid import ProcessGrid3D
+from repro.lu2d.storage import node_blocks
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
-from repro.lu2d.storage import node_blocks
 
 __all__ = ["ReplicaManager", "GridStoreView", "replica_words_per_rank",
            "touched_block_keys"]
@@ -247,17 +247,22 @@ class HomeView:
 
 def replica_words_per_rank(sf: SymbolicFactorization, tf: TreeForest,
                            grid3: ProcessGrid3D,
-                           blocks_fn=None) -> np.ndarray:
+                           blocks_fn=None, volume=None) -> np.ndarray:
     """Static factor + replica storage per global rank (words).
 
     For every node, every replicating grid stores the node's blocks under
     its own layer's 2D block-cyclic map — this is the memory the paper's
-    Fig. 11 measures the overhead of.
+    Fig. 11 measures the overhead of. ``volume`` is the
+    :class:`repro.comm.volume.BlockVolume` pricing each block (``None`` =
+    dense, the historical ``rows * cols`` accounting).
     """
     blocks_fn = blocks_fn or node_blocks
     words = np.zeros(grid3.size)
     for v in range(sf.nb):
         blocks = blocks_fn(sf, v)
+        if volume is not None:
+            blocks = [(i, j, volume.cap(i, j, float(w)))
+                      for i, j, w in blocks]
         for g in tf.grids_of_node(v):
             layer = grid3.layer(g)
             for i, j, w in blocks:

@@ -16,16 +16,6 @@ from repro.model.generic import (
     memory_2d_generic,
     volume_2d_generic,
 )
-from repro.model.planar import (
-    latency_2d_planar,
-    latency_3d_planar,
-    memory_2d_planar,
-    memory_3d_planar,
-    volume_2d_planar,
-    volume_3d_planar,
-    volume_3d_planar_xy,
-    volume_3d_planar_z,
-)
 from repro.model.nonplanar import (
     latency_2d_nonplanar,
     latency_3d_nonplanar,
@@ -38,6 +28,16 @@ from repro.model.optimum import (
     best_communication_reduction_nonplanar,
     optimal_pz_nonplanar,
     optimal_pz_planar,
+)
+from repro.model.planar import (
+    latency_2d_planar,
+    latency_3d_planar,
+    memory_2d_planar,
+    memory_3d_planar,
+    volume_2d_planar,
+    volume_3d_planar,
+    volume_3d_planar_xy,
+    volume_3d_planar_z,
 )
 
 __all__ = [

@@ -15,12 +15,7 @@ whose postorder defines the supernode blocks and the block elimination tree
 consumed by :mod:`repro.symbolic`.
 """
 
-from repro.ordering.permutation import Permutation
-from repro.ordering.separators import (
-    bfs_level_separator,
-    fiedler_separator,
-    repair_separator,
-)
+from repro.ordering.minimum_degree import minimum_degree_order, tree_from_order
 from repro.ordering.nested_dissection import (
     DissectionNode,
     DissectionTree,
@@ -28,8 +23,13 @@ from repro.ordering.nested_dissection import (
     graph_nd,
     nested_dissection,
 )
-from repro.ordering.minimum_degree import minimum_degree_order, tree_from_order
+from repro.ordering.permutation import Permutation
 from repro.ordering.relaxation import relax_supernodes
+from repro.ordering.separators import (
+    bfs_level_separator,
+    fiedler_separator,
+    repair_separator,
+)
 
 __all__ = [
     "DissectionNode",

@@ -40,7 +40,13 @@ import numpy as np
 
 from repro.comm.grid import ProcessGrid2D
 from repro.comm.simulator import CommError, LedgerDelta, Simulator
-from repro.parallel.shm import ShmBlockView, ShmViewHandle
+from repro.parallel.shm import (
+    PackedBlock,
+    ShmBlockView,
+    ShmViewHandle,
+    pack_view,
+    unpack_view,
+)
 
 __all__ = ["BACKENDS", "GridTask", "GridOutcome", "LevelStats",
            "ParallelExecutor", "ParallelFallback", "resolve_workers"]
@@ -167,15 +173,23 @@ def _execute(sf, factor_fn, options, task: GridTask) -> GridOutcome:
     A :class:`repro.parallel.shm.ShmViewHandle` payload is materialized
     into zero-copy views over the parent's shared segments; the in-place
     block mutations then land directly in shared memory and only the
-    descriptor travels back.
+    descriptor travels back. A packed payload (compact communication
+    mode: :class:`repro.parallel.shm.PackedBlock` entries on the pickle
+    path) is unpacked into dense working arrays here and the mutated
+    blocks are re-packed for the return trip.
     """
     t0 = time.perf_counter()
     grid = ProcessGrid2D(task.px, task.py, base=task.base)
     data = task.blocks
     view = None
+    packed = False
     if isinstance(data, ShmViewHandle):
         view = ShmBlockView(data)
         data = view
+    elif isinstance(data, dict) and \
+            any(isinstance(v, PackedBlock) for v in data.values()):
+        data = unpack_view(data)
+        packed = True
     try:
         if task.plan is not None:
             from repro.plan.interpret import execute_grid_plan
@@ -189,7 +203,8 @@ def _execute(sf, factor_fn, options, task: GridTask) -> GridOutcome:
             view.release()
     ranks = np.arange(task.base, task.base + task.px * task.py)
     delta = task.sub.extract_delta(ranks)
-    return GridOutcome(g=task.g, delta=delta, blocks=task.blocks,
+    blocks_out = pack_view(data) if packed else task.blocks
+    return GridOutcome(g=task.g, delta=delta, blocks=blocks_out,
                        result=r2d, task_seconds=time.perf_counter() - t0)
 
 

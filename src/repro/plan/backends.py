@@ -54,12 +54,18 @@ def cholesky_node_blocks(sf, k: int) -> list[tuple[int, int, int]]:
 class BuildContext:
     """Shared state of one :func:`repro.plan.build.build_grid_plan` call."""
 
-    def __init__(self, sf, grid, opts, counter, accelerated: bool):
+    def __init__(self, sf, grid, opts, counter, accelerated: bool,
+                 volume=None):
+        from repro.comm.volume import DenseVolume
         self.sf = sf
         self.grid = grid
         self.opts = opts
         self.counter = counter
         self.sizes = sf.layout.sizes()
+        # Every message the backends emit is priced through the block-
+        # volume model; DenseVolume's cap is the identity, so dense plans
+        # are bit-identical to the historical r*c arithmetic.
+        self.volume = volume if volume is not None else DenseVolume()
         # Mirrors the drivers' gate: batching is per-panel, accelerator
         # offload decisions are per-block, so they exclude each other.
         self.use_batched = opts.batched_schur and not accelerated
@@ -140,7 +146,7 @@ class LUBackend(KernelBackend):
         s = int(sizes[k])
         lp, up = b.sf.fill.lpanel[k], b.sf.fill.upanel[k]
         owner_kk = grid.owner(k, k)
-        tri_words = s * (s + 1) / 2.0
+        tri_words = b.volume.cap(k, k, s * (s + 1) / 2.0)
 
         if b.opts.sparse_bcast:
             # SuperLU's BC trees span only ranks owning an update target:
@@ -194,7 +200,8 @@ class LUBackend(KernelBackend):
             pbs.append(PanelBcast(
                 tid=b.next_tid(), deps=(pf.tid,), node=k, block=(k, j),
                 side="U", owner=o, flops=float(s * s * sj),
-                bcasts=(_member_spec(o, ranks, float(s * sj)),)))
+                bcasts=(_member_spec(o, ranks,
+                                     b.volume.cap(k, j, float(s * sj))),)))
         for i in lp:
             i = int(i)
             si = int(sizes[i])
@@ -204,7 +211,8 @@ class LUBackend(KernelBackend):
             pbs.append(PanelBcast(
                 tid=b.next_tid(), deps=(pf.tid,), node=k, block=(i, k),
                 side="L", owner=o, flops=float(s * s * si),
-                bcasts=(_member_spec(o, ranks, float(si * s)),)))
+                bcasts=(_member_spec(o, ranks,
+                                     b.volume.cap(i, k, float(si * s))),)))
         return pf, pbs
 
     def build_schur(self, b, k, deps):
@@ -333,7 +341,7 @@ class CholeskyBackend(KernelBackend):
         if len(lp):
             # L_kk down the process column for the panel solves.
             specs.append(_routed_spec(owner_kk, grid.col_ranks(k),
-                                      s * (s + 1) / 2.0))
+                                      b.volume.cap(k, k, s * (s + 1) / 2.0)))
         pf = PanelFactor(tid=b.next_tid(), deps=deps, node=k, owner=owner_kk,
                          flops=s ** 3 / 3.0, bcasts=tuple(specs))
         pbs = []
@@ -346,8 +354,10 @@ class CholeskyBackend(KernelBackend):
             pbs.append(PanelBcast(
                 tid=b.next_tid(), deps=(pf.tid,), node=k, block=(i, k),
                 side="L", owner=o, flops=float(s * s * si),
-                bcasts=(_routed_spec(o, grid.row_ranks(i), float(si * s)),
-                        _routed_spec(o, grid.col_ranks(i), float(si * s)))))
+                bcasts=(_routed_spec(o, grid.row_ranks(i),
+                                     b.volume.cap(i, k, float(si * s))),
+                        _routed_spec(o, grid.col_ranks(i),
+                                     b.volume.cap(i, k, float(si * s))))))
         return pf, pbs
 
     def build_schur(self, b, k, deps):

@@ -74,18 +74,25 @@ def build_grid_plan(sf, nodes, grid: ProcessGrid2D,
                     backend: str = "lu", accelerated: bool = False,
                     counter: TidCounter | None = None, g: int = 0,
                     level: int = 0,
-                    barrier_dep: int | None = None) -> GridPlan:
+                    barrier_dep: int | None = None,
+                    volume=None) -> GridPlan:
     """Emit one grid's ordered task list for ``nodes`` (ascending ids).
 
     ``accelerated`` mirrors the execution-time condition that disables
     batched Schur updates (offload decisions are per block). ``barrier_dep``
     is the previous level's barrier tid in a 3D plan: tasks with no
     in-plan data dependency anchor to it, keeping the DAG connected across
-    levels.
+    levels. ``volume`` is the :class:`repro.comm.volume.BlockVolume`
+    pricing every emitted message; ``None`` resolves it from ``options``
+    (dense unless compact mode is on).
     """
     opts = options or FactorOptions()
     be = get_backend(backend)
-    b = BuildContext(sf, grid, opts, counter or TidCounter(), accelerated)
+    if volume is None:
+        from repro.comm.volume import volume_for
+        volume = volume_for(sf, opts)
+    b = BuildContext(sf, grid, opts, counter or TidCounter(), accelerated,
+                     volume=volume)
     nodes = sorted(int(k) for k in nodes)
     node_set = set(nodes)
 
@@ -173,13 +180,15 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
         from repro.lu2d.storage import node_blocks
         blocks_fn = get_backend(backend).node_blocks if backend \
             else node_blocks
-    l = tf.l
+    from repro.comm.volume import volume_for
+    volume = volume_for(sf, opts)
+    nlev = tf.l
     counter = TidCounter()
     prev_barrier: int | None = None
     levels: list[LevelStep] = []
 
-    for lvl in range(l, -1, -1):
-        width = 2 ** (l - lvl)
+    for lvl in range(nlev, -1, -1):
+        width = 2 ** (nlev - lvl)
         if merged:
             work = [(bidx, nodes, _merged_grid(grid3, bidx * width, width))
                     for bidx in range(2 ** lvl)
@@ -200,7 +209,7 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
                 grid_plans.append(build_grid_plan(
                     sf, nodes, grid2, opts, backend=backend,
                     accelerated=accelerated, counter=counter, g=g,
-                    level=lvl, barrier_dep=prev_barrier))
+                    level=lvl, barrier_dep=prev_barrier, volume=volume))
         sinks = {gp.g: sink_tids(gp) for gp in grid_plans}
 
         def _dep_on(*gids) -> tuple[int, ...]:
@@ -217,7 +226,8 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
                     red = _build_merged_reduce(
                         sf, tf, grid3, blocks_fn, counter,
                         deps=_dep_on(2 * b2, 2 * b2 + 1),
-                        left_first=left_first, width=width, below_level=lvl)
+                        left_first=left_first, width=width, below_level=lvl,
+                        volume=volume)
                     if red is not None:
                         reduces.append(red)
             else:
@@ -226,7 +236,7 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
                     red = _build_standard_reduce(
                         sf, tf, grid3, blocks_fn, counter,
                         deps=_dep_on(g, src), dst_grid=g, src_grid=src,
-                        below_level=lvl)
+                        below_level=lvl, volume=volume)
                     if red is not None:
                         reduces.append(red)
 
@@ -255,9 +265,12 @@ def _ancestor_blocks(sf, tf, blocks_fn, grid_for_forests: int,
 
 
 def _build_standard_reduce(sf, tf, grid3, blocks_fn, counter, deps,
-                           dst_grid: int, src_grid: int, below_level: int
-                           ) -> AncestorReduce | None:
+                           dst_grid: int, src_grid: int, below_level: int,
+                           volume=None) -> AncestorReduce | None:
     """Plan one pairwise z-hop: src layer's ancestor copies -> dst layer."""
+    if volume is None:
+        from repro.comm.volume import DenseVolume
+        volume = DenseVolume()
     rows: list[int] = []
     cols: list[int] = []
     sizes: list[float] = []
@@ -265,7 +278,7 @@ def _build_standard_reduce(sf, tf, grid3, blocks_fn, counter, deps,
                                     below_level):
         rows.append(i)
         cols.append(j)
-        sizes.append(float(w))
+        sizes.append(float(volume.cap(i, j, float(w))))
     if not rows:
         return None
     ii = np.asarray(rows, dtype=np.int64)
@@ -279,25 +292,29 @@ def _build_standard_reduce(sf, tf, grid3, blocks_fn, counter, deps,
 
 
 def _build_merged_reduce(sf, tf, grid3, blocks_fn, counter, deps,
-                         left_first: int, width: int, below_level: int
-                         ) -> AncestorReduce | None:
+                         left_first: int, width: int, below_level: int,
+                         volume=None) -> AncestorReduce | None:
     """Plan one merged-grid reduce + redistribution into the doubled grid.
 
     The right half's copy always travels (reduce); the left half's copy
     travels only when its owner changes under the doubled layout
     (redistribution move). Sums land on the target owner.
     """
+    if volume is None:
+        from repro.comm.volume import DenseVolume
+        volume = DenseVolume()
     left = _merged_grid(grid3, left_first, width)
     right = _merged_grid(grid3, left_first + width, width)
     target = _merged_grid(grid3, left_first, 2 * width)
     ops: list[tuple[str, int, int, float]] = []
     for i, j, w in _ancestor_blocks(sf, tf, blocks_fn, left_first,
                                     below_level):
+        w = float(volume.cap(i, j, float(w)))
         dst = target.owner(i, j)
-        ops.append(("red", right.owner(i, j), dst, float(w)))
+        ops.append(("red", right.owner(i, j), dst, w))
         src_l = left.owner(i, j)
         if src_l != dst:
-            ops.append(("mov", src_l, dst, float(w)))
+            ops.append(("mov", src_l, dst, w))
     if not ops:
         return None
     return AncestorReduce(

@@ -269,7 +269,11 @@ def _flatten_bcast(spec, node, seg) -> None:
 
     Mirrors :func:`repro.comm.collectives.bcast`'s binomial tree (and the
     interpreter's routing hop) pair for pair, so a ``sendrecv_batch`` over
-    the flattened arrays books the identical ledger.
+    the flattened arrays books the identical ledger. The replayed
+    ``spec.words`` already carry the block-volume pricing
+    (:mod:`repro.comm.volume`) baked in at build time, so the
+    concatenated cost arrays are mode-consistent (dense or compact) with
+    the uncompiled interpreter for free.
     """
     srcs, dsts, words = seg["srcs"], seg["dsts"], seg["words"]
     if spec.route_from is not None:

@@ -47,10 +47,15 @@ def plan_options_key(options) -> tuple:
     Everything else — pivoting threshold, worker counts, transport,
     resilience schedule, the ``compile_plan`` toggle itself — is a
     property of one *execution*, not of the DAG, so bundles (and service
-    cache entries) stay valid across those settings.
+    cache entries) stay valid across those settings. The resolved
+    block-volume kind (dense vs compact message pricing) is part of the
+    key: a plan carries its word counts baked into every task, so a
+    cross-mode replay would book the wrong ledgers.
     """
+    from repro.comm.volume import volume_kind
     return (options.lookahead, options.sparse_bcast, options.batched_schur,
-            options.batch_min_pairs, options.track_buffers)
+            options.batch_min_pairs, options.track_buffers,
+            volume_kind(options))
 
 
 @dataclass
@@ -80,6 +85,10 @@ class PlanBundle:
     build_seconds:
         Host seconds the cold build spent on plan construction; the
         lazily-added compile cost accumulates into ``compile_seconds``.
+    volume:
+        The :class:`repro.comm.volume.BlockVolume` the build priced
+        messages with (``None`` = dense); reused by the memoized replica
+        storage vector so replayed charges match the cold run's.
     """
 
     backend: str | None
@@ -89,6 +98,7 @@ class PlanBundle:
     opts_key: tuple
     blocks_fn: object
     plan3: Plan3D
+    volume: object | None = None
     build_seconds: float = 0.0
     compile_seconds: float = 0.0
     _compiled: object | None = None
@@ -120,7 +130,8 @@ class PlanBundle:
             raise ValueError(
                 "cached plan was built with different plan-relevant "
                 f"options {self.opts_key} (lookahead, sparse_bcast, "
-                "batched_schur, batch_min_pairs, track_buffers); got "
+                "batched_schur, batch_min_pairs, track_buffers, "
+                "volume kind); got "
                 f"{plan_options_key(options)}")
 
     # -- memoized lazy products -------------------------------------------
@@ -145,7 +156,8 @@ class PlanBundle:
             if self._replica_words is None:
                 from repro.lu3d.replication import replica_words_per_rank
                 self._replica_words = replica_words_per_rank(
-                    sf, tf, grid3, blocks_fn=self.blocks_fn)
+                    sf, tf, grid3, blocks_fn=self.blocks_fn,
+                    volume=self.volume)
             return self._replica_words
 
     def block_pattern(self, sf):

@@ -48,6 +48,12 @@ class BcastSpec:
     (``route_from`` = the original owner, ``root`` = the entry rank —
     pdpotrf's transpose-and-broadcast hop). Both conventions reduce to
     plain payload fields here, so the interpreter needs no variant logic.
+
+    ``words`` is priced at build time through the block-volume model
+    (:mod:`repro.comm.volume` — dense ``rows * cols`` or compact
+    ``min(dense, 1.5 * nnz)``), so the interpreter, the plan compiler's
+    fused replays, :func:`task_comm` and the conservation oracle all see
+    one consistent number with no per-layer re-derivation.
     """
 
     root: int
@@ -235,7 +241,12 @@ def _bcast_comm(spec: BcastSpec) -> tuple[int, float]:
 
 
 def task_comm(task: Task) -> tuple[int, float]:
-    """Total (messages, words) ``task`` puts on the network."""
+    """Total (messages, words) ``task`` puts on the network.
+
+    Reads the words baked into each :class:`BcastSpec` / reduce payload,
+    so it reports whatever block-volume model (dense or compact,
+    :mod:`repro.comm.volume`) the plan was built under.
+    """
     if isinstance(task, FusedTask):
         msgs, words = 0, 0.0
         for m in task.members:

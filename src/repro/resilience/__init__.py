@@ -20,17 +20,17 @@ checkpointing off, nothing attaches to the simulator and every ledger
 stays bit-for-bit identical to a fault-free run.
 """
 
+from repro.resilience.engine import (
+    ResilienceEngine,
+    execute_grid_plan_resilient,
+    execute_plan3d_resilient,
+)
 from repro.resilience.faults import (
     FAULT_KINDS,
     Fault,
     FaultInjector,
     FaultPlan,
     GridCrash,
-)
-from repro.resilience.engine import (
-    ResilienceEngine,
-    execute_grid_plan_resilient,
-    execute_plan3d_resilient,
 )
 from repro.resilience.stats import ResilienceStats
 

@@ -182,11 +182,13 @@ class FactorizationService:
         plan3 = build_3d_plan(solver.sf, solver.tf, grid3, opts,
                               backend=backend, merged=False,
                               accelerated=False, blocks_fn=blocks_fn)
+        from repro.comm.volume import volume_for
         bundle = PlanBundle(
             backend=backend, merged=False,
             grid_shape=(grid3.px, grid3.py, grid3.pz),
             accelerated=False, opts_key=plan_options_key(opts),
             blocks_fn=blocks_fn, plan3=plan3,
+            volume=volume_for(solver.sf, opts),
             build_seconds=time.perf_counter() - t0)
         return PlanEntry(key=key, sf=solver.sf, tf=solver.tf,
                          pattern=solver._pattern, bundle=bundle,

@@ -11,12 +11,12 @@ a matrix and a process-grid shape, ``factorize()``, ``solve(b)``, and read
 the metrics.
 """
 
-from repro.solve.triangular import backward_solve, forward_solve, \
-    transposed_solve
-from repro.solve.refine import RefinementResult, iterative_refinement
-from repro.solve.equilibrate import Equilibration, equilibrate
 from repro.solve.condest import condest, inverse_norm_est
 from repro.solve.driver import SparseLU3D
+from repro.solve.equilibrate import Equilibration, equilibrate
+from repro.solve.refine import RefinementResult, iterative_refinement
+from repro.solve.triangular import backward_solve, forward_solve, \
+    transposed_solve
 
 __all__ = [
     "Equilibration",

@@ -8,25 +8,25 @@ the supernodal factorization (:mod:`repro.sparse.blockmatrix`), and a small
 Matrix-Market-style reader/writer (:mod:`repro.sparse.io`).
 """
 
+from repro.sparse.blockmatrix import BlockLayout, BlockMatrix
 from repro.sparse.generators import (
     GridGeometry,
     circuit_like,
     delaunay_mesh_2d,
     grid2d_5pt,
     grid2d_9pt,
-    grid3d_7pt,
     grid3d_27pt,
+    grid3d_7pt,
     kkt_like,
     random_symmetric_pattern,
     thin_slab_7pt,
 )
+from repro.sparse.io import read_matrix_market, write_matrix_market
 from repro.sparse.pattern import (
     pattern_of,
     structural_symmetry,
     symmetrize_pattern,
 )
-from repro.sparse.blockmatrix import BlockMatrix, BlockLayout
-from repro.sparse.io import read_matrix_market, write_matrix_market
 
 __all__ = [
     "BlockLayout",

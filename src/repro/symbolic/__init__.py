@@ -13,6 +13,7 @@ The symbolic phase runs once per matrix and feeds everything downstream:
   load-balance heuristic (Section III-C).
 """
 
+from repro.symbolic.blocknnz import BlockNnzTables, block_nnz_tables
 from repro.symbolic.etree import elimination_tree, etree_heights, postorder
 from repro.symbolic.fill import block_fill
 from repro.symbolic.symbolic_factor import (
@@ -22,9 +23,11 @@ from repro.symbolic.symbolic_factor import (
 )
 
 __all__ = [
+    "BlockNnzTables",
     "NodeCosts",
     "SymbolicFactorization",
     "block_fill",
+    "block_nnz_tables",
     "elimination_tree",
     "etree_heights",
     "postorder",

@@ -10,12 +10,12 @@ baseline; :mod:`repro.tree.treeforest` is the resulting data structure with
 the grid-mapping queries Algorithm 1 needs.
 """
 
-from repro.tree.treeforest import TreeForest
 from repro.tree.partition import (
     critical_path_cost,
     greedy_partition,
     naive_partition,
 )
+from repro.tree.treeforest import TreeForest
 
 __all__ = [
     "TreeForest",

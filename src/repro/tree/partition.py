@@ -129,14 +129,14 @@ def _collect_subtrees(roots: list[int], kids: list[list[int]]) -> list[int]:
 
 def _build_forests(parent: np.ndarray, weights: np.ndarray, pz: int,
                    splitter) -> dict[tuple[int, int], list[int]]:
-    l = int(np.log2(pz))
+    nlev = int(np.log2(pz))
     kids = _children_lists(parent)
     sub = _subtree_weights(parent, weights)
     roots = sorted(np.flatnonzero(parent == -1).tolist())
     forests: dict[tuple[int, int], list[int]] = {}
 
     def recurse(forest_roots: list[int], q: int, b: int) -> None:
-        if q == l:
+        if q == nlev:
             forests[(q, b)] = _collect_subtrees(forest_roots, kids)
             return
         S, c1, c2 = splitter(forest_roots, parent, weights, sub, kids)

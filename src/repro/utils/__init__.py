@@ -1,12 +1,12 @@
 """Small shared utilities: validation, timing, deterministic RNG helpers."""
 
+from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_positive_int,
     check_power_of_two,
     check_square_sparse,
     is_power_of_two,
 )
-from repro.utils.timing import Timer
 
 __all__ = [
     "Timer",

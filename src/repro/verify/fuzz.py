@@ -291,21 +291,25 @@ def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
     from repro.lu3d.replication import ReplicaManager, replica_words_per_rank
     from repro.sparse.blockmatrix import BlockMatrix
 
+    from repro.comm.volume import volume_for
+
     opts = options or FactorOptions()
     mach = machine if machine is not None else Machine.edison_like()
     if backend == "cholesky" and numeric and matrix is None:
         import scipy.sparse as sp
         matrix = sp.tril(sf.A_perm).tocsr()
     blocks_fn = get_backend(backend).node_blocks
+    volume = volume_for(sf, opts)
 
     if merged:
         plan3 = build_3d_plan(sf, tf, grid3, opts, backend="lu",
                               merged=True)
-        charge = replica_words_per_rank(sf, tf, grid3)
+        charge = replica_words_per_rank(sf, tf, grid3, volume=volume)
     else:
         plan3 = build_3d_plan(sf, tf, grid3, opts, backend=backend,
                               merged=False, blocks_fn=blocks_fn)
-        charge = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn)
+        charge = replica_words_per_rank(sf, tf, grid3, blocks_fn=blocks_fn,
+                                        volume=volume)
     if compile:
         plan3 = compile_plan(plan3, sf, opts).plan
 
@@ -342,6 +346,7 @@ def fuzz_2d(sf, grid, *, backend: str = "lu", numeric: bool = False,
     """Fuzz a single-grid 2D plan (:func:`repro.lu2d.factor2d.factor_2d`
     setup: full node range, static factor storage charged up front).
     ``compile=True`` fuzzes the compiled (fused) form of the plan."""
+    from repro.comm.volume import volume_for
     from repro.lu2d.storage import allocate_factor_storage
     from repro.lu3d.factor3d import CostOnlyData, GlobalStoreData
     from repro.sparse.blockmatrix import BlockMatrix
@@ -355,7 +360,8 @@ def fuzz_2d(sf, grid, *, backend: str = "lu", numeric: bool = False,
 
     def setup():
         sim = Simulator(grid.size, mach)
-        allocate_factor_storage(sf, nodes, grid, sim)
+        allocate_factor_storage(sf, nodes, grid, sim,
+                                volume=volume_for(sf, opts))
         if not numeric:
             return sim, CostOnlyData(), None
         if backend == "cholesky":

@@ -4,6 +4,14 @@ Run from the repo root::
 
     PYTHONPATH=src:tests python tests/data/regen_golden.py
 
+Writes both ``golden_ledgers.json`` (dense word pricing — the original
+seed ledgers, never intentionally changed by refactors) and
+``golden_ledgers_compact.json`` (the same cases under the compact
+block-volume model, ``FactorOptions(compact_comm=True)`` — see
+:mod:`repro.comm.volume`). The numeric factor checksums are identical in
+both files: compact pricing changes the booked word counts, never the
+arithmetic.
+
 The JSON records, for a fixed set of small deterministic cases, every
 per-rank simulator ledger (exact floats — ``json`` round-trips ``repr``
 bit-for-bit) plus numeric factor checksums. ``tests/test_plan.py`` asserts
@@ -38,6 +46,7 @@ from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
 
 OUT = Path(__file__).resolve().parent / "golden_ledgers.json"
+OUT_COMPACT = Path(__file__).resolve().parent / "golden_ledgers_compact.json"
 
 #: Stored under the JSON key ``_readme`` so the data file documents its
 #: own provenance (tests access cases by name and never iterate keys).
@@ -85,17 +94,20 @@ def spd_setup(nx: int, leaf: int, pz: int):
     return sf, greedy_partition(sf, pz)
 
 
-def main() -> None:
+def main(compact: bool = False) -> None:
+    def O(**kw):
+        return FactorOptions(compact_comm=compact, **kw)
+
     cases: dict = {"_readme": README}
 
     # -- LU 2D baseline, four option points pinning the schedule variants --
     A, geom = grid2d_5pt(12)
     sf2 = symbolic_factorize(A, geom, leaf_size=16)
     for label, opts in (
-            ("default", FactorOptions()),
-            ("lookahead0", FactorOptions(lookahead=0)),
-            ("sparse_bcast", FactorOptions(sparse_bcast=True)),
-            ("unbatched", FactorOptions(batched_schur=False))):
+            ("default", O()),
+            ("lookahead0", O(lookahead=0)),
+            ("sparse_bcast", O(sparse_bcast=True)),
+            ("unbatched", O(batched_schur=False))):
         grid = ProcessGrid2D(2, 3)
         sim = Simulator(grid.size, Machine.edison_like())
         factor_2d(sf2, grid, sim, options=opts)
@@ -105,10 +117,10 @@ def main() -> None:
     sf, tf = planar_setup(14, 16, 4)
     grid3 = ProcessGrid3D(2, 2, 4)
     sim = Simulator(grid3.size, Machine.edison_like())
-    factor_3d(sf, tf, grid3, sim, numeric=False)
+    factor_3d(sf, tf, grid3, sim, numeric=False, options=O())
     cases["lu3d_pz4"] = ledger_dict(sim)
     sim_n = Simulator(grid3.size, Machine.edison_like())
-    res_n = factor_3d(sf, tf, grid3, sim_n, numeric=True)
+    res_n = factor_3d(sf, tf, grid3, sim_n, numeric=True, options=O())
     cases["lu3d_pz4_numeric"] = ledger_dict(sim_n)
     cases["lu3d_pz4_numeric"]["factor_checksum"] = factor_checksum(res_n)
 
@@ -118,25 +130,25 @@ def main() -> None:
     tfb = greedy_partition(sfb, 2)
     g3b = ProcessGrid3D(1, 2, 2)
     simb = Simulator(g3b.size, Machine.edison_like())
-    factor_3d(sfb, tfb, g3b, simb, numeric=False)
+    factor_3d(sfb, tfb, g3b, simb, numeric=False, options=O())
     cases["lu3d_brick_pz2"] = ledger_dict(simb)
 
     # -- merged-grid ancestors, pz=4 (cost-only + numeric) ----------------
     simm = Simulator(grid3.size, Machine.edison_like())
-    factor_3d_merged(sf, tf, grid3, simm)
+    factor_3d_merged(sf, tf, grid3, simm, options=O())
     cases["merged_pz4"] = ledger_dict(simm)
     simmn = Simulator(grid3.size, Machine.edison_like())
-    factor_3d_merged(sf, tf, grid3, simmn, numeric=True)
+    factor_3d_merged(sf, tf, grid3, simmn, numeric=True, options=O())
     cases["merged_pz4_numeric"] = ledger_dict(simmn)
 
     # -- Cholesky, SPD planar pz=2 (cost-only + numeric checksum) ---------
     sfs, tfs = spd_setup(14, 16, 2)
     g3s = ProcessGrid3D(2, 2, 2)
     sims = Simulator(g3s.size, Machine.edison_like())
-    factor_chol_3d(sfs, tfs, g3s, sims, numeric=False)
+    factor_chol_3d(sfs, tfs, g3s, sims, numeric=False, options=O())
     cases["chol_pz2"] = ledger_dict(sims)
     simsn = Simulator(g3s.size, Machine.edison_like())
-    ress = factor_chol_3d(sfs, tfs, g3s, simsn, numeric=True)
+    ress = factor_chol_3d(sfs, tfs, g3s, simsn, numeric=True, options=O())
     cases["chol_pz2_numeric"] = ledger_dict(simsn)
     cases["chol_pz2_numeric"]["factor_checksum"] = factor_checksum(ress)
 
@@ -145,18 +157,19 @@ def main() -> None:
     # checkpoint I/O charges, which nothing else in the suite freezes.
     crash = FaultPlan((Fault("crash", grid=2, level=1),))
     for label, opts in (
-            ("restart", FactorOptions(fault_plan=crash, checkpoint_every=20,
-                                      recovery="restart")),
-            ("zreplica", FactorOptions(fault_plan=crash,
-                                       recovery="z-replica"))):
+            ("restart", O(fault_plan=crash, checkpoint_every=20,
+                          recovery="restart")),
+            ("zreplica", O(fault_plan=crash, recovery="z-replica"))):
         simf = Simulator(grid3.size, Machine.edison_like())
         resf = factor_3d(sf, tf, grid3, simf, numeric=True, options=opts)
         case = cases[f"lu3d_pz4_fault_{label}"] = ledger_dict(simf)
         case["factor_checksum"] = factor_checksum(resf)
 
-    OUT.write_text(json.dumps(cases, indent=1) + "\n")
-    print(f"wrote {OUT} ({len(cases) - 1} cases)")
+    out = OUT_COMPACT if compact else OUT
+    out.write_text(json.dumps(cases, indent=1) + "\n")
+    print(f"wrote {out} ({len(cases) - 1} cases)")
 
 
 if __name__ == "__main__":
     main()
+    main(compact=True)

@@ -79,7 +79,7 @@ class TestFormatTable:
         assert "a" in lines[1] and "bbbb" in lines[1]
         assert set(lines[2].replace(" ", "")) == {"-"}
         # Right-aligned columns: all lines same width.
-        assert len({len(l) for l in lines[1:]}) == 1
+        assert len({len(ln) for ln in lines[1:]}) == 1
 
     def test_float_formatting(self):
         out = format_table(["x"], [[1.23456789]], floatfmt=".2f")

@@ -131,31 +131,31 @@ class TestVsLU:
         kw = dict(geometry=g, px=2, py=2, pz=pz, leaf_size=32)
         c = SparseCholesky3D(A, **kw)
         c.factorize()
-        l = SparseLU3D(A, **kw)
-        l.factorize()
-        return c, l
+        lu = SparseLU3D(A, **kw)
+        lu.factorize()
+        return c, lu
 
     def test_half_flops(self):
-        c, l = self._pair()
+        c, lu = self._pair()
         fc = sum(f.sum() for f in c.sim.flops.values())
-        fl = sum(f.sum() for f in l.sim.flops.values())
+        fl = sum(f.sum() for f in lu.sim.flops.values())
         assert fc == pytest.approx(fl / 2, rel=0.1)
 
     def test_half_reduction_volume(self):
-        c, l = self._pair()
+        c, lu = self._pair()
         assert c.comm_volume("red").sum() == pytest.approx(
-            l.comm_volume("red").sum() / 2, rel=0.1)
+            lu.comm_volume("red").sum() / 2, rel=0.1)
 
     def test_roughly_half_memory(self):
-        c, l = self._pair()
-        ratio = c.sim.mem_current.sum() / l.sim.mem_current.sum()
+        c, lu = self._pair()
+        ratio = c.sim.mem_current.sum() / lu.sim.mem_current.sum()
         assert 0.4 < ratio < 0.65
 
     def test_comparable_fact_volume(self):
         """Fan-out Cholesky broadcasts one panel twice where LU broadcasts
         two panels once each — volumes match to ~20%."""
-        c, l = self._pair()
-        ratio = c.comm_volume("fact").sum() / l.comm_volume("fact").sum()
+        c, lu = self._pair()
+        ratio = c.comm_volume("fact").sum() / lu.comm_volume("fact").sum()
         assert 0.8 < ratio < 1.25
 
     def test_same_3d_speedup_shape(self):

@@ -268,7 +268,11 @@ class TestShmTransport:
         assert {st.transport for st in pkl_levels} == {"pickle"}
         shm_bytes = sum(st.bytes_shipped for st in shm_levels)
         pkl_bytes = sum(st.bytes_shipped for st in pkl_levels)
-        assert 0 < shm_bytes < pkl_bytes / 10, \
+        # Compact mode packs the pickle payloads (index+value format), so
+        # the dense >= 10x descriptor advantage shrinks; it must still win.
+        from repro.comm.volume import volume_kind
+        margin = 10 if volume_kind(None) == "dense" else 2
+        assert 0 < shm_bytes < pkl_bytes / margin, \
             f"shm shipped {shm_bytes}B vs pickle {pkl_bytes}B"
         assert runs["shm"][0] == runs["pickle"][0]
         assert np.array_equal(runs["shm"][1], runs["pickle"][1])

@@ -9,10 +9,10 @@ from repro.experiments import (
     pz_sweep,
     run_configuration,
 )
-from repro.experiments.fig9 import headline_speedups, run_fig9
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig9 import headline_speedups, run_fig9
 from repro.experiments.table2 import fit_exponent
 from repro.experiments.table3 import run_table3, table3_text
 

@@ -152,7 +152,9 @@ class TestScheduleAccounting:
         grid = ProcessGrid2D(2, 2)
         sim = Simulator(4)
         factor_2d(sf, grid, sim)  # cost-only
-        expected = factor_words_per_rank(sf, range(sf.nb), grid, 4)
+        from repro.comm.volume import volume_for
+        expected = factor_words_per_rank(sf, range(sf.nb), grid, 4,
+                                         volume=volume_for(sf, None))
         # Peak >= static storage; current == static + no leaked buffers.
         assert (sim.mem_peak >= expected - 1e-9).all()
         assert np.allclose(sim.mem_current, expected)
@@ -161,7 +163,9 @@ class TestScheduleAccounting:
         A, geom = planar_small
         _, _, sim, sf = _factor_and_error(A, geom)
         grid = ProcessGrid2D(2, 2)
-        static = factor_words_per_rank(sf, range(sf.nb), grid, 4)
+        from repro.comm.volume import volume_for
+        static = factor_words_per_rank(sf, range(sf.nb), grid, 4,
+                                       volume=volume_for(sf, None))
         assert np.allclose(sim.mem_current, static)
 
 

@@ -146,9 +146,9 @@ class TestScheduleStructure:
         sim = SpySim(grid3.size)
         factor_3d(sf, tf, grid3, sim, numeric=False)
         allowed = set()
-        l = 3
-        for lvl in range(l, 0, -1):
-            half = 2 ** (l - lvl)
+        nlev = 3
+        for lvl in range(nlev, 0, -1):
+            half = 2 ** (nlev - lvl)
             for g in range(0, 8, 2 * half):
                 allowed.add((g + half, g))
         assert sim.pairs <= allowed
@@ -216,7 +216,9 @@ class TestReplication:
         grid3 = ProcessGrid3D(2, 2, 4)
         sim = Simulator(grid3.size)
         factor_3d(sf, tf, grid3, sim, numeric=False)
-        expected = replica_words_per_rank(sf, tf, grid3)
+        from repro.comm.volume import volume_for
+        expected = replica_words_per_rank(sf, tf, grid3,
+                                          volume=volume_for(sf, None))
         assert np.allclose(sim.mem_current, expected)
 
 

@@ -9,11 +9,12 @@ workers run the same kernels on copies of the same data).
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
+from repro.cholesky import factor_chol_3d
 from repro.comm import CommError, ProcessGrid2D, ProcessGrid3D, Simulator
 from repro.comm.collectives import reduce_pairwise
 from repro.comm.simulator import COMPUTE_KINDS, PHASES
-from repro.cholesky import factor_chol_3d
 from repro.lu2d.factor2d import FactorOptions
 from repro.lu3d import factor_3d
 from repro.lu3d.merged import factor_3d_merged
@@ -22,9 +23,6 @@ from repro.parallel.engine import ParallelExecutor, resolve_workers
 from repro.sparse import grid2d_5pt
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
-
-import scipy.sparse as sp
-
 
 PZ = 4
 

@@ -12,8 +12,8 @@ from repro.verify.oracle import ledger_state
 def stepping_pair():
     L, g = grid2d_5pt(14)
     n = L.shape[0]
-    I = sp.identity(n, format="csr")
-    return (I + 0.1 * L).tocsr(), (I + 0.7 * L).tocsr(), g, n
+    eye = sp.identity(n, format="csr")
+    return (eye + 0.1 * L).tocsr(), (eye + 0.7 * L).tocsr(), g, n
 
 
 class TestRefactorize:
@@ -91,12 +91,12 @@ class TestRefactorize:
         """A realistic sequence of refactorizations stays exact."""
         A1, _, g, n = stepping_pair
         L, _ = grid2d_5pt(14)
-        I = sp.identity(n, format="csr")
+        eye = sp.identity(n, format="csr")
         solver = SparseLU3D(A1, geometry=g, px=2, py=2, pz=2, leaf_size=24)
         solver.factorize()
         b = np.random.default_rng(5).random(n)
         for dt in (0.05, 0.2, 1.0):
-            A = (I + dt * L).tocsr()
+            A = (eye + dt * L).tocsr()
             solver.refactorize(A)
             x = solver.solve(b)
             assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-12

@@ -37,7 +37,6 @@ from repro.resilience import (
 from repro.sparse import grid2d_5pt
 from repro.sparse.blockmatrix import BlockMatrix
 from repro.symbolic import symbolic_factorize
-
 from tests.test_plan import (
     assert_matches_golden,
     ledger_dict,

@@ -104,7 +104,7 @@ class TestRendering:
         chart = trace.gantt(sim.nranks, width=50)
         lines = chart.splitlines()
         assert len(lines) == sim.nranks
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(ln) == len(lines[0]) for ln in lines)
         body = "".join(lines)
         assert "S" in body  # Schur updates visible
 

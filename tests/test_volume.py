@@ -1,0 +1,309 @@
+"""The block-volume model (:mod:`repro.comm.volume`) and its consumers.
+
+Pins the contract the comm-volume refactor rides on: dense pricing is the
+identity (so dense goldens stay bit-identical to the seed), compact
+pricing never exceeds dense per block — hence per phase and in total —
+and a compact run still passes the full verification stack (conservation
+oracle, order fuzzing, bit-identical factors, packed worker transport).
+Also covers the env/option mode resolution, the plan-bundle cross-mode
+guard, the ``words >= 0`` validation on :func:`reduce_pairwise`, the
+``words_per_rank(phase=...)`` filter, and closed-form-vs-per-event
+``bcast`` event accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import Machine, ProcessGrid2D, ProcessGrid3D, Simulator
+from repro.comm.collectives import bcast, reduce_pairwise
+from repro.comm.simulator import PHASES
+from repro.comm.volume import (
+    WORDS_PER_ENTRY,
+    CompactVolume,
+    DenseVolume,
+    compact_enabled,
+    volume_for,
+    volume_kind,
+)
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d import factor_3d
+from repro.parallel.shm import PackedBlock, pack_block, pack_view, unpack_view
+from repro.plan.replay import plan_options_key
+from repro.sparse import grid2d_5pt
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.blocknnz import block_nnz_tables
+from repro.tree import greedy_partition
+from repro.verify import check_conservation, fuzz_2d, fuzz_3d
+
+COMPACT = FactorOptions(compact_comm=True)
+
+
+def small_setup(nx=10, leaf=12, pz=2):
+    A, geom = grid2d_5pt(nx)
+    sf = symbolic_factorize(A, geom, leaf_size=leaf)
+    return sf, greedy_partition(sf, pz)
+
+
+def run_3d(sf, tf, pz, options=None, numeric=True):
+    grid3 = ProcessGrid3D(2, 2, pz)
+    sim = Simulator(grid3.size, Machine.edison_like())
+    res = factor_3d(sf, tf, grid3, sim, numeric=numeric, options=options)
+    return sim, res
+
+
+# -- the pricing model itself ----------------------------------------------
+
+
+class TestVolumeModel:
+    def test_dense_cap_is_identity(self):
+        v = DenseVolume()
+        assert v.kind == "dense"
+        for w in (0.0, 1.0, 17.0, 4096.0):
+            assert v.cap(3, 5, w) == w
+
+    def test_compact_never_exceeds_dense(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPACT", raising=False)
+        sf, _ = small_setup()
+        v = CompactVolume(sf)
+        assert v.kind == "compact"
+        sizes = sf.layout.sizes()
+        for (i, j), nnz in v.tables.nnz.items():
+            dense = float(sizes[i] * sizes[j])
+            w = v.cap(i, j, dense)
+            assert 0.0 <= w <= dense
+            assert w <= WORDS_PER_ENTRY * nnz + 1e-9
+
+    def test_compact_triangular_diag_uses_tri_nnz(self):
+        sf, _ = small_setup()
+        v = CompactVolume(sf)
+        for i in range(sf.nb):
+            s = sf.layout.block_size(i)
+            tri_dense = s * (s + 1) / 2.0
+            w = v.cap(i, i, tri_dense)
+            assert w <= tri_dense
+            assert w <= WORDS_PER_ENTRY * float(v.tables.tri[i]) + 1e-9
+            # The full tile's price uses the full diag-block nnz instead.
+            assert v.cap(i, i, float(s * s)) >= w
+
+    def test_nnz_tables_sanity_and_memoized(self):
+        sf, _ = small_setup()
+        t1 = block_nnz_tables(sf)
+        assert block_nnz_tables(sf) is t1   # cached on sf
+        # The fill pattern is a superset of A's own block pattern.
+        A = sf.A_perm.tocoo()
+        bi = sf.layout.block_of_index(A.row)
+        bj = sf.layout.block_of_index(A.col)
+        for i, j in zip(bi.tolist(), bj.tolist()):
+            assert t1.block_nnz(i, j) > 0
+        n = sf.A_perm.shape[0]
+        for i in range(sf.nb):
+            s = sf.layout.block_size(i)
+            assert 0 < t1.tri[i] <= t1.block_nnz(i, i) <= s * s
+        assert t1.total >= sf.A_perm.nnz
+        assert t1.total <= n * n
+
+    def test_mode_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPACT", raising=False)
+        assert volume_kind(None) == "dense"
+        assert volume_kind(FactorOptions()) == "dense"
+        assert volume_kind(COMPACT) == "compact"
+        # Env forces compact even with options off...
+        monkeypatch.setenv("REPRO_COMPACT", "1")
+        assert compact_enabled(FactorOptions()) is True
+        assert volume_kind(None) == "compact"
+        # ...and forces dense even with options on.
+        monkeypatch.setenv("REPRO_COMPACT", "0")
+        assert compact_enabled(COMPACT) is False
+        sf, _ = small_setup(8, 8, 1)
+        assert isinstance(volume_for(sf, COMPACT), DenseVolume)
+        monkeypatch.setenv("REPRO_COMPACT", "yes")
+        assert isinstance(volume_for(sf, None), CompactVolume)
+
+
+# -- end-to-end: compact runs against the verify stack ---------------------
+
+
+class TestCompactRuns:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        # Neutralize any REPRO_COMPACT override: this class compares the
+        # two modes directly, so each run must honor its own options.
+        with pytest.MonkeyPatch.context() as mp:
+            mp.delenv("REPRO_COMPACT", raising=False)
+            sf, tf = small_setup(12, 16, 2)
+            dense = run_3d(sf, tf, 2, options=FactorOptions())
+            compact = run_3d(sf, tf, 2, options=COMPACT)
+        return dense, compact
+
+    def test_factors_bit_identical_across_modes(self, pair):
+        (_, rd), (_, rc) = pair
+        Fd = rd.factors().to_dense()
+        Fc = rc.factors().to_dense()
+        assert np.array_equal(Fd, Fc)   # pricing never touches numerics
+
+    def test_compact_words_never_exceed_dense_per_phase(self, pair):
+        (simd, _), (simc, _) = pair
+        total_d = total_c = 0.0
+        for p in PHASES:
+            wd = simd.words_per_rank(phase=p).sum()
+            wc = simc.words_per_rank(phase=p).sum()
+            assert wc <= wd + 1e-9, f"phase {p}: compact exceeded dense"
+            total_d += wd
+            total_c += wc
+        assert total_c < total_d   # strictly cheaper on a filled problem
+
+    def test_compact_conserves(self, pair):
+        _, (simc, rc) = pair
+        check_conservation(simc, rc.plan)   # raises on any imbalance
+
+    def test_fuzz_3d_compact_ok(self):
+        sf, tf = small_setup(10, 12, 2)
+        grid3 = ProcessGrid3D(2, 2, 2)
+        rep = fuzz_3d(sf, tf, grid3, numeric=True, n_orders=6, seed=3,
+                      options=COMPACT)
+        assert rep.ok, rep.summary()
+
+    def test_fuzz_2d_compact_ok(self):
+        A, geom = grid2d_5pt(10)
+        sf = symbolic_factorize(A, geom, leaf_size=12)
+        rep = fuzz_2d(sf, ProcessGrid2D(2, 2), numeric=True, n_orders=6,
+                      seed=3, options=COMPACT)
+        assert rep.ok, rep.summary()
+
+
+# -- plan replay: mode is part of the cache key ----------------------------
+
+
+class TestBundleModeGuard:
+    def test_options_key_carries_volume_kind(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPACT", raising=False)
+        kd = plan_options_key(FactorOptions())
+        kc = plan_options_key(COMPACT)
+        assert kd[-1] == "dense" and kc[-1] == "compact"
+        assert kd != kc
+
+    def test_cross_mode_replay_refused(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPACT", raising=False)
+        sf, tf = small_setup(10, 12, 2)
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False,
+                        options=FactorOptions())
+        sim2 = Simulator(grid3.size, Machine.edison_like())
+        with pytest.raises(ValueError, match="options"):
+            factor_3d(sf, tf, grid3, sim2, numeric=False, options=COMPACT,
+                      cached=res.bundle)
+
+    def test_same_mode_replay_accepted(self):
+        sf, tf = small_setup(10, 12, 2)
+        grid3 = ProcessGrid3D(2, 2, 2)
+        sim = Simulator(grid3.size, Machine.edison_like())
+        res = factor_3d(sf, tf, grid3, sim, numeric=False, options=COMPACT)
+        sim2 = Simulator(grid3.size, Machine.edison_like())
+        factor_3d(sf, tf, grid3, sim2, numeric=False, options=COMPACT,
+                  cached=res.bundle)
+        assert np.array_equal(sim.clock, sim2.clock)
+
+
+# -- packed worker transport ------------------------------------------------
+
+
+class TestPackedTransport:
+    def test_pack_roundtrip_exact(self):
+        rng = np.random.default_rng(0)
+        a = np.zeros((9, 7))
+        mask = rng.random(a.shape) < 0.2
+        a[mask] = rng.standard_normal(int(mask.sum()))
+        a[0, 0] = -2.25
+        p = pack_block(a)
+        assert isinstance(p, PackedBlock)
+        assert np.array_equal(p.unpack(), a)
+        assert p.idx.dtype == np.int32
+
+    def test_dense_blocks_stay_dense(self):
+        a = np.arange(1.0, 21.0).reshape(4, 5)   # fully dense
+        assert pack_block(a) is a
+        # At the 2/3 break-even density (12*6 >= 8*9): keep dense.
+        b = np.zeros((3, 3))
+        b.ravel()[:6] = 1.0
+        assert pack_block(b) is b
+
+    def test_view_roundtrip(self):
+        view = {(0, 0): np.eye(8), (1, 0): np.ones((4, 8)),
+                "meta": "untouched"}
+        packed = pack_view(view)
+        assert isinstance(packed[(0, 0)], PackedBlock)   # sparse: packed
+        assert packed[(1, 0)] is view[(1, 0)]            # dense: kept
+        assert packed["meta"] == "untouched"
+        back = unpack_view(packed)
+        assert np.array_equal(back[(0, 0)], view[(0, 0)])
+
+    def test_compact_worker_fanout_matches_serial(self):
+        sf, tf = small_setup(12, 16, 2)
+        opts_serial = FactorOptions(compact_comm=True)
+        opts_workers = FactorOptions(compact_comm=True, n_workers=2,
+                                     parallel_backend="serial",
+                                     shm_transport=False)
+        sim1, r1 = run_3d(sf, tf, 2, options=opts_serial)
+        sim2, r2 = run_3d(sf, tf, 2, options=opts_workers)
+        assert np.array_equal(r1.factors().to_dense(),
+                              r2.factors().to_dense())
+        assert np.array_equal(sim1.clock, sim2.clock)
+        assert np.array_equal(sim1.words_per_rank(), sim2.words_per_rank())
+
+
+# -- satellite: collectives validation -------------------------------------
+
+
+class TestCollectiveValidation:
+    def test_reduce_pairwise_rejects_negative_words(self):
+        sim = Simulator(4, Machine.edison_like())
+        with pytest.raises(ValueError, match="non-negative"):
+            reduce_pairwise(sim, 0, 1, -1.0)
+        # Nothing was booked before the validation fired.
+        assert sim.event_counts.get("send", 0) == 0
+
+    def test_bcast_rejects_negative_words(self):
+        sim = Simulator(4, Machine.edison_like())
+        with pytest.raises(ValueError, match="non-negative"):
+            bcast(sim, 0, [0, 1, 2], -4.0)
+
+
+# -- satellite: simulator phase filtering + bcast parity --------------------
+
+
+class TestSimulatorAccounting:
+    def test_words_per_rank_phase_filter(self):
+        sim = Simulator(4, Machine.edison_like())
+        sim.set_phase("fact")
+        sim.send(0, 1, 100.0)
+        sim.recv(1, 0)
+        sim.set_phase("red")
+        sim.send(2, 3, 7.0)
+        sim.recv(3, 2)
+        fact = sim.words_per_rank(phase="fact")
+        red = sim.words_per_rank(phase="red")
+        assert fact.tolist() == [100.0, 100.0, 0.0, 0.0]
+        assert red.tolist() == [0.0, 0.0, 7.0, 7.0]
+        per_phase = sum(sim.words_per_rank(phase=p) for p in PHASES)
+        assert np.array_equal(per_phase, sim.words_per_rank())
+        msgs = sum(sim.msgs_per_rank(phase=p) for p in PHASES)
+        assert np.array_equal(msgs, sim.msgs_per_rank())
+
+    def test_bcast_closed_form_matches_per_event_counts(self):
+        class NullTrace:
+            def record(self, *a, **kw):
+                pass
+
+        m = Machine.edison_like()
+        fast = Simulator(8, m)                    # closed-form eligible
+        slow = Simulator(8, m, trace=NullTrace())  # forces per-event path
+        ranks = list(range(8))
+        for s in (fast, slow):
+            bcast(s, 2, ranks, 64.0)
+        assert dict(fast.event_counts) == dict(slow.event_counts)
+        assert np.array_equal(fast.words_per_rank(), slow.words_per_rank())
+        assert np.array_equal(fast.msgs_per_rank(), slow.msgs_per_rank())
+        assert np.allclose(fast.clock, slow.clock)
