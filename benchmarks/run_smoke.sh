@@ -45,10 +45,16 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_service.py \
 # regime where dense buffers overstate volume the most.
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_comm_volume.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Autotune gate: the ledger-validated search must pick a configuration
+# whose measured cost-only total words beat the naive near-square Pz=1
+# grid (>= 1.3x on the non-planar zoo case; planar must not lose), with
+# every validated candidate carrying a predicted-vs-measured pair.
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_autotune.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 # Verifier self-test gate (cheap): deleting a dependency edge from a real
 # plan MUST trip the static race detector — proves the analyzer guarding
 # the whole suite (tests/conftest.py installs it on every plan build) is
 # not vacuously green.
 python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, compact volume <= dense with >= 1.5x non-planar cut, race detector armed"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, compact volume <= dense with >= 1.5x non-planar cut, autotuned grid >= 1.3x vs naive non-planar, race detector armed"

@@ -161,4 +161,5 @@ def format_compile_summary(compiled,
 
 #: Which compute-kind ledger a task kind's flops land in.
 _FLOP_KIND = {"panel_factor": "diag", "panel_bcast": "panel",
-              "schur_update": "schur", "ancestor_reduce": "reduce_add"}
+              "schur_update": "schur", "replicated_factor": "schur",
+              "ancestor_reduce": "reduce_add"}

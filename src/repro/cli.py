@@ -5,12 +5,15 @@ Commands
 ``generate``  write a synthetic test matrix (Matrix Market format);
 ``solve``     factor a matrix and solve against a right-hand side;
 ``sweep``     run the Fig. 9-style Pz sweep and print the trade-off table;
-``suggest``   auto-tune the process-grid shape for a matrix;
+``suggest``   analytic grid-shape recommendation (separator exponent);
+``tune``      ledger-validated (Px, Py, Pz, c) configuration search;
 ``report``    regenerate every paper table/figure (EXPERIMENTS.md data).
 
 Matrices read from ``.mtx`` files have no lattice geometry attached, so
 ordering falls back to general-graph nested dissection unless ``--grid``
-re-supplies the lattice shape ("64", "64,48" or "16,16,8").
+re-supplies the lattice shape ("64", "64,48" or "16,16,8"). ``solve``
+additionally accepts ``--grid auto``: the process-grid shape is chosen by
+the ledger-validated tuner (``repro tune``) instead of ``--px/--py/--pz``.
 """
 
 from __future__ import annotations
@@ -59,7 +62,9 @@ __all__ = ["main"]
 
 
 def _parse_grid(spec: str | None, n: int) -> GridGeometry | None:
-    if spec is None:
+    if spec is None or spec == "auto":
+        # "auto" is a process-grid directive (handled by cmd_solve), not
+        # a lattice shape; ordering falls back to general-graph ND.
         return None
     dims = tuple(int(t) for t in spec.split(","))
     geom = GridGeometry(dims, "cli")
@@ -95,6 +100,8 @@ def cmd_generate(args) -> int:
 
 def cmd_solve(args) -> int:
     A, geom = _load(args)
+    if args.grid == "auto":
+        _auto_grid(args, A)
     if args.cholesky:
         from repro.cholesky import SparseCholesky3D as Solver
     else:
@@ -167,6 +174,28 @@ def cmd_solve(args) -> int:
         np.savetxt(args.x_out, x)
         print(f"solution written to {args.x_out}")
     return 0 if res < args.tol else 1
+
+
+def _auto_grid(args, A) -> None:
+    """``--grid auto``: replace --px/--py/--pz with the tuner's choice.
+
+    Total ranks come from --P (or the --px/--py/--pz product when that
+    is non-trivial). Numeric solves adopt only the grid *shape* — the
+    2.5D replication factor is a cost-only study, so a tuned ``c > 1``
+    is reported but not applied.
+    """
+    from repro.tune import TuneCache, autotune_grid
+    P = args.P if args.P else max(args.px * args.py * args.pz, 16)
+    cache = TuneCache(args.tune_cache) if args.tune_cache else None
+    tr = autotune_grid(A, P, leaf_size=args.leaf_size,
+                       budget=args.tune_budget, cache=cache)
+    ch = tr.chosen
+    args.px, args.py, args.pz = ch.px, ch.py, ch.pz
+    note = f" (tuned c={ch.c} applies to cost-only runs)" if ch.c > 1 else ""
+    print(f"auto grid: {ch.label} after {tr.evaluations} simulator runs "
+          f"(sigma={tr.sigma:.2f}, {tr.classification}; "
+          f"{tr.measured_improvement:.2f}x measured words vs naive "
+          f"{tr.baseline.candidate.label}){note}")
 
 
 def _solve_steps(args, L, geom, opts) -> int:
@@ -256,6 +285,34 @@ def cmd_suggest(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    """Ledger-validated configuration search (Section IV models seeded by
+    the measured separator exponent, validated by cost-only plans)."""
+    from repro.tune import TuneCache, autotune_grid
+    A, geom = _load(args)
+    cache = TuneCache(args.cache) if args.cache else None
+    c_values = None if args.c is None \
+        else tuple(int(t) for t in args.c.split(","))
+    res = autotune_grid(A, args.P, geometry=geom,
+                        leaf_size=args.leaf_size, c_values=c_values,
+                        budget=args.budget, cache=cache)
+    print(res.summary())
+    rows = []
+    for r in res.candidates[:args.top]:
+        rows.append([r.candidate.label,
+                     "yes" if r.candidate.executable else "model-only",
+                     f"{r.predicted_words:.3g}",
+                     f"{r.measured_words:.4g}" if r.validated else "-",
+                     f"{r.model_error:.2f}" if r.model_error else "-"])
+    print(format_table(
+        ["grid", "executable", "predicted", "measured W/rank", "model err"],
+        rows, title=f"top {min(args.top, len(res.candidates))} of "
+                    f"{len(res.candidates)} candidates"))
+    if cache is not None:
+        print(f"result cached in {args.cache} ({len(cache)} entries)")
+    return 0
+
+
 def cmd_report(args) -> int:
     """Regenerate all paper tables/figures at the chosen scale."""
     from repro.experiments.fig9 import fig9_text, headline_speedups, run_fig9
@@ -319,6 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--px", type=int, default=1)
     s.add_argument("--py", type=int, default=1)
     s.add_argument("--pz", type=int, default=1)
+    s.add_argument("--P", type=int, default=0,
+                   help="total ranks for --grid auto (default: the "
+                        "--px/--py/--pz product, floored at 16)")
+    s.add_argument("--tune-cache", default=None,
+                   help="JSON tuning-cache path consulted/updated by "
+                        "--grid auto")
+    s.add_argument("--tune-budget", type=int, default=6,
+                   help="simulator-run budget for --grid auto")
     s.add_argument("--rhs", choices=("ones", "random"), default="ones")
     s.add_argument("--seed", type=int, default=0,
                    help="RNG seed for --rhs random")
@@ -382,6 +447,22 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--pz", default="1,2,4,8,16",
                    help="comma-separated Pz values")
     w.set_defaults(fn=cmd_sweep)
+
+    tu = sub.add_parser("tune",
+                        help="ledger-validated (Px,Py,Pz,c) grid search")
+    common(tu)
+    tu.add_argument("--P", type=int, default=96,
+                    help="total simulated ranks to factor over")
+    tu.add_argument("--budget", type=int, default=8,
+                    help="max cost-only simulator runs (baseline included)")
+    tu.add_argument("--c", default=None,
+                    help="comma list of 2.5D replication factors to try "
+                         "(default: all powers of two up to each Pz)")
+    tu.add_argument("--top", type=int, default=10,
+                    help="rows to print in the candidate table")
+    tu.add_argument("--cache", default=None,
+                    help="JSON tuning-cache path to consult and update")
+    tu.set_defaults(fn=cmd_tune)
 
     t = sub.add_parser("suggest", help="auto-tune the grid shape")
     common(t)

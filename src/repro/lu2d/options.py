@@ -94,6 +94,18 @@ class FactorOptions:
         are unaffected — only the booked word counts (and the worker
         transport's wire format) change. The ``REPRO_COMPACT`` environment
         variable overrides the flag either way (``1``/``0``).
+    ancestor_replication:
+        2.5D replication factor ``c`` for the dense common-ancestor levels
+        (paper Section VII / Solomonik-Demmel). ``1`` (default) keeps
+        Algorithm 1's schedule: each ancestor forest is factored by its
+        home grid's 2D engine alone. ``c > 1`` factors each ancestor
+        forest as one aggregate 2.5D sweep over ``min(c, 2^{l-q})`` of
+        its replication range's grids — per-rank level volume drops from
+        ``D/sqrt(Pxy)`` to ``D/(c*sqrt(Pxy))`` at ``c``-fold panel
+        traffic. ``c = Pz`` reproduces the legacy ``lu3d.dense25`` cost
+        study. A first-order *cost model*: ``c > 1`` requires cost-only
+        runs (``numeric=False``, no resilience) on the standard
+        (non-merged) LU driver.
     """
 
     lookahead: int = 8
@@ -110,8 +122,11 @@ class FactorOptions:
     checkpoint_every: int = 0
     recovery: str = "restart"
     compact_comm: bool = False
+    ancestor_replication: int = 1
 
     def __post_init__(self):
+        if self.ancestor_replication < 1:
+            raise ValueError("ancestor_replication must be >= 1")
         if self.lookahead < 0:
             raise ValueError("lookahead must be non-negative")
         if self.pivot_eps <= 0:

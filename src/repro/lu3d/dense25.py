@@ -21,31 +21,30 @@ engine; each ancestor level contributes aggregate compute and
 ring/z-replication communication events derived from the symbolic per-
 level totals. Use it to *compare schedules* (standard vs merged vs 2.5D),
 not to read absolute times.
+
+Since ``FactorOptions.ancestor_replication`` generalized the replication
+factor, this module is a thin compatibility wrapper:
+``factor_3d_dense25(...)`` is exactly ``factor_3d(...)`` with
+``ancestor_replication = Pz`` (every ancestor level replicated across its
+whole range). The plan builder emits the per-forest sweeps as
+:class:`~repro.plan.tasks.ReplicatedFactor` tasks, so the 2.5D schedule
+now flows through the same plan/verify/replay machinery as every other
+variant — with dense-mode ledgers bit-identical to the historical
+aggregate loop (pinned by ``tests/data/golden_ledgers_dense25.json``).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from dataclasses import replace
 
-from repro.comm.collectives import bcast, reduce_pairwise
 from repro.comm.grid import ProcessGrid3D
 from repro.comm.simulator import Simulator
-from repro.lu2d.factor2d import FactorOptions, factor_nodes_2d
-from repro.lu2d.storage import node_blocks
-from repro.lu3d.factor3d import Factor3DResult
-from repro.lu3d.replication import replica_words_per_rank
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d.factor3d import Factor3DResult, factor_3d
 from repro.symbolic.symbolic_factor import SymbolicFactorization
 from repro.tree.treeforest import TreeForest
 
 __all__ = ["factor_3d_dense25"]
-
-
-def _level_totals(sf: SymbolicFactorization, nodes: list[int]
-                  ) -> tuple[float, float, int]:
-    """(flops, factor words, block-column count) of a node list."""
-    flops = float(sf.costs.node_flops[nodes].sum()) if nodes else 0.0
-    words = float(sf.costs.factor_words[nodes].sum()) if nodes else 0.0
-    return flops, words, len(nodes)
 
 
 def factor_3d_dense25(sf: SymbolicFactorization, tf: TreeForest,
@@ -60,80 +59,6 @@ def factor_3d_dense25(sf: SymbolicFactorization, tf: TreeForest,
             "(Section VII); numeric execution uses factor_3d")
     if tf.pz != grid3.pz:
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
-    nlev = tf.l
-    opts = options or FactorOptions()
-    result = Factor3DResult(tf=tf)
-
-    if charge_storage:
-        from repro.comm.volume import volume_for
-        words = replica_words_per_rank(sf, tf, grid3,
-                                       volume=volume_for(sf, opts))
-        for r in np.flatnonzero(words):
-            sim.alloc(int(r), float(words[r]))
-
-    # Leaf level: the genuine per-block 2D engine, one forest per layer.
-    sim.set_phase("fact")
-    for g in range(tf.pz):
-        nodes = tf.forests[(nlev, g)]
-        if nodes:
-            r2d = factor_nodes_2d(sf, nodes, grid3.layer(g), sim,
-                                  data=None, options=opts)
-            result.schur_block_updates += r2d.schur_block_updates
-    result.per_level_makespan.append(sim.makespan)
-
-    # First reduction: as in Algorithm 1 (partial sums must still meet).
-    for lvl in range(nlev, 0, -1):
-        sim.set_phase("red")
-        half = 2 ** (nlev - lvl)
-        for gdst in range(0, tf.pz, 2 * half):
-            gsrc = gdst + half
-            for la in range(lvl - 1, -1, -1):
-                for s_node in tf.forest_of_grid(gdst, la):
-                    for i, j, w in node_blocks(sf, s_node):
-                        src_rank = grid3.layer(gsrc).owner(i, j)
-                        dst_rank = grid3.layer(gdst).owner(i, j)
-                        reduce_pairwise(sim, src_rank, dst_rank, float(w))
-                        result.reduction_messages += 1
-                        result.reduction_words += w
-
-        # 2.5D factorization of level lvl-1's forests, using the whole
-        # replication range of each forest.
-        sim.set_phase("fact")
-        q = lvl - 1
-        c = 2 ** (nlev - q)
-        for b in range(2 ** q):
-            nodes = tf.forests[(q, b)]
-            if not nodes:
-                continue
-            flops, words, ncols = _level_totals(sf, nodes)
-            ranks = []
-            for g in tf.grids_of_forest(q, b):
-                ranks.extend(grid3.layer(g).all_ranks())
-            nranks = len(ranks)
-            home = tf.home_grid(nodes[0])
-            # (1) replicate the level panel across the c layers: each home
-            # rank broadcasts its share along z.
-            pxy = grid3.pxy
-            share = words / pxy
-            for local in range(pxy):
-                z_ranks = [grid3.layer(g).base + local
-                           for g in tf.grids_of_forest(q, b)]
-                root = grid3.layer(home).base + local
-                bcast(sim, root, z_ranks, share)
-            # (2) the factorization sweep: flops spread over all ranks;
-            # per-rank volume D/(c*sqrt(Pxy)) moved in ~ncols ring steps.
-            per_rank_w = words / (c * np.sqrt(pxy))
-            steps = max(ncols, 1)
-            chunk = per_rank_w / steps
-            for step in range(steps):
-                for idx, r in enumerate(ranks):
-                    sim.send(r, ranks[(idx + 1) % nranks], chunk)
-                for idx, r in enumerate(ranks):
-                    sim.recv(r, ranks[(idx - 1) % nranks])
-            for r in ranks:
-                sim.compute(r, flops / nranks, "schur",
-                            n_block_updates=steps)
-        result.per_level_makespan.append(sim.makespan)
-
-    sim.set_phase("fact")
-    return result
+    opts = replace(options or FactorOptions(), ancestor_replication=tf.pz)
+    return factor_3d(sf, tf, grid3, sim, numeric=False, options=opts,
+                     charge_storage=charge_storage)

@@ -56,7 +56,11 @@ from repro.parallel.shm import (
 )
 from repro.plan.build import build_3d_plan
 from repro.plan.compile import compile_enabled, compile_plan
-from repro.plan.interpret import execute_grid_plan, execute_reduce
+from repro.plan.interpret import (
+    execute_grid_plan,
+    execute_reduce,
+    execute_replicated,
+)
 from repro.plan.replay import PlanBundle, plan_options_key
 from repro.plan.tasks import Plan3D
 from repro.sparse.blockmatrix import BlockMatrix
@@ -292,6 +296,17 @@ def factor_3d(sf: SymbolicFactorization, tf: TreeForest, grid3: ProcessGrid3D,
         raise ValueError(f"tree-forest pz={tf.pz} != grid pz={grid3.pz}")
     opts = options or FactorOptions()
     custom = factor_fn is not None
+    if opts.ancestor_replication > 1:
+        if numeric:
+            raise NotImplementedError(
+                "2.5D ancestor factorization is a first-order cost study "
+                "(Section VII); numeric execution uses factor_3d with "
+                "ancestor_replication=1")
+        if opts.resilience_active():
+            raise ValueError(
+                "ancestor_replication > 1 emits aggregate cost sweeps with "
+                "no per-task recovery boundaries; resilience requires "
+                "ancestor_replication=1")
     if cached is not None:
         if custom:
             raise ValueError(
@@ -455,6 +470,8 @@ def _execute_plan3d(plan3: Plan3D, sf, sim: Simulator,
                                                 options=opts, grid=grid)
                     _absorb_2d(result, r2d)
                     data.mark_executed_inline(gp)
+            for rep in step.replicated:
+                execute_replicated(rep, sim)
 
             if step.level > 0:
                 sim.set_phase("red")

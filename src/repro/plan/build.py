@@ -30,10 +30,12 @@ from repro.lu2d.options import FactorOptions
 from repro.plan.backends import BuildContext, get_backend
 from repro.plan.tasks import (
     AncestorReduce,
+    BcastSpec,
     GridPlan,
     LevelBarrier,
     LevelStep,
     Plan3D,
+    ReplicatedFactor,
 )
 
 __all__ = ["TidCounter", "build_grid_plan", "build_3d_plan", "sink_tids",
@@ -182,6 +184,16 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
             else node_blocks
     from repro.comm.volume import volume_for
     volume = volume_for(sf, opts)
+    creplication = opts.ancestor_replication
+    if creplication > 1 and (merged or backend != "lu"):
+        raise ValueError(
+            "ancestor_replication > 1 (2.5D ancestor sweeps) requires the "
+            "standard LU driver; the merged-grid variant and other "
+            f"backends keep c=1 (got merged={merged}, backend={backend!r})")
+    if creplication > tf.pz:
+        raise ValueError(
+            f"ancestor_replication={creplication} exceeds the replication "
+            f"group supply Pz={tf.pz} (need c <= Pz)")
     nlev = tf.l
     counter = TidCounter()
     prev_barrier: int | None = None
@@ -189,6 +201,43 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
 
     for lvl in range(nlev, -1, -1):
         width = 2 ** (nlev - lvl)
+        c_lvl = min(creplication, width)
+        if c_lvl > 1:
+            replicated = _build_replicated_level(
+                sf, tf, grid3, blocks_fn, counter, lvl, c_lvl,
+                prev_barrier, volume)
+            sinks = {}
+            for task in replicated:
+                for g in tf.grids_of_forest(lvl, task.forest):
+                    sinks.setdefault(g, []).append(task.tid)
+
+            def _dep_on(*gids, _sinks=sinks) -> tuple[int, ...]:
+                deps = tuple(t for gid in gids for t in _sinks.get(gid, ()))
+                if not deps and prev_barrier is not None:
+                    deps = (prev_barrier,)
+                return deps
+
+            reduces = []
+            if lvl > 0:
+                for g in range(0, tf.pz, 2 * width):
+                    src = g + width
+                    red = _build_standard_reduce(
+                        sf, tf, grid3, blocks_fn, counter,
+                        deps=_dep_on(g, src), dst_grid=g, src_grid=src,
+                        below_level=lvl, volume=volume)
+                    if red is not None:
+                        reduces.append(red)
+            barrier_deps = tuple(t.tid for t in replicated) \
+                + tuple(r.tid for r in reduces)
+            if not barrier_deps and prev_barrier is not None:
+                barrier_deps = (prev_barrier,)
+            barrier = LevelBarrier(tid=counter.next(), deps=barrier_deps,
+                                   level=lvl)
+            prev_barrier = barrier.tid
+            levels.append(LevelStep(level=lvl, grid_plans=[],
+                                    reduces=reduces, barrier=barrier,
+                                    replicated=replicated))
+            continue
         if merged:
             work = [(bidx, nodes, _merged_grid(grid3, bidx * width, width))
                     for bidx in range(2 ** lvl)
@@ -254,6 +303,60 @@ def build_3d_plan(sf, tf, grid3: ProcessGrid3D,
     if POST_BUILD_HOOK is not None:
         POST_BUILD_HOOK(plan, sf)
     return plan
+
+
+def _build_replicated_level(sf, tf, grid3, blocks_fn, counter, lvl: int,
+                            c_lvl: int, prev_barrier: int | None,
+                            volume) -> list[ReplicatedFactor]:
+    """Emit level ``lvl``'s forests as aggregate 2.5D sweeps (Section VII).
+
+    One :class:`ReplicatedFactor` per non-empty forest, in forest order —
+    the legacy ``lu3d.dense25`` loop's order. Aggregate flops come from
+    the symbolic per-node totals exactly as that loop computed them
+    (numpy sums, so dense-mode ledgers stay bit-identical); the moved
+    words are re-priced per block through the volume model when it is not
+    the dense identity.
+    """
+    pxy = grid3.pxy
+    dense_kind = getattr(volume, "kind", "dense") == "dense"
+    tasks: list[ReplicatedFactor] = []
+    deps = (prev_barrier,) if prev_barrier is not None else ()
+    for b in range(2 ** lvl):
+        nodes = tf.forests[(lvl, b)]
+        if not nodes:
+            continue
+        flops = float(sf.costs.node_flops[nodes].sum())
+        words = float(sf.costs.factor_words[nodes].sum())
+        if not dense_kind:
+            words = 0.0
+            for v in nodes:
+                for i, j, w in blocks_fn(sf, int(v)):
+                    words += volume.cap(i, j, float(w))
+        ncols = len(nodes)
+        rng = list(tf.grids_of_forest(lvl, b))
+        home = tf.home_grid(int(nodes[0]))
+        group = rng[:c_lvl]
+        if home not in group:
+            group = sorted(rng[:c_lvl - 1] + [home])
+        ranks: list[int] = []
+        for g in group:
+            ranks.extend(grid3.layer(g).all_ranks())
+        share = words / pxy
+        bcasts = tuple(
+            BcastSpec(root=grid3.layer(home).base + local,
+                      ranks=tuple(grid3.layer(g).base + local
+                                  for g in group),
+                      words=share)
+            for local in range(pxy))
+        per_rank_w = words / (c_lvl * np.sqrt(pxy))
+        steps = max(ncols, 1)
+        tasks.append(ReplicatedFactor(
+            tid=counter.next(), deps=deps, level=lvl, forest=b,
+            nodes=tuple(int(v) for v in nodes), home=home,
+            grids=tuple(group), ranks=tuple(ranks), bcasts=bcasts,
+            steps=steps, chunk=per_rank_w / steps, flops=flops,
+            words=words))
+    return tasks
 
 
 def _ancestor_blocks(sf, tf, blocks_fn, grid_for_forests: int,

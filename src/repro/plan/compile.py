@@ -135,7 +135,8 @@ def compile_plan(plan, sf, options=None) -> CompiledPlan:
                    for gp in step.grid_plans]
             levels.append(LevelStep(level=step.level, grid_plans=gps,
                                     reduces=list(step.reduces),
-                                    barrier=step.barrier))
+                                    barrier=step.barrier,
+                                    replicated=list(step.replicated)))
         new_plan = Plan3D(backend=plan.backend, merged=plan.merged,
                           levels=levels)
         _remap_plan3d(new_plan, tid_map)
@@ -326,6 +327,7 @@ def _remap_plan3d(plan: Plan3D, tid_map) -> None:
             if gp.tasks:
                 _remap_tasks(gp.tasks, tid_map)
         _remap_tasks(step.reduces, tid_map)
+        _remap_tasks(step.replicated, tid_map)
         deps = _remap_deps(step.barrier.deps, tid_map)
         if deps is not step.barrier.deps:
             step.barrier = dataclasses.replace(step.barrier, deps=deps)

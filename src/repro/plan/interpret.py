@@ -33,11 +33,12 @@ from repro.plan.tasks import (
     GridPlan,
     PanelBcast,
     PanelFactor,
+    ReplicatedFactor,
     SchurUpdate,
 )
 
 __all__ = ["GridContext", "dispatch_task", "exec_fused", "execute_grid_plan",
-           "execute_reduce"]
+           "execute_reduce", "execute_replicated"]
 
 
 class _NullStore:
@@ -259,6 +260,31 @@ def execute_grid_plan(plan: GridPlan, sf, sim: Simulator, data=None,
     if ctx.fill_total > 0:
         ctx.result.batch_fill_ratio = ctx.fill_used / ctx.fill_total
     return ctx.result
+
+
+def execute_replicated(task: ReplicatedFactor, sim: Simulator) -> None:
+    """Execute one 2.5D ancestor sweep's aggregate cost events.
+
+    Replays the legacy ``lu3d.dense25`` loop's exact event order for one
+    forest: z-replication broadcasts of the level panel (one per (x, y)
+    position), then ``steps`` ring exchanges — all sends, then all
+    receives, per step — then the evenly-spread level flops, booked under
+    ``'schur'``. Cost-only by construction: there is no per-block numeric
+    content to execute.
+    """
+    for spec in task.bcasts:
+        bcast(sim, spec.root, list(spec.ranks), spec.words)
+    ranks = task.ranks
+    nranks = len(ranks)
+    chunk = task.chunk
+    for _step in range(task.steps):
+        for idx, r in enumerate(ranks):
+            sim.send(r, ranks[(idx + 1) % nranks], chunk)
+        for idx, r in enumerate(ranks):
+            sim.recv(r, ranks[(idx - 1) % nranks])
+    flops_each = task.flops / nranks
+    for r in ranks:
+        sim.compute(r, flops_each, "schur", n_block_updates=task.steps)
 
 
 def execute_reduce(task: AncestorReduce, sim: Simulator, result,

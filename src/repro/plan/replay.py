@@ -55,7 +55,7 @@ def plan_options_key(options) -> tuple:
     from repro.comm.volume import volume_kind
     return (options.lookahead, options.sparse_bcast, options.batched_schur,
             options.batch_min_pairs, options.track_buffers,
-            volume_kind(options))
+            volume_kind(options), options.ancestor_replication)
 
 
 @dataclass
@@ -131,7 +131,7 @@ class PlanBundle:
                 "cached plan was built with different plan-relevant "
                 f"options {self.opts_key} (lookahead, sparse_bcast, "
                 "batched_schur, batch_min_pairs, track_buffers, "
-                "volume kind); got "
+                "volume kind, ancestor_replication); got "
                 f"{plan_options_key(options)}")
 
     # -- memoized lazy products -------------------------------------------

@@ -1,7 +1,8 @@
 """Typed task graph for the factorization drivers.
 
-A *plan* is an explicit DAG of five task kinds — ``PanelFactor``,
-``PanelBcast``, ``SchurUpdate``, ``AncestorReduce`` and ``LevelBarrier`` —
+A *plan* is an explicit DAG of six task kinds — ``PanelFactor``,
+``PanelBcast``, ``SchurUpdate``, ``ReplicatedFactor``, ``AncestorReduce``
+and ``LevelBarrier`` —
 emitted once by a builder that walks the :class:`SymbolicFactorization`
 and :class:`TreeForest` (:mod:`repro.plan.build`), and executed by a
 single shared interpreter against a pluggable kernel backend
@@ -31,9 +32,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["BcastSpec", "Task", "PanelFactor", "PanelBcast", "SchurUpdate",
-           "AncestorReduce", "LevelBarrier", "FusedTask", "FusedSchurPayload",
-           "PanelSegment", "GridPlan", "LevelStep", "Plan3D", "task_comm",
-           "task_flops"]
+           "ReplicatedFactor", "AncestorReduce", "LevelBarrier", "FusedTask",
+           "FusedSchurPayload", "PanelSegment", "GridPlan", "LevelStep",
+           "Plan3D", "task_comm", "task_flops"]
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,42 @@ class SchurUpdate(Task):
     flops: float
 
     kind = "schur_update"
+
+
+@dataclass(frozen=True, kw_only=True)
+class ReplicatedFactor(Task):
+    """One ancestor forest's aggregate 2.5D factorization sweep.
+
+    Emitted by :func:`repro.plan.build.build_3d_plan` when
+    ``FactorOptions.ancestor_replication > 1``: instead of the home grid's
+    per-block 2D plan, forest ``forest`` at tree level ``level`` is
+    factored by ``len(grids)``-way replication over its range's z-layers
+    (paper Section VII / Solomonik-Demmel 2.5D dense LU). A first-order
+    cost model — no per-block schedule, so cost-only execution only.
+
+    ``bcasts`` replicate the level panel from the home layer along z
+    (one :class:`BcastSpec` per (x, y) position); the factorization sweep
+    then moves ``chunk`` words per rank per ring step for ``steps`` steps
+    around ``ranks`` (ascending, ring order) and spreads ``flops`` evenly
+    over them. ``words`` is the volume-priced level total the chunks were
+    derived from (reporting only). ``nodes`` records which tree nodes the
+    sweep factors — the verify stack derives the task's block-access
+    footprint from their fill panels.
+    """
+
+    level: int
+    forest: int
+    nodes: tuple[int, ...]
+    home: int
+    grids: tuple[int, ...]
+    ranks: tuple[int, ...]
+    bcasts: tuple[BcastSpec, ...]
+    steps: int
+    chunk: float
+    flops: float
+    words: float
+
+    kind = "replicated_factor"
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -261,6 +298,17 @@ def task_comm(task: Task) -> tuple[int, float]:
             msgs += m
             words += w
         return msgs, words
+    if isinstance(task, ReplicatedFactor):
+        msgs, words = 0, 0.0
+        for spec in task.bcasts:
+            m, w = _bcast_comm(spec)
+            msgs += m
+            words += w
+        nranks = len(task.ranks)
+        if nranks > 1:  # a one-rank ring is a self-message: free
+            msgs += task.steps * nranks
+            words += task.steps * nranks * task.chunk
+        return msgs, words
     if isinstance(task, AncestorReduce):
         # Self-messages (src == dst) are free in the simulator — a local
         # pointer pass — so they don't count as network traffic here
@@ -290,6 +338,10 @@ def task_flops(task: Task) -> tuple[str, float]:
     if isinstance(task, PanelBcast):
         return "panel", task.flops
     if isinstance(task, SchurUpdate):
+        return "schur", task.flops
+    if isinstance(task, ReplicatedFactor):
+        # The aggregate sweep books the whole level under 'schur' (the
+        # dominant kernel), exactly as the legacy dense25 loop did.
         return "schur", task.flops
     if isinstance(task, AncestorReduce):
         if task.ops is not None:
@@ -329,13 +381,18 @@ class GridPlan:
 
 @dataclass
 class LevelStep:
-    """One level of Algorithm 1: independent grid plans, then reductions,
-    then the barrier."""
+    """One level of Algorithm 1: independent grid plans (or, under 2.5D
+    ancestor replication, :class:`ReplicatedFactor` sweeps), then
+    reductions, then the barrier."""
 
     level: int
     grid_plans: list[GridPlan]
     reduces: list[AncestorReduce]
     barrier: LevelBarrier
+    #: Aggregate 2.5D forest sweeps replacing this level's grid plans when
+    #: ``FactorOptions.ancestor_replication > 1`` (empty otherwise — a
+    #: level is either all grid plans or all replicated sweeps).
+    replicated: list = field(default_factory=list)
 
 
 @dataclass
@@ -350,6 +407,7 @@ class Plan3D:
         for step in self.levels:
             for gp in step.grid_plans:
                 yield from gp.tasks
+            yield from step.replicated
             yield from step.reduces
             yield step.barrier
 

@@ -62,6 +62,9 @@ class JobResult:
     solve_seconds: float
     makespan: float
     solver: object
+    #: Label of the auto-adopted tuned grid (``None`` when the job ran
+    #: on the requested/default configuration).
+    tuned_grid: str | None = None
 
 
 class FactorizationService:
@@ -87,11 +90,15 @@ class FactorizationService:
                  max_workers: int = 4, leaf_size: int = 64,
                  nd_method: str = "bfs", max_block: int | None = 256,
                  partition: str = "greedy", relax: int = 0,
-                 geometry=None, numeric: bool = True):
+                 geometry=None, numeric: bool = True, tune_cache=None):
         if backend not in ("lu", "cholesky"):
             raise ValueError(f"unknown backend {backend!r}")
         self.machine = machine or Machine.edison_like()
         self.cache = PlanCache(capacity)
+        #: Optional :class:`repro.tune.cache.TuneCache`: jobs that do not
+        #: pin their own grid auto-adopt the tuned configuration stored
+        #: for their sparsity pattern (see :meth:`_adopt_tuned`).
+        self.tune_cache = tune_cache
         self._defaults = dict(
             backend=backend, px=px, py=py, pz=pz, leaf_size=leaf_size,
             nd_method=nd_method, max_block=max_block, partition=partition,
@@ -115,7 +122,8 @@ class FactorizationService:
         if bad:
             raise TypeError(f"unknown job option(s): {sorted(bad)}")
         cfg = dict(self._defaults, **overrides)
-        return self._pool.submit(self._run_job, A, b, cfg)
+        return self._pool.submit(self._run_job, A, b, cfg,
+                                 frozenset(overrides))
 
     def solve(self, A: sp.spmatrix, b: np.ndarray | None = None,
               **overrides) -> JobResult:
@@ -194,7 +202,34 @@ class FactorizationService:
                          pattern=solver._pattern, bundle=bundle,
                          build_seconds=0.0)
 
-    def _run_job(self, A, b, cfg) -> JobResult:
+    def _adopt_tuned(self, A, cfg, explicit: frozenset) -> str | None:
+        """Overlay the tuning cache's configuration for this pattern.
+
+        Only fields the caller did not pin are overridden: an explicit
+        ``px``/``py``/``pz`` (or an explicit ``pz`` alone) always wins,
+        and the 2.5D replication factor is adopted only for cost-only
+        jobs (``ancestor_replication > 1`` has no numeric path). Returns
+        the adopted grid's label, or ``None``.
+        """
+        if self.tune_cache is None or {"px", "py", "pz"} & explicit:
+            return None
+        from repro.service.cache import pattern_fingerprint
+        tuned = self.tune_cache.get_by_fingerprint(pattern_fingerprint(A))
+        if tuned is None:
+            return None
+        ch = tuned.chosen
+        cfg["px"], cfg["py"], cfg["pz"] = ch.px, ch.py, ch.pz
+        if ch.max_block is not None and "max_block" not in explicit:
+            cfg["max_block"] = ch.max_block
+        if ch.c > 1 and not cfg["numeric"] and "options" not in explicit:
+            from dataclasses import replace
+            cfg["options"] = replace(cfg["options"],
+                                     ancestor_replication=ch.c)
+        return ch.label
+
+    def _run_job(self, A, b, cfg, explicit: frozenset = frozenset()
+                 ) -> JobResult:
+        tuned_grid = self._adopt_tuned(A, cfg, explicit)
         key = cache_key(A, (cfg["px"], cfg["py"], cfg["pz"]),
                         cfg["backend"], cfg["options"],
                         leaf_size=cfg["leaf_size"],
@@ -226,4 +261,5 @@ class FactorizationService:
             x=x, residual=residual, cache_hit=hit, fingerprint=key[0],
             build_seconds=0.0 if hit else entry.build_seconds,
             factor_seconds=t1 - t0, solve_seconds=t2 - t1,
-            makespan=solver.sim.makespan, solver=solver)
+            makespan=solver.sim.makespan, solver=solver,
+            tuned_grid=tuned_grid)

@@ -4,10 +4,21 @@ The paper's evaluation shows the best ``P_XY × P_z`` depends on the
 matrix's geometry class: planar problems want depth (large ``Pz``,
 Eq. 8), strongly 3D problems want a moderate ``Pz`` (Section IV-C's
 constant optimum), and in-between matrices (the paper's ldoor) sit in
-between. :func:`repro.tune.suggest_grid` automates that choice by
-*measuring* the separator-growth exponent of the matrix's own dissection
-tree — the quantity that actually separates the two regimes — and mapping
-it onto the analytic optima.
+between. Two tiers automate that choice:
+
+* :func:`suggest_grid` — the analytic recommender: *measures* the
+  separator-growth exponent of the matrix's own dissection tree (the
+  quantity that actually separates the regimes) and maps it onto the
+  closed-form optima. Cheap, no simulation.
+* :func:`autotune_grid` — the ledger-validated search: enumerates every
+  divisor factorization of ``P`` crossed with the 2.5D ancestor-
+  replication factor (:mod:`repro.tune.space`), ranks candidates with
+  the sigma-seeded model (:mod:`repro.tune.evaluate`), validates the
+  leaders by executing real cost-only plans, and reports
+  predicted-vs-measured per candidate (:mod:`repro.tune.search`).
+  Results persist in a pattern-fingerprint-keyed JSON cache
+  (:mod:`repro.tune.cache`) that the factorization service consults to
+  auto-adopt tuned grids on warm requests.
 """
 
 from repro.tune.autotune import (
@@ -16,10 +27,36 @@ from repro.tune.autotune import (
     estimate_separator_exponent,
     suggest_grid,
 )
+from repro.tune.cache import TuneCache, tune_key
+from repro.tune.evaluate import (
+    CandidateResult,
+    Evaluator,
+    MatrixProfile,
+    predicted_words,
+)
+from repro.tune.search import TuneResult, autotune_grid
+from repro.tune.space import (
+    TuneCandidate,
+    divisors,
+    enumerate_candidates,
+    factor_triples,
+)
 
 __all__ = [
     "GridSuggestion",
     "classify_geometry",
     "estimate_separator_exponent",
     "suggest_grid",
+    "TuneCandidate",
+    "divisors",
+    "factor_triples",
+    "enumerate_candidates",
+    "MatrixProfile",
+    "CandidateResult",
+    "predicted_words",
+    "Evaluator",
+    "TuneResult",
+    "autotune_grid",
+    "TuneCache",
+    "tune_key",
 ]

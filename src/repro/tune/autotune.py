@@ -26,7 +26,7 @@ from repro.comm.grid import near_square_grid
 from repro.model.optimum import optimal_pz_nonplanar, optimal_pz_planar
 from repro.ordering.nested_dissection import DissectionTree, nested_dissection
 from repro.sparse.generators import GridGeometry
-from repro.utils import check_positive_int
+from repro.utils import check_positive_int, is_power_of_two
 
 __all__ = ["GridSuggestion", "classify_geometry",
            "estimate_separator_exponent", "suggest_grid"]
@@ -52,6 +52,19 @@ def estimate_separator_exponent(A: sp.spmatrix,
     the intermediate, ldoor-like band. The tree is built without a
     supernode cap so each internal node owns one whole separator.
     """
+    vals = _pointwise_exponents(A, geometry, leaf_size, min_region, tree)
+    if len(vals) < 3:
+        # Too small to estimate: a tiny problem; call it planar (any Pz
+        # works at this size anyway). suggest_grid surfaces this fallback
+        # in its rationale.
+        return 0.5
+    return float(np.median(vals))
+
+
+def _pointwise_exponents(A, geometry, leaf_size: int, min_region: int,
+                         tree: DissectionTree | None) -> list[float]:
+    """Per-branching-node ``log(sep)/log(region)`` samples (the estimator's
+    raw input; fewer than 3 triggers the planar fallback)."""
     if tree is None:
         tree = nested_dissection(A, geometry, leaf_size=leaf_size,
                                  max_block=None)
@@ -61,14 +74,9 @@ def estimate_separator_exponent(A: sp.spmatrix,
         p = int(tree.parent[v])
         if p != -1:
             region[p] += region[v]
-    vals = [np.log(node.size) / np.log(region[v])
+    return [np.log(node.size) / np.log(region[v])
             for v, node in enumerate(tree.nodes)
             if len(node.children) >= 2 and region[v] >= min_region]
-    if len(vals) < 3:
-        # Too small to estimate: a tiny problem; call it planar (any Pz
-        # works at this size anyway).
-        return 0.5
-    return float(np.median(vals))
 
 
 def classify_geometry(sigma: float) -> str:
@@ -84,7 +92,13 @@ def classify_geometry(sigma: float) -> str:
 
 @dataclass(frozen=True)
 class GridSuggestion:
-    """Recommended process-grid arrangement with its rationale."""
+    """Recommended process-grid arrangement with its rationale.
+
+    ``pz`` is the best *divisor* of ``P`` (an analytic recommendation —
+    e.g. ``Pz = 3`` on 12 ranks); Algorithm 1 itself needs a power-of-two
+    depth, so ``pz_pow2`` carries the nearest executable snap and
+    ``executable`` says whether they coincide.
+    """
 
     px: int
     py: int
@@ -92,6 +106,9 @@ class GridSuggestion:
     sigma: float
     classification: str
     rationale: str
+    #: Nearest power-of-two divisor of ``P`` to the analytic target — the
+    #: depth :class:`~repro.comm.grid.ProcessGrid3D` can actually run.
+    pz_pow2: int = 1
 
     @property
     def pxy(self) -> int:
@@ -101,19 +118,25 @@ class GridSuggestion:
     def total(self) -> int:
         return self.pxy * self.pz
 
+    @property
+    def executable(self) -> bool:
+        """Whether the recommended depth is directly runnable
+        (power-of-two ``Pz``)."""
+        return self.pz == self.pz_pow2
 
-def _snap_pz(target: float, P: int) -> int:
-    """Largest feasible power-of-two Pz nearest to ``target``.
 
-    Feasible = divides P and leaves at least one rank per layer.
+def _snap_pz(target: float, P: int, pow2_only: bool = False) -> int:
+    """Feasible Pz nearest to ``target`` in log2 distance.
+
+    Feasible = divides P (leaving at least one rank per layer). All
+    divisors are candidates — on ``P = 12`` ranks the analytic target may
+    be best served by ``Pz = 3`` or ``6``, which a power-of-two-only scan
+    can never suggest. ``pow2_only`` restricts to executable depths.
     """
-    candidates = []
-    pz = 1
-    while pz <= P:
-        if P % pz == 0:
-            candidates.append(pz)
-        pz *= 2
-    return min(candidates, key=lambda c: abs(np.log2(c) - np.log2(max(target, 1.0))))
+    candidates = [pz for pz in range(1, P + 1) if P % pz == 0
+                  and (not pow2_only or is_power_of_two(pz))]
+    return min(candidates,
+               key=lambda c: abs(np.log2(c) - np.log2(max(target, 1.0))))
 
 
 def suggest_grid(A: sp.spmatrix, P: int,
@@ -123,8 +146,9 @@ def suggest_grid(A: sp.spmatrix, P: int,
     """Recommend ``px x py x pz`` for factoring ``A`` on ``P`` ranks."""
     P = check_positive_int(P, "P")
     n = A.shape[0]
-    sigma = estimate_separator_exponent(A, geometry, leaf_size=leaf_size,
-                                        tree=tree)
+    samples = _pointwise_exponents(A, geometry, leaf_size, 64, tree)
+    fallback = len(samples) < 3
+    sigma = 0.5 if fallback else float(np.median(samples))
     cls = classify_geometry(sigma)
     if cls == "planar":
         target = optimal_pz_planar(max(n, 4), round_pow2=False)
@@ -141,7 +165,13 @@ def suggest_grid(A: sp.spmatrix, P: int,
         why = (f"sigma={sigma:.2f} (intermediate, ldoor-like): geometric "
                f"mean of the planar ({planar_t:.1f}) and non-planar "
                f"({nonpl_t:.1f}) optima")
+    if fallback:
+        why += (f"; sigma defaulted to 0.5 ({len(samples)} separator "
+                "sample(s), need 3)")
     pz = _snap_pz(target, P)
+    pz_pow2 = _snap_pz(target, P, pow2_only=True)
     px, py = near_square_grid(P // pz)
-    return GridSuggestion(px, py, pz, sigma, cls,
-                          why + f"; snapped to Pz={pz} dividing P={P}")
+    why += f"; snapped to Pz={pz} dividing P={P}"
+    if pz != pz_pow2:
+        why += f" (nearest executable power-of-two depth: Pz={pz_pow2})"
+    return GridSuggestion(px, py, pz, sigma, cls, why, pz_pow2=pz_pow2)

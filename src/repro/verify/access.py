@@ -34,11 +34,12 @@ only structural checks apply to them.
 from __future__ import annotations
 
 from repro.plan.tasks import AncestorReduce, FusedTask, PanelBcast, \
-    PanelFactor, SchurUpdate
+    PanelFactor, ReplicatedFactor, SchurUpdate
 
 __all__ = ["READ", "WRITE", "ACCUM", "GLOBAL_VIEW", "conflicts",
-           "grid_task_accesses", "reduce_accesses", "grid_task_ranks",
-           "reduce_ranks", "panel_buffer_ranks"]
+           "grid_task_accesses", "reduce_accesses", "replicated_accesses",
+           "grid_task_ranks", "reduce_ranks", "replicated_ranks",
+           "panel_buffer_ranks"]
 
 READ = "R"
 WRITE = "W"
@@ -117,6 +118,34 @@ def reduce_accesses(task: AncestorReduce) -> list[tuple[int, int, int, str]]:
     return out
 
 
+def replicated_accesses(sf, task: ReplicatedFactor) \
+        -> list[tuple[int, int, int, str]]:
+    """``(grid, i, j, mode)`` for a 2.5D aggregate ancestor sweep.
+
+    The sweep performs its forest's full per-node work — diagonal
+    factorization, panel solves, and the Schur accumulation into
+    shallower ancestors — on *every* grid of its replication group (each
+    holds a replica of the level data). Modes mirror the per-block tasks:
+    the forest's own blocks are written, the cross-product targets
+    accumulate. Intra-task repeats are internally ordered by construction,
+    exactly like a fused run's members.
+    """
+    out: list[tuple[int, int, int, str]] = []
+    for g in task.grids:
+        for k in task.nodes:
+            lp = [int(i) for i in sf.fill.lpanel[k]]
+            up = [int(j) for j in sf.fill.upanel[k]]
+            out.append((g, k, k, WRITE))
+            for i in lp:
+                out.append((g, i, k, WRITE))
+            for j in up:
+                out.append((g, k, j, WRITE))
+            for i in lp:
+                for j in up:
+                    out.append((g, i, j, ACCUM))
+    return out
+
+
 def grid_task_ranks(backend: str, sf, task, grid,
                     buffer_ranks: frozenset | None = None) -> set[int]:
     """Ranks a grid-plan task books simulator events on (a superset).
@@ -156,6 +185,17 @@ def reduce_ranks(task: AncestorReduce) -> set[int]:
             ranks.add(int(dst))
         return ranks
     return set(task.srcs.tolist()) | set(task.dsts.tolist())
+
+
+def replicated_ranks(task: ReplicatedFactor) -> set[int]:
+    """Ranks a 2.5D aggregate sweep books events on: the whole replication
+    group's layers plus every z-broadcast participant (a subset of the
+    group by construction, included defensively)."""
+    ranks = set(task.ranks)
+    for spec in task.bcasts:
+        ranks.add(spec.root)
+        ranks.update(spec.ranks)
+    return ranks
 
 
 def panel_buffer_ranks(plan) -> dict[int, frozenset]:

@@ -46,12 +46,14 @@ from repro.lu2d.options import FactorOptions
 from repro.plan.backends import get_backend
 from repro.plan.build import build_3d_plan, build_grid_plan
 from repro.plan.compile import compile_plan
-from repro.plan.interpret import GridContext, dispatch_task, execute_reduce
+from repro.plan.interpret import GridContext, dispatch_task, \
+    execute_reduce, execute_replicated
 from repro.plan.tasks import FusedTask, GridPlan, Plan3D
 from repro.verify.access import (
     grid_task_ranks,
     panel_buffer_ranks,
     reduce_ranks,
+    replicated_ranks,
 )
 from repro.verify.oracle import ledger_state
 
@@ -132,7 +134,8 @@ class _Unit:
 
     def __init__(self, kind, task, ctx_key=None, phase=PHASE_FACT,
                  ranks=frozenset()):
-        self.kind = kind          # 'grid' | 'reduce' | 'barrier'
+        self.kind = kind          # 'grid' | 'replicated' | 'reduce'
+        #                         # | 'barrier'
         self.task = task
         self.ctx_key = ctx_key    # which GridContext executes it
         self.phase = phase
@@ -165,6 +168,9 @@ def _plan3d_units(plan3: Plan3D, sf) -> tuple[list[_Unit], dict]:
                     buffer_ranks=_task_buffer_ranks(t, bufranks))
                 units.append(_Unit("grid", t, ctx_key=key,
                                    ranks=frozenset(ranks)))
+        for rep in step.replicated:
+            units.append(_Unit("replicated", rep,
+                               ranks=frozenset(replicated_ranks(rep))))
         for red in step.reduces:
             units.append(_Unit("reduce", red, phase=PHASE_RED,
                                ranks=frozenset(reduce_ranks(red))))
@@ -225,6 +231,8 @@ def _run_order(units, ctx_plans, order, setup, sf, opts):
         sim.set_phase(u.phase)
         if u.kind == "reduce":
             execute_reduce(u.task, sim, sink, accumulate=data.accumulate)
+        elif u.kind == "replicated":
+            execute_replicated(u.task, sim)
         else:
             ctx = contexts.get(u.ctx_key)
             if ctx is None:
@@ -294,6 +302,9 @@ def fuzz_3d(sf, tf, grid3, *, backend: str = "lu", merged: bool = False,
     from repro.comm.volume import volume_for
 
     opts = options or FactorOptions()
+    if numeric and opts.ancestor_replication > 1:
+        raise ValueError("ancestor_replication > 1 is a cost-only study; "
+                         "fuzz it with numeric=False")
     mach = machine if machine is not None else Machine.edison_like()
     if backend == "cholesky" and numeric and matrix is None:
         import scipy.sparse as sp

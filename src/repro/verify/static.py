@@ -52,6 +52,7 @@ from repro.plan.tasks import (
     PanelBcast,
     PanelFactor,
     Plan3D,
+    ReplicatedFactor,
     SchurUpdate,
 )
 from repro.verify.access import (
@@ -61,6 +62,7 @@ from repro.verify.access import (
     grid_task_ranks,
     reduce_accesses,
     reduce_ranks,
+    replicated_accesses,
 )
 
 __all__ = ["Issue", "StaticReport", "PlanVerificationError", "analyze_plan",
@@ -164,6 +166,8 @@ def _entries(plan) -> tuple[list[_Entry], bool]:
             for t in gp.tasks:
                 out.append(_Entry(t, len(out), view=view, grid=grid,
                                   backend=gp.backend, level_index=li))
+        for rep in step.replicated:
+            out.append(_Entry(rep, len(out), level_index=li))
         for red in step.reduces:
             out.append(_Entry(red, len(out), level_index=li, is_reduce=True))
         out.append(_Entry(step.barrier, len(out), level_index=li))
@@ -198,6 +202,42 @@ def _check_bcasts(entry: _Entry, add) -> None:
         if bad:
             add("rank-escape", f"task {task.tid}: bcast ranks {bad} "
                 f"outside grid span [{lo}, {hi})", (task.tid,))
+
+
+def _check_replicated(entry: _Entry, add) -> None:
+    """Structural checks for a 2.5D aggregate ancestor sweep.
+
+    The sweep spans several z-layers by design, so there is no single
+    grid span to contain it; instead its broadcasts must stay within the
+    recorded replication group's rank footprint, and the home layer must
+    be part of the group (it holds the authoritative level data the
+    z-broadcasts fan out from).
+    """
+    task = entry.task
+    if task.home not in task.grids:
+        add("malformed-bcast", f"task {task.tid}: home grid {task.home} "
+            "not in its replication group", (task.tid,))
+    if len(set(task.grids)) != len(task.grids):
+        add("malformed-bcast", f"task {task.tid}: duplicate grids in "
+            "replication group", (task.tid,))
+    rankset = set(task.ranks)
+    for spec in task.bcasts:
+        if spec.root not in spec.ranks:
+            add("malformed-bcast", f"task {task.tid}: bcast root "
+                f"{spec.root} not in its participant list", (task.tid,))
+        if len(set(spec.ranks)) != len(spec.ranks):
+            add("malformed-bcast", f"task {task.tid}: duplicate bcast "
+                "participants", (task.tid,))
+        if not spec.ranks:
+            add("malformed-bcast", f"task {task.tid}: empty bcast "
+                "participant list", (task.tid,))
+        if spec.words < 0:
+            add("malformed-bcast", f"task {task.tid}: negative bcast "
+                "payload", (task.tid,))
+        bad = [r for r in spec.ranks if r not in rankset]
+        if bad:
+            add("rank-escape", f"task {task.tid}: bcast ranks {bad} "
+                "outside the replication group's footprint", (task.tid,))
 
 
 def _check_reduce(entry: _Entry, merged: bool, add) -> None:
@@ -245,6 +285,12 @@ def _check_retired_sources(plan: Plan3D, add) -> None:
     again — not as an active grid, not as a reduce endpoint. This is the
     property :meth:`Plan3D.recovery_schedule` (and thereby z-replica crash
     recovery) is built on.
+
+    2.5D aggregate sweeps (``ancestor_replication > 1``) are the one
+    sanctioned exception: re-enlisting retired/idle layers as extra
+    replication bandwidth is exactly their point, so group membership is
+    exempt — but the *home* layer, whose replica seeds the z-broadcasts,
+    must still be live.
     """
     retired: set[int] = set()
     for step in plan.levels:
@@ -253,6 +299,11 @@ def _check_retired_sources(plan: Plan3D, add) -> None:
                 add("reduce-alias", f"level {step.level}: grid {gp.g} is "
                     "active after serving as a reduction source",
                     tuple(t.tid for t in gp.tasks[:1]))
+        for rep in step.replicated:
+            if rep.home in retired:
+                add("reduce-alias", f"level {step.level}: replicated "
+                    f"factor {rep.tid} homes on grid {rep.home}, already "
+                    "retired as a reduction source", (rep.tid,))
         for red in step.reduces:
             for role, g in (("source", red.src_grid),
                             ("destination", red.dst_grid)):
@@ -300,6 +351,8 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
             for m in t.members:
                 if isinstance(m, (PanelFactor, PanelBcast)):
                     _check_bcasts(_Entry(m, e.pos, grid=e.grid), add)
+        elif isinstance(t, ReplicatedFactor):
+            _check_replicated(e, add)
         elif isinstance(t, (PanelFactor, PanelBcast)):
             _check_bcasts(e, add)
     for e in entries:
@@ -344,6 +397,10 @@ def analyze_plan(plan, sf, *, max_race_tasks: int = 20000) -> StaticReport:
         t = e.task
         if e.is_reduce:
             for g, i, j, mode in reduce_accesses(t):
+                key = (("replica", g), i, j)
+                accesses.setdefault(key, []).append((e.pos, t.tid, mode))
+        elif isinstance(t, ReplicatedFactor):
+            for g, i, j, mode in replicated_accesses(sf, t):
                 key = (("replica", g), i, j)
                 accesses.setdefault(key, []).append((e.pos, t.tid, mode))
         elif isinstance(t, (PanelFactor, PanelBcast, SchurUpdate,

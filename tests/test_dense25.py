@@ -1,14 +1,22 @@
 """Tests for the 2.5D ancestor-level cost engine."""
 
+import json
+from dataclasses import replace
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.comm import Machine, ProcessGrid3D, Simulator
+from repro.comm.simulator import COMPUTE_KINDS, PHASES
+from repro.lu2d.options import FactorOptions
 from repro.lu3d import factor_3d
 from repro.lu3d.dense25 import factor_3d_dense25
-from repro.sparse import grid3d_7pt
+from repro.sparse import grid2d_5pt, grid3d_7pt
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
+
+GOLDEN = Path(__file__).parent / "data" / "golden_ledgers_dense25.json"
 
 
 def _setup(nx=10, pz=4, px=1, py=2):
@@ -76,3 +84,138 @@ class TestDense25:
         b = Simulator(grid3.size)
         factor_3d_dense25(sf, tf, grid3, b)
         assert np.allclose(a.clock, b.clock)
+
+
+def _ledger_dict(sim: Simulator) -> dict:
+    """Mirror of tests/data/regen_golden_dense25.py's serialization."""
+    out: dict = {"clock": sim.clock.tolist(),
+                 "mem_current": sim.mem_current.tolist(),
+                 "mem_peak": sim.mem_peak.tolist()}
+    for k in COMPUTE_KINDS:
+        out[f"flops:{k}"] = sim.flops[k].tolist()
+        out[f"t_compute:{k}"] = sim.t_compute[k].tolist()
+    for p in PHASES:
+        out[f"words_sent:{p}"] = sim.words_sent[p].tolist()
+        out[f"words_recv:{p}"] = sim.words_recv[p].tolist()
+        out[f"msgs_sent:{p}"] = sim.msgs_sent[p].tolist()
+        out[f"msgs_recv:{p}"] = sim.msgs_recv[p].tolist()
+    out["event_counts"] = {k: int(v) for k, v in sim.event_counts.items()}
+    return out
+
+
+class TestGoldenLedgers:
+    """The ancestor_replication=Pz path must reproduce the committed 2.5D
+    oracle ledgers bit-for-bit, in both block-volume modes."""
+
+    #: Must mirror tests/data/regen_golden_dense25.py::CASES.
+    CASES = (
+        ("d25_brick_pz4", grid3d_7pt, (10, 32, 4), (1, 2)),
+        ("d25_brick_pz2", grid3d_7pt, (8, 32, 2), (2, 2)),
+        ("d25_brick_pz8", grid3d_7pt, (12, 32, 8), (1, 2)),
+        ("d25_planar_pz4", grid2d_5pt, (14, 16, 4), (2, 2)),
+    )
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN.read_text())
+
+    @pytest.mark.parametrize("name,gen,shape,pxy", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_bit_identical(self, golden, name, gen, shape, pxy,
+                           monkeypatch):
+        # Each suffix pins its own volume mode; neutralize any
+        # REPRO_COMPACT override so both are exercised as recorded.
+        monkeypatch.delenv("REPRO_COMPACT", raising=False)
+        nx, leaf, pz = shape
+        A, g = gen(nx)
+        sf = symbolic_factorize(A, g, leaf_size=leaf)
+        tf = greedy_partition(sf, pz)
+        for suffix, opts in (("", FactorOptions()),
+                             ("_compact", FactorOptions(compact_comm=True))):
+            grid3 = ProcessGrid3D(*pxy, pz)
+            sim = Simulator(grid3.size, Machine.edison_like())
+            factor_3d(sf, tf, grid3, sim, numeric=False,
+                      options=replace(opts, ancestor_replication=pz))
+            assert _ledger_dict(sim) == golden[name + suffix], name + suffix
+
+
+class TestGeneralizedReplication:
+    """1 <= c <= Pz: c=1 is Algorithm 1, c=Pz the dense 2.5D sweep, and
+    intermediate factors must be priced, conserved and race-free."""
+
+    def test_c1_is_standard_path(self):
+        sf, tf, grid3 = _setup()
+        a = Simulator(grid3.size)
+        factor_3d(sf, tf, grid3, a, numeric=False)
+        b = Simulator(grid3.size)
+        factor_3d(sf, tf, grid3, b, numeric=False,
+                  options=FactorOptions(ancestor_replication=1))
+        assert _ledger_dict(a) == _ledger_dict(b)
+
+    def test_c_exceeding_pz_rejected(self):
+        sf, tf, grid3 = _setup(pz=2)
+        with pytest.raises(ValueError, match="ancestor_replication"):
+            factor_3d(sf, tf, grid3, Simulator(grid3.size), numeric=False,
+                      options=FactorOptions(ancestor_replication=4))
+
+    def test_numeric_rejected_for_replication(self):
+        sf, tf, grid3 = _setup()
+        with pytest.raises(NotImplementedError):
+            factor_3d(sf, tf, grid3, Simulator(grid3.size), numeric=True,
+                      options=FactorOptions(ancestor_replication=2))
+
+    @pytest.mark.parametrize("c", (2, 4))
+    @pytest.mark.parametrize("compact", (False, True),
+                             ids=("dense", "compact"))
+    def test_intermediate_c_passes_verify_stack(self, c, compact):
+        from repro.verify import analyze_plan, check_conservation, fuzz_3d
+        sf, tf, grid3 = _setup(nx=10, pz=8, px=1, py=2)
+        opts = FactorOptions(ancestor_replication=c, compact_comm=compact)
+        sim = Simulator(grid3.size)
+        res = factor_3d(sf, tf, grid3, sim, numeric=False, options=opts)
+        report = analyze_plan(res.plan, sf)
+        assert not report.issues, report.issues
+        check_conservation(sim)
+        fr = fuzz_3d(sf, tf, grid3, n_orders=3, numeric=False,
+                     options=opts, seed=5)
+        assert not fr.ledger_mismatches, fr
+
+    def test_numeric_fuzz_rejected_for_replication(self):
+        from repro.verify import fuzz_3d
+        sf, tf, grid3 = _setup(pz=4)
+        with pytest.raises(ValueError, match="cost-only"):
+            fuzz_3d(sf, tf, grid3, n_orders=1, numeric=True,
+                    options=FactorOptions(ancestor_replication=2))
+
+    def test_compile_preserves_replicated_tasks(self):
+        from repro.plan.compile import compile_plan
+        sf, tf, grid3 = _setup(nx=10, pz=8, px=1, py=2)
+        opts = FactorOptions(ancestor_replication=4)
+        sim = Simulator(grid3.size)
+        res = factor_3d(sf, tf, grid3, sim, numeric=False, options=opts)
+        n_rep = sum(len(s.replicated) for s in res.plan.levels)
+        assert n_rep > 0
+        compiled = compile_plan(res.plan, sf)
+        reps = [r for s in compiled.plan.levels for r in s.replicated]
+        assert len(reps) == n_rep
+        words = sum(r.words for s in res.plan.levels for r in s.replicated)
+        words_c = sum(r.words for r in reps)
+        assert words_c == words
+
+    def test_more_replication_shortens_critical_path(self):
+        """Section VII's trade: replicating ancestors spends extra total
+        words (c-way broadcast) to cut the critical path — makespan must
+        be non-increasing in c on a deep non-planar case."""
+        sf, tf, grid3 = _setup(nx=12, pz=8, px=1, py=2)
+        span, words = {}, {}
+        for c in (1, 2, 4, 8):
+            sim = Simulator(grid3.size, Machine.edison_like())
+            factor_3d(sf, tf, grid3, sim, numeric=False,
+                      options=FactorOptions(ancestor_replication=c))
+            span[c] = sim.makespan
+            words[c] = sim.total_words_sent()
+        assert span[2] <= span[1]
+        assert span[4] <= span[2]
+        assert span[8] <= span[4]
+        # ... and the words really are the price paid, not a free lunch.
+        assert words[8] >= words[1]

@@ -67,14 +67,45 @@ class TestClassify:
 
 class TestSuggestGrid:
     def test_always_feasible(self):
-        """Suggested grid must multiply to P with a power-of-two Pz."""
+        """Suggested grid must multiply to P; the executable snap must be
+        a power-of-two divisor of P."""
         for P in (16, 24, 96, 384, 7):
             A, g = grid2d_5pt(32)
             s = suggest_grid(A, P, geometry=g)
             assert s.total == P
-            assert is_power_of_two(s.pz)
             assert P % s.pz == 0
+            assert is_power_of_two(s.pz_pow2)
+            assert P % s.pz_pow2 == 0
+            assert s.executable == (s.pz == s.pz_pow2)
             assert s.px <= s.py
+
+    def test_divisor_pz_reachable_on_non_pow2_P(self):
+        """Satellite fix: on P=12 the old power-of-two-only snap could
+        never suggest Pz in {3, 6, 12}; the divisor scan can."""
+        from repro.tune.autotune import _snap_pz
+        assert _snap_pz(3.0, 12) == 3
+        assert _snap_pz(6.0, 12) == 6
+        assert _snap_pz(3.0, 12, pow2_only=True) in (2, 4)
+        # A planar matrix large enough to want depth ~3 on 12 ranks.
+        A, g = grid2d_5pt(64)
+        s = suggest_grid(A, 12, geometry=g)
+        assert s.pz in (1, 2, 3, 4, 6, 12)
+        assert is_power_of_two(s.pz_pow2)
+        if not s.executable:
+            assert f"Pz={s.pz_pow2}" in s.rationale
+
+    def test_sigma_fallback_surfaces_in_rationale(self):
+        """Satellite fix: tiny trees (<3 separator samples) silently fell
+        back to sigma=0.5; the rationale must now say so."""
+        A, g = grid2d_5pt(6)
+        s = suggest_grid(A, 8, geometry=g)
+        assert s.sigma == 0.5
+        assert s.classification == "planar"
+        assert "sigma defaulted to 0.5" in s.rationale
+        # A real-sized tree must NOT carry the fallback note.
+        A2, g2 = grid2d_5pt(48)
+        s2 = suggest_grid(A2, 8, geometry=g2)
+        assert "sigma defaulted" not in s2.rationale
 
     def test_planar_gets_deeper_grid_than_nonplanar(self):
         A2, g2 = grid2d_5pt(64)
@@ -111,7 +142,7 @@ class TestSuggestGrid:
         recs = pz_sweep(pm, 48, (1, 2, 4, 8, 16))
         times = {r.pz: r.metrics.makespan for r in recs}
         best_speedup = times[1] / min(times.values())
-        suggested_speedup = times[1] / times[s.pz]
+        suggested_speedup = times[1] / times[s.pz_pow2]
         assert suggested_speedup >= max(best_speedup / 2, 1.2)
 
     def test_p_validation(self):

@@ -181,7 +181,7 @@ class TestBundleModeGuard:
         monkeypatch.delenv("REPRO_COMPACT", raising=False)
         kd = plan_options_key(FactorOptions())
         kc = plan_options_key(COMPACT)
-        assert kd[-1] == "dense" and kc[-1] == "compact"
+        assert kd[-2] == "dense" and kc[-2] == "compact"
         assert kd != kc
 
     def test_cross_mode_replay_refused(self, monkeypatch):
