@@ -1,0 +1,174 @@
+"""Irregular vs uniform blocking ablation, recorded in ``BENCH_blocking.json``.
+
+Runs the structure-aware irregular blocking (:mod:`repro.symbolic.blocking`)
+against the uniform ``max_block`` cap on the workload-zoo matrices the
+source paper never tested — arrowhead, banded-with-dense-rows, power-law
+graph Laplacian, plus the circuit-like lattice as the friendly control —
+and records, per matrix:
+
+* total factor words under both blockings (the storage/traffic proxy the
+  uniform floor compares on);
+* end-to-end simulated 3D communication volume (cost-only ``factor_3d``
+  on a 2x2x2 grid) under both blockings;
+* the per-process comm volume at a fixed rank count P=8, as a flat 2D
+  grid (4x2x1) vs the 3D grid (2x2x2), under the irregular blocking —
+  the paper's headline Fig.-10 trade (subtree replication buys reduced
+  factorization traffic) reproduced on matrices outside its test set.
+
+Hard bars:
+
+* irregular factor words <= uniform on EVERY matrix (the floor makes
+  this a structural guarantee — a violation means the floor leaked);
+* irregular 3D comm volume <= uniform on the circuit-like and arrowhead
+  cases, and strictly better by >= MIN_COMM_WIN on at least two of the
+  adversarial matrices (arrowhead / banded / power-law);
+* at P=8 the 3D grid beats the flat 2D grid's per-process comm volume on
+  two paper-untested matrices (power-law, banded-dense-rows) by
+  >= MIN_3D_WIN, and on arrowhead the *absence* of a win is bounded: a
+  chain-shaped elimination tree (1D geometry, dense border eliminated
+  last) gives Pz-parallelism nothing to distribute, so 3D can at best
+  tie — the measured ratio is recorded in the JSON (``words_2d``/
+  ``words_3d`` per case) and asserted to stay within MAX_3D_LOSS of the
+  2D grid, honestly, not clamped.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import run_once, scale
+from repro.comm import ProcessGrid3D, Simulator
+from repro.lu2d.factor2d import FactorOptions
+from repro.lu3d import factor_3d
+from repro.sparse import (
+    arrowhead,
+    banded_dense_rows,
+    circuit_like,
+    power_law_laplacian,
+)
+from repro.symbolic import symbolic_factorize
+from repro.tree import greedy_partition
+
+#: Per-scale workloads: matrix sizes + blocking knobs.
+CONFIGS = {
+    "tiny": {"arrow_n": 192, "banded_n": 256, "plaw_n": 256,
+             "circuit_nx": 12, "leaf": 32, "max_block": 32},
+    "small": {"arrow_n": 512, "banded_n": 512, "plaw_n": 512,
+              "circuit_nx": 16, "leaf": 48, "max_block": 32},
+    "medium": {"arrow_n": 1024, "banded_n": 1024, "plaw_n": 1024,
+               "circuit_nx": 24, "leaf": 64, "max_block": 48},
+}
+#: Relative comm-volume win irregular must post on >= 2 adversarial cases.
+MIN_COMM_WIN = 0.01
+#: Relative comm-volume win the 3D grid must post over 2D (same P=8) on
+#: the paper-untested headline matrices (under irregular blocking).
+MIN_3D_WIN = 0.02
+#: Arrowhead's chain etree cannot profit from Pz: 3D must at worst tie
+#: 2D within this relative slack (measured: -0.1%).
+MAX_3D_LOSS = 0.02
+OUT = Path(__file__).resolve().parent.parent / "BENCH_blocking.json"
+
+
+def _comm_words(sf, px: int, py: int, pz: int) -> float:
+    """Per-process cost-only comm words on a Px x Py x Pz grid."""
+    tf = greedy_partition(sf, pz)
+    grid3 = ProcessGrid3D(px, py, pz)
+    sim = Simulator(grid3.size)
+    factor_3d(sf, tf, grid3, sim, numeric=False, options=FactorOptions())
+    return float(sim.words_per_rank().sum()) / grid3.size
+
+
+def _case(name: str, A, geom, leaf: int, max_block: int) -> dict:
+    sf_u = symbolic_factorize(A, geom, leaf_size=leaf, max_block=max_block)
+    sf_i = symbolic_factorize(A, geom, leaf_size=leaf, max_block=max_block,
+                              blocking="irregular")
+    words_u = sf_u.costs.total_words
+    words_i = sf_i.costs.total_words
+    assert words_i <= words_u, \
+        f"{name}: irregular factor words {words_i} > uniform {words_u} " \
+        "(the uniform floor leaked)"
+    comm_u = _comm_words(sf_u, 2, 2, 2)
+    comm_i = _comm_words(sf_i, 2, 2, 2)
+    comm_2d = _comm_words(sf_i, 4, 2, 1)  # same P=8, flat grid
+    return {
+        "matrix": name,
+        "n": int(A.shape[0]),
+        "nb_uniform": int(sf_u.nb),
+        "nb_irregular": int(sf_i.nb),
+        "blocking_info": {k: v for k, v in sf_i.blocking_info.items()},
+        "factor_words_uniform": words_u,
+        "factor_words_irregular": words_i,
+        "comm_words_uniform_3d": comm_u,
+        "comm_words_irregular_3d": comm_i,
+        "comm_win": round(1.0 - comm_i / comm_u, 4) if comm_u else 0.0,
+        "words_2d": comm_2d,
+        "words_3d": comm_i,
+        "win_3d_over_2d": round(1.0 - comm_i / comm_2d, 4) if comm_2d else 0.0,
+    }
+
+
+def test_irregular_blocking_ablation(benchmark):
+    sc = scale()
+    cfg = CONFIGS[sc]
+
+    def experiment():
+        A_a, g_a = arrowhead(cfg["arrow_n"], border=8)
+        A_b, g_b = banded_dense_rows(cfg["banded_n"], ndense=4, seed=0)
+        A_p = power_law_laplacian(cfg["plaw_n"], seed=0)[0]
+        A_c, g_c = circuit_like(cfg["circuit_nx"], seed=0)
+        leaf, mb = cfg["leaf"], cfg["max_block"]
+        return [
+            _case(f"arrowhead({cfg['arrow_n']})", A_a, g_a, leaf, mb),
+            _case(f"banded_dense_rows({cfg['banded_n']})", A_b, g_b,
+                  leaf, mb),
+            _case(f"power_law_laplacian({cfg['plaw_n']})", A_p, None,
+                  leaf, mb),
+            _case(f"circuit_like({cfg['circuit_nx']})", A_c, g_c, leaf, mb),
+        ]
+
+    cases = run_once(benchmark, experiment)
+    by_name = {c["matrix"].split("(")[0]: c for c in cases}
+
+    # Irregular never ships more than uniform on the gate matrices.
+    for key in ("circuit_like", "arrowhead"):
+        c = by_name[key]
+        assert c["comm_words_irregular_3d"] <= \
+            c["comm_words_uniform_3d"] + 1e-9, \
+            f"{c['matrix']}: irregular comm exceeds uniform"
+
+    # ...and posts a real win on >= 2 adversarial matrices.
+    adversarial = ["arrowhead", "banded_dense_rows", "power_law_laplacian"]
+    wins = [k for k in adversarial if by_name[k]["comm_win"] >= MIN_COMM_WIN]
+    assert len(wins) >= 2, \
+        f"irregular won >= {MIN_COMM_WIN:.0%} on only {wins} " \
+        f"(volumes: {[(k, by_name[k]['comm_win']) for k in adversarial]})"
+
+    # The paper's 3D-over-2D comm win, reproduced on untested matrices —
+    # and honestly bounded where the structure defeats it (arrowhead's
+    # chain etree: no subtree parallelism for Pz to exploit).
+    for key in ("power_law_laplacian", "banded_dense_rows"):
+        c = by_name[key]
+        assert c["win_3d_over_2d"] >= MIN_3D_WIN, \
+            f"{c['matrix']}: 3D beats 2D by only {c['win_3d_over_2d']:.1%}" \
+            f" (recorded in BENCH_blocking.json)"
+    arrow = by_name["arrowhead"]
+    assert arrow["win_3d_over_2d"] >= -MAX_3D_LOSS, \
+        f"arrowhead: 3D loses {-arrow['win_3d_over_2d']:.1%} to 2D, " \
+        f"beyond the {MAX_3D_LOSS:.0%} chain-etree bound"
+
+    record = {
+        "bench": "bench_irregular_blocking",
+        "scale": sc,
+        "threshold_comm_win": MIN_COMM_WIN,
+        "threshold_3d_win": MIN_3D_WIN,
+        "threshold_3d_loss_arrowhead": MAX_3D_LOSS,
+        "skipped": None,
+        "cases": cases,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    for c in cases:
+        print(f"{c['matrix']:>28}: comm uniform "
+              f"{c['comm_words_uniform_3d']:.3e} -> irregular "
+              f"{c['comm_words_irregular_3d']:.3e} "
+              f"({c['comm_win']:+.1%} win), 3D-over-2D "
+              f"{c['win_3d_over_2d']:+.1%}")

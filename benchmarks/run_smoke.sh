@@ -51,10 +51,17 @@ REPRO_SCALE=tiny python -m pytest benchmarks/bench_comm_volume.py \
 # every validated candidate carrying a predicted-vs-measured pair.
 REPRO_SCALE=tiny python -m pytest benchmarks/bench_autotune.py \
     --benchmark-only --benchmark-disable-gc -q -s
+# Blocking gate: the structure-aware irregular blocking must never ship
+# more comm words than the uniform cap on the circuit-like and arrowhead
+# matrices (the floor guarantee), must post a real win on >= 2 of the
+# adversarial generators, and the 3D-over-2D comm trade must hold (or be
+# honestly bounded, for arrowhead's chain etree) on the new workload zoo.
+REPRO_SCALE=tiny python -m pytest benchmarks/bench_irregular_blocking.py \
+    --benchmark-only --benchmark-disable-gc -q -s
 # Verifier self-test gate (cheap): deleting a dependency edge from a real
 # plan MUST trip the static race detector — proves the analyzer guarding
 # the whole suite (tests/conftest.py installs it on every plan build) is
 # not vacuously green.
 python -m pytest tests/test_verify.py -q -k mutation
 
-echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, compact volume <= dense with >= 1.5x non-planar cut, autotuned grid >= 1.3x vs naive non-planar, race detector armed"
+echo "smoke OK: batched kernel >= loop, parallel ledgers identical, resilience free when idle, fig9 green, compile pass >= 3x with identical ledgers, warm refactorize >= 2x with identical ledgers, compact volume <= dense with >= 1.5x non-planar cut, autotuned grid >= 1.3x vs naive non-planar, irregular blocking <= uniform comm with adversarial wins, race detector armed"

@@ -73,6 +73,11 @@ class SparseCholesky3D:
     def analyze(self) -> "SparseCholesky3D":
         tree = None
         if self._relax:
+            if self.options.blocking != "uniform":
+                raise ValueError(
+                    "relax > 0 is a uniform-blocking relaxation; it cannot "
+                    "be combined with blocking='irregular' (which runs its "
+                    "own similarity-gated amalgamation)")
             from repro.ordering import nested_dissection, relax_supernodes
             tree = relax_supernodes(
                 nested_dissection(self.A, self.geometry,
@@ -84,7 +89,8 @@ class SparseCholesky3D:
         self.sf = symbolic_factorize(self.A, self.geometry,
                                      leaf_size=self._leaf_size,
                                      method=self._nd_method,
-                                     max_block=self._max_block, tree=tree)
+                                     max_block=self._max_block, tree=tree,
+                                     blocking=self.options.blocking)
         part = greedy_partition if self._partition == "greedy" else naive_partition
         self.tf = part(self.sf, self.grid.pz)
         self._pattern = symmetrize_pattern(self.A, stored=True)

@@ -37,12 +37,15 @@ from repro.lu2d.factor2d import FactorOptions
 from repro.resilience import FaultPlan
 from repro.sparse import (
     GridGeometry,
+    arrowhead,
+    banded_dense_rows,
     circuit_like,
     grid2d_5pt,
     grid2d_9pt,
     grid3d_7pt,
     grid3d_27pt,
     kkt_like,
+    power_law_laplacian,
     read_matrix_market,
     thin_slab_7pt,
     write_matrix_market,
@@ -56,6 +59,9 @@ GENERATORS = {
     "thin_slab_7pt": thin_slab_7pt,
     "circuit": circuit_like,
     "kkt": kkt_like,
+    "arrowhead": arrowhead,
+    "banded_dense_rows": banded_dense_rows,
+    "powerlaw": power_law_laplacian,
 }
 
 __all__ = ["main"]
@@ -80,7 +86,7 @@ def _load(args) -> tuple:
 
 #: Generators whose structure is randomized (and accept a ``seed``); the
 #: lattice stencils are fully determined by their sizes.
-SEEDED_GENERATORS = ("circuit", "kkt")
+SEEDED_GENERATORS = ("circuit", "kkt", "banded_dense_rows", "powerlaw")
 
 
 def cmd_generate(args) -> int:
@@ -91,10 +97,14 @@ def cmd_generate(args) -> int:
     else:
         A, geom = gen(*sizes)
     write_matrix_market(args.out, A)
-    print(f"wrote {args.out}: n={A.shape[0]}, nnz={A.nnz}, "
-          f"lattice {'x'.join(map(str, geom.shape))}")
-    print(f"(pass --grid {','.join(map(str, geom.shape))} to later commands "
-          "to re-enable geometric ordering)")
+    if geom is not None:
+        print(f"wrote {args.out}: n={A.shape[0]}, nnz={A.nnz}, "
+              f"lattice {'x'.join(map(str, geom.shape))}")
+        print(f"(pass --grid {','.join(map(str, geom.shape))} to later "
+              "commands to re-enable geometric ordering)")
+    else:
+        print(f"wrote {args.out}: n={A.shape[0]}, nnz={A.nnz}, "
+              "no lattice geometry (general-graph ordering)")
     return 0
 
 
@@ -111,7 +121,8 @@ def cmd_solve(args) -> int:
                          checkpoint_every=args.checkpoint_every,
                          recovery=args.recovery,
                          compile_plan=not args.no_compile,
-                         compact_comm=args.compact)
+                         compact_comm=args.compact,
+                         blocking=args.blocking)
     if args.steps:
         return _solve_steps(args, A, geom, opts)
     solver = Solver(A, geometry=geom, px=args.px, py=args.py, pz=args.pz,
@@ -293,8 +304,10 @@ def cmd_tune(args) -> int:
     cache = TuneCache(args.cache) if args.cache else None
     c_values = None if args.c is None \
         else tuple(int(t) for t in args.c.split(","))
+    blockings = tuple(t.strip() for t in args.blocking.split(","))
     res = autotune_grid(A, args.P, geometry=geom,
                         leaf_size=args.leaf_size, c_values=c_values,
+                        blockings=blockings,
                         budget=args.budget, cache=cache)
     print(res.summary())
     rows = []
@@ -411,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "ledgers and factors are identical either way — "
                         "compilation only removes interpreter dispatch "
                         "overhead")
+    s.add_argument("--blocking", choices=("uniform", "irregular"),
+                   default="uniform",
+                   help="supernode-boundary strategy: 'uniform' caps "
+                        "blocks at equal widths; 'irregular' derives "
+                        "boundaries from the pattern (dense-row boundary "
+                        "snapping + similarity amalgamation, never more "
+                        "factor words than uniform)")
     s.add_argument("--compact", action="store_true",
                    help="price block messages and replica storage with the "
                         "sparsity-aware compact model (repro.comm.volume): "
@@ -458,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     tu.add_argument("--c", default=None,
                     help="comma list of 2.5D replication factors to try "
                          "(default: all powers of two up to each Pz)")
+    tu.add_argument("--blocking", default="uniform",
+                    help="comma list of blocking strategies to cross into "
+                         "the search space (uniform, irregular)")
     tu.add_argument("--top", type=int, default=10,
                     help="rows to print in the candidate table")
     tu.add_argument("--cache", default=None,

@@ -106,6 +106,15 @@ class FactorOptions:
         study. A first-order *cost model*: ``c > 1`` requires cost-only
         runs (``numeric=False``, no resilience) on the standard
         (non-merged) LU driver.
+    blocking:
+        Supernode-boundary strategy for the symbolic phase: ``'uniform'``
+        (the default — ``max_block``-capped equal chunks, SuperLU_DIST's
+        ``maxsup`` behaviour) or ``'irregular'`` (pattern-driven
+        boundaries from :mod:`repro.symbolic.blocking`: dense-row/
+        arrowhead boundary snapping + similarity-gated amalgamation,
+        floored by the uniform blocking so it never costs more words).
+        Part of the plan/service cache key: different blockings never
+        share a plan.
     """
 
     lookahead: int = 8
@@ -123,8 +132,12 @@ class FactorOptions:
     recovery: str = "restart"
     compact_comm: bool = False
     ancestor_replication: int = 1
+    blocking: str = "uniform"
 
     def __post_init__(self):
+        if self.blocking not in ("uniform", "irregular"):
+            raise ValueError(f"unknown blocking strategy {self.blocking!r}; "
+                             "expected 'uniform' or 'irregular'")
         if self.ancestor_replication < 1:
             raise ValueError("ancestor_replication must be >= 1")
         if self.lookahead < 0:

@@ -194,10 +194,13 @@ def repair_separator(adj: sp.csr_matrix, sep: np.ndarray, part_a: np.ndarray,
     if part_a.size == 0 or part_b.size == 0:
         return sep, part_a, part_b
     n = adj.shape[0]
-    in_b = np.zeros(n, dtype=np.int8)
+    in_b = np.zeros(n, dtype=np.int64)
     in_b[part_b] = 1
-    # One SpMV finds every part-A vertex with a part-B neighbor.
-    crossings = (adj[part_a].astype(np.int8) @ in_b) > 0
+    # One SpMV finds every part-A vertex with a part-B neighbor. The
+    # counts must accumulate in a wide dtype: an int8 sum wraps at 128
+    # crossing neighbors, silently *missing* near-dense rows (arrowhead
+    # borders, supply rails) and breaking the separation invariant.
+    crossings = (adj[part_a].astype(np.int64) @ in_b) > 0
     if crossings.any():
         sep = np.concatenate([sep, part_a[crossings]])
         part_a = part_a[~crossings]

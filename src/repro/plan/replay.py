@@ -54,7 +54,7 @@ def plan_options_key(options) -> tuple:
     """
     from repro.comm.volume import volume_kind
     return (options.lookahead, options.sparse_bcast, options.batched_schur,
-            options.batch_min_pairs, options.track_buffers,
+            options.batch_min_pairs, options.track_buffers, options.blocking,
             volume_kind(options), options.ancestor_replication)
 
 

@@ -125,6 +125,11 @@ class SparseLU3D:
         """Run the symbolic phase (ordering + block fill + costs)."""
         tree = None
         if self._relax:
+            if self.options.blocking != "uniform":
+                raise ValueError(
+                    "relax > 0 is a uniform-blocking relaxation; it cannot "
+                    "be combined with blocking='irregular' (which runs its "
+                    "own similarity-gated amalgamation)")
             from repro.ordering import nested_dissection, relax_supernodes
             tree = relax_supernodes(
                 nested_dissection(self._A_work, self.geometry,
@@ -136,7 +141,8 @@ class SparseLU3D:
         self.sf = symbolic_factorize(self._A_work, self.geometry,
                                      leaf_size=self._leaf_size,
                                      method=self._nd_method,
-                                     max_block=self._max_block, tree=tree)
+                                     max_block=self._max_block, tree=tree,
+                                     blocking=self.options.blocking)
         part = greedy_partition if self._partition == "greedy" else naive_partition
         self.tf = part(self.sf, self.grid.pz)
         self._pattern = symmetrize_pattern(self._A_work, stored=True)

@@ -9,8 +9,17 @@ Matrix-Market-style reader/writer (:mod:`repro.sparse.io`).
 """
 
 from repro.sparse.blockmatrix import BlockLayout, BlockMatrix
+from repro.sparse.fixtures import (
+    FIXTURES,
+    Fixture,
+    FixtureUnavailable,
+    fixture_names,
+    load_fixture,
+)
 from repro.sparse.generators import (
     GridGeometry,
+    arrowhead,
+    banded_dense_rows,
     circuit_like,
     delaunay_mesh_2d,
     grid2d_5pt,
@@ -18,6 +27,7 @@ from repro.sparse.generators import (
     grid3d_27pt,
     grid3d_7pt,
     kkt_like,
+    power_law_laplacian,
     random_symmetric_pattern,
     thin_slab_7pt,
 )
@@ -31,15 +41,23 @@ from repro.sparse.pattern import (
 __all__ = [
     "BlockLayout",
     "BlockMatrix",
+    "FIXTURES",
+    "Fixture",
+    "FixtureUnavailable",
     "GridGeometry",
+    "arrowhead",
+    "banded_dense_rows",
     "circuit_like",
     "delaunay_mesh_2d",
+    "fixture_names",
     "grid2d_5pt",
     "grid2d_9pt",
     "grid3d_7pt",
     "grid3d_27pt",
     "kkt_like",
+    "load_fixture",
     "pattern_of",
+    "power_law_laplacian",
     "random_symmetric_pattern",
     "read_matrix_market",
     "structural_symmetry",

@@ -37,11 +37,14 @@ from repro.utils import check_positive_int
 
 __all__ = [
     "GridGeometry",
+    "arrowhead",
+    "banded_dense_rows",
     "delaunay_mesh_2d",
     "grid2d_5pt",
     "grid2d_9pt",
     "grid3d_7pt",
     "grid3d_27pt",
+    "power_law_laplacian",
     "thin_slab_7pt",
     "circuit_like",
     "kkt_like",
@@ -328,6 +331,129 @@ def random_symmetric_pattern(n: int, avg_degree: float = 4.0, seed: int = 0
     rowsum = np.asarray(np.abs(A).sum(axis=1)).ravel()
     A = A + sp.diags(rowsum + 1.0)
     return A.tocsr()
+
+
+def arrowhead(n: int, border: int = 8, bandwidth: int = 2
+              ) -> tuple[sp.csr_matrix, GridGeometry]:
+    """Banded-plus-dense-border arrowhead matrix.
+
+    The classic worst case for *uniform* supernode blocking: a ``2 *
+    bandwidth + 1``-banded SPD core with ``border`` final rows/columns
+    coupled to every vertex. Interior separators of the band are O(1),
+    but the border vertices touch everything, so any blocking that smears
+    them across equal-width chunks drags full-width panels through the
+    whole elimination. Eliminating the border *last*, in its own block —
+    exactly what the irregular strategy's boundary snapping produces — is
+    the textbook remedy (zero fill from the band, one dense block at the
+    top). Returns the matrix with its natural 1D chain geometry: the
+    *geometric* dissection path is exactly where uniform blocking gets
+    hurt — coordinate cuts are blind to the dense border, unlike the
+    degree-aware BFS separators of the general-graph path.
+    """
+    n = check_positive_int(n, "n")
+    border = check_positive_int(border, "border")
+    bandwidth = check_positive_int(bandwidth, "bandwidth")
+    if border >= n:
+        raise ValueError(f"border ({border}) must be smaller than n ({n})")
+    m = n - border  # banded core size
+    diags = [np.full(m - k, -1.0 / k) for k in range(1, bandwidth + 1)]
+    offs = list(range(1, bandwidth + 1))
+    B = sp.diags(diags + diags, offs + [-k for k in offs],
+                 shape=(m, m), format="csr")
+    # Dense border block: every border vertex couples to every core vertex.
+    C = sp.csr_matrix(np.full((border, m), -1.0 / m))
+    D = sp.csr_matrix(np.full((border, border), -0.5) +
+                      np.eye(border) * 0.5)
+    A = sp.bmat([[B, C.T], [C, D]], format="csr")
+    rowsum = np.asarray(np.abs(A).sum(axis=1)).ravel()
+    A = (A + sp.diags(rowsum + 1.0)).tocsr()
+    A.sum_duplicates()
+    return A, GridGeometry((n,), "arrowhead", {"border": border})
+
+
+def banded_dense_rows(n: int, bandwidth: int = 3, ndense: int = 4,
+                      seed: int = 0) -> tuple[sp.csr_matrix, GridGeometry]:
+    """Banded matrix with a few full rows/columns *scattered inside* it.
+
+    The circuit analogue of :func:`arrowhead`: supply rails and clock
+    nets in circuit matrices are near-dense rows sitting at arbitrary
+    positions of an otherwise short-range pattern (GLU3.0's motivating
+    structure). Unlike the arrowhead the discontinuities are not already
+    collected at the end of the index range, so a blocking strategy must
+    *find* them (degree discontinuity detection) rather than inherit
+    them from the ordering. Structurally symmetric, diagonally dominant;
+    carries its 1D chain geometry so dissection takes the geometric path
+    (coordinate cuts — blind to the rails, the adversarial case).
+    """
+    n = check_positive_int(n, "n")
+    bandwidth = check_positive_int(bandwidth, "bandwidth")
+    ndense = check_positive_int(ndense, "ndense")
+    if ndense >= n // 2:
+        raise ValueError(f"ndense ({ndense}) must be well below n ({n})")
+    rng = np.random.default_rng(seed)
+    diags = [np.full(n - k, -1.0 / k) for k in range(1, bandwidth + 1)]
+    offs = list(range(1, bandwidth + 1))
+    A = sp.diags(diags + diags, offs + [-k for k in offs],
+                 shape=(n, n), format="lil")
+    dense = rng.choice(n, size=ndense, replace=False)
+    for r in dense:
+        vals = -rng.random(n) / n - 1.0 / n
+        A[r, :] = vals
+        A[:, r] = vals[:, None]
+    A = A.tocsr()
+    A.setdiag(0.0)
+    A.eliminate_zeros()
+    rowsum = np.asarray(np.abs(A).sum(axis=1)).ravel()
+    A = (A + sp.diags(rowsum + 1.0)).tocsr()
+    A.sum_duplicates()
+    return A, GridGeometry((n,), "banded_dense_rows",
+                           {"dense_rows": np.sort(dense).tolist()})
+
+
+def power_law_laplacian(n: int, m_edges: int = 2, seed: int = 0
+                        ) -> tuple[sp.csr_matrix, None]:
+    """Graph Laplacian (+I) of a preferential-attachment power-law graph.
+
+    Barabási–Albert construction: each new vertex attaches ``m_edges``
+    edges to existing vertices with probability proportional to their
+    degree, yielding a power-law degree distribution — a handful of hubs
+    with O(n) degree over a sea of degree-``m_edges`` vertices. Web,
+    social and some circuit graphs look like this; nested dissection has
+    no small separators (hubs sit in every cut) and uniform blocking
+    buries the hubs inside wide blocks. SPD via Laplacian + identity;
+    returns ``(A, None)``.
+    """
+    n = check_positive_int(n, "n")
+    m_edges = check_positive_int(m_edges, "m_edges")
+    if n <= m_edges + 1:
+        raise ValueError(f"n ({n}) must exceed m_edges + 1 ({m_edges + 1})")
+    rng = np.random.default_rng(seed)
+    # `targets` holds one entry per edge endpoint: sampling uniformly from
+    # it IS degree-proportional sampling (the standard BA trick).
+    targets: list[int] = list(range(m_edges + 1))
+    src: list[int] = []
+    dst: list[int] = []
+    # Seed clique on the first m_edges + 1 vertices.
+    for i in range(m_edges + 1):
+        for j in range(i + 1, m_edges + 1):
+            src.append(i)
+            dst.append(j)
+    for v in range(m_edges + 1, n):
+        chosen = set()
+        while len(chosen) < m_edges:
+            chosen.add(targets[int(rng.integers(0, len(targets)))])
+        for u in chosen:
+            src.append(v)
+            dst.append(u)
+            targets.extend((v, u))
+    s = np.asarray(src + dst)
+    d = np.asarray(dst + src)
+    A = sp.coo_matrix((-np.ones(s.shape[0]), (s, d)), shape=(n, n)).tocsr()
+    A.data[:] = -1.0
+    A.sum_duplicates()
+    A.data[:] = -1.0
+    deg = -np.asarray(A.sum(axis=1)).ravel()
+    return (A + sp.diags(deg + 1.0)).tocsr(), None
 
 
 def delaunay_mesh_2d(npoints: int, seed: int = 0

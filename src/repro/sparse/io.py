@@ -7,11 +7,17 @@ round-trip matrices without touching scipy internals.
 
 Only the ``matrix coordinate real general/symmetric`` and
 ``pattern`` variants are supported — the formats the SuiteSparse collection
-actually uses for these matrices.
+actually uses for these matrices. The reader is deliberately liberal about
+the things real SuiteSparse downloads contain — ``%`` comment lines, blank
+lines, CRLF line endings, gzip compression (``.gz`` suffix) — and strict
+about the things that corrupt a matrix silently: out-of-range 1-based
+indices, truncated entry lists, and unsupported field/symmetry variants
+all raise ``ValueError``.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
 
 import numpy as np
@@ -23,11 +29,14 @@ _HEADER = "%%MatrixMarket matrix coordinate {field} {symmetry}\n"
 
 
 def write_matrix_market(path: str | os.PathLike, A: sp.spmatrix,
-                        symmetry: str = "general") -> None:
+                        symmetry: str = "general",
+                        comments: list[str] | None = None) -> None:
     """Write ``A`` in Matrix Market coordinate format (1-based indices).
 
     With ``symmetry='symmetric'`` only the lower triangle is stored; the
-    caller is responsible for ``A`` actually being symmetric.
+    caller is responsible for ``A`` actually being symmetric. ``comments``
+    are emitted as ``%`` lines between header and size line — the place
+    SuiteSparse files carry provenance.
     """
     if symmetry not in ("general", "symmetric"):
         raise ValueError(f"unsupported symmetry {symmetry!r}")
@@ -37,37 +46,74 @@ def write_matrix_market(path: str | os.PathLike, A: sp.spmatrix,
         A = sp.coo_matrix((A.data[keep], (A.row[keep], A.col[keep])), shape=A.shape)
     with open(path, "w") as f:
         f.write(_HEADER.format(field="real", symmetry=symmetry))
+        for c in comments or ():
+            f.write(f"% {c}\n")
         f.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
         for r, c, v in zip(A.row, A.col, A.data):
             f.write(f"{r + 1} {c + 1} {v:.17g}\n")
 
 
+def _data_lines(f):
+    """Yield stripped, non-empty, non-comment lines (CRLF tolerant)."""
+    for raw in f:
+        line = raw.strip()
+        if line and not line.startswith("%"):
+            yield line
+
+
 def read_matrix_market(path: str | os.PathLike) -> sp.csr_matrix:
-    """Read a Matrix Market coordinate file written by this module or others."""
-    with open(path) as f:
+    """Read a Matrix Market coordinate file written by this module or others.
+
+    Accepts ``general``/``symmetric`` symmetry and ``real``/``integer``/
+    ``pattern`` fields (pattern entries read as 1.0, symmetric storage is
+    expanded to the full pattern). ``.gz`` paths are decompressed on the
+    fly — the format SuiteSparse downloads arrive in.
+    """
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt") as f:
         header = f.readline()
         if not header.startswith("%%MatrixMarket"):
             raise ValueError(f"{path}: not a MatrixMarket file")
         tokens = header.strip().split()
         if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
             raise ValueError(f"{path}: unsupported MatrixMarket header: {header!r}")
-        field, symmetry = tokens[3], tokens[4]
+        field, symmetry = tokens[3].lower(), tokens[4].lower()
         if field not in ("real", "integer", "pattern"):
             raise ValueError(f"{path}: unsupported field {field!r}")
         if symmetry not in ("general", "symmetric"):
             raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
-        line = f.readline()
-        while line.startswith("%"):
-            line = f.readline()
-        nrows, ncols, nnz = (int(t) for t in line.split())
+        lines = _data_lines(f)
+        try:
+            size_line = next(lines)
+        except StopIteration:
+            raise ValueError(f"{path}: missing size line") from None
+        try:
+            nrows, ncols, nnz = (int(t) for t in size_line.split())
+        except ValueError:
+            raise ValueError(
+                f"{path}: malformed size line {size_line!r}") from None
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz, dtype=np.float64)
-        for k in range(nnz):
-            parts = f.readline().split()
-            rows[k] = int(parts[0]) - 1
-            cols[k] = int(parts[1]) - 1
+        k = 0
+        for line in lines:
+            if k >= nnz:
+                raise ValueError(f"{path}: more than {nnz} entries")
+            parts = line.split()
+            if len(parts) < (2 if field == "pattern" else 3):
+                raise ValueError(f"{path}: malformed entry {line!r}")
+            r = int(parts[0])
+            c = int(parts[1])
+            if not (1 <= r <= nrows and 1 <= c <= ncols):
+                raise ValueError(
+                    f"{path}: entry ({r}, {c}) outside 1-based range "
+                    f"({nrows} x {ncols})")
+            rows[k] = r - 1
+            cols[k] = c - 1
             vals[k] = float(parts[2]) if field != "pattern" else 1.0
+            k += 1
+        if k != nnz:
+            raise ValueError(f"{path}: expected {nnz} entries, found {k}")
     A = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
     if symmetry == "symmetric":
         off = rows != cols

@@ -4,6 +4,10 @@ The symbolic phase runs once per matrix and feeds everything downstream:
 
 * :mod:`repro.symbolic.etree` — the classic scalar elimination tree (Liu's
   algorithm), used for validation and general tooling;
+* :mod:`repro.symbolic.blocking` — structure-aware irregular supernode
+  boundaries (dense-row boundary snapping + similarity-gated amalgamation,
+  floored by the uniform blocking), selected via
+  ``FactorOptions.blocking='irregular'``;
 * :mod:`repro.symbolic.fill` — block (supernodal) symbolic elimination on
   the dissection tree's quotient graph, producing the filled block pattern
   L/U panels;
@@ -13,6 +17,13 @@ The symbolic phase runs once per matrix and feeds everything downstream:
   load-balance heuristic (Section III-C).
 """
 
+from repro.symbolic.blocking import (
+    BLOCKING_STRATEGIES,
+    BlockingOptions,
+    blocking_signature,
+    irregular_blocking,
+    uniform_cap_split,
+)
 from repro.symbolic.blocknnz import BlockNnzTables, block_nnz_tables
 from repro.symbolic.etree import elimination_tree, etree_heights, postorder
 from repro.symbolic.fill import block_fill
@@ -23,13 +34,18 @@ from repro.symbolic.symbolic_factor import (
 )
 
 __all__ = [
+    "BLOCKING_STRATEGIES",
     "BlockNnzTables",
+    "BlockingOptions",
     "NodeCosts",
     "SymbolicFactorization",
     "block_fill",
     "block_nnz_tables",
+    "blocking_signature",
     "elimination_tree",
     "etree_heights",
+    "irregular_blocking",
     "postorder",
     "symbolic_factorize",
+    "uniform_cap_split",
 ]

@@ -68,11 +68,16 @@ class SymbolicFactorization:
     """
 
     def __init__(self, A_perm: sp.csr_matrix, tree: DissectionTree,
-                 fill: BlockFill, costs: NodeCosts):
+                 fill: BlockFill, costs: NodeCosts,
+                 blocking_info: dict | None = None):
         self.A_perm = A_perm
         self.tree = tree
         self.fill = fill
         self.costs = costs
+        #: How the block boundaries were chosen: ``{"strategy": "uniform"}``
+        #: for the default path; the irregular path records snap/amalgamation
+        #: activity plus which candidate the uniform floor selected.
+        self.blocking_info = blocking_info or {"strategy": "uniform"}
 
     # -- convenience -------------------------------------------------------
 
@@ -130,10 +135,20 @@ def _compute_costs(layout: BlockLayout, fill: BlockFill) -> NodeCosts:
     return NodeCosts(factor_flops, panel_flops, schur_flops, factor_words)
 
 
+def _build_on(A: sp.spmatrix, tree: DissectionTree) -> tuple:
+    """Permute + fill + cost one candidate tree."""
+    A_perm = tree.perm.apply_matrix(A)
+    fill = block_fill(A_perm, tree.layout, tree_parent=tree.parent)
+    costs = _compute_costs(tree.layout, fill)
+    return A_perm, fill, costs
+
+
 def symbolic_factorize(A: sp.spmatrix, geometry: GridGeometry | None = None,
                        leaf_size: int = 64, method: str = "bfs",
                        tree: DissectionTree | None = None,
-                       max_block: int | None = None
+                       max_block: int | None = None,
+                       blocking: str = "uniform",
+                       blocking_options=None
                        ) -> SymbolicFactorization:
     """Run the full symbolic phase on ``A``.
 
@@ -150,17 +165,57 @@ def symbolic_factorize(A: sp.spmatrix, geometry: GridGeometry | None = None,
         Separator method for non-geometric dissection (``'bfs'``/``'fiedler'``).
     tree:
         Pre-computed dissection tree (skips ordering); used by the ablation
-        benchmarks to compare partitions on a fixed structure.
+        benchmarks to compare partitions on a fixed structure. Incompatible
+        with ``blocking='irregular'`` (the irregular strategy *derives* its
+        tree from the pattern).
     max_block:
         Supernode size cap: larger separators are split into chains of
         blocks of at most this size (SuperLU_DIST's ``maxsup`` analogue).
-        ``None`` leaves separators whole.
+        ``None`` leaves separators whole. Under ``blocking='irregular'``
+        this is the same effective cap — no emitted block exceeds it.
+    blocking:
+        ``'uniform'`` (default) or ``'irregular'``
+        (:mod:`repro.symbolic.blocking`): pattern-driven boundaries with
+        dense-row snapping + similarity amalgamation, floored by the
+        uniform blocking on filled factor words so the result never
+        stores (or ships) more than the default would.
+    blocking_options:
+        Optional :class:`repro.symbolic.blocking.BlockingOptions`
+        overriding the irregular strategy's knobs (its ``max_block``
+        is taken from this function's ``max_block`` when unset).
     """
     A = check_square_sparse(A)
+    if blocking not in ("uniform", "irregular"):
+        raise ValueError(f"unknown blocking strategy {blocking!r}; "
+                         "expected 'uniform' or 'irregular'")
+    if blocking == "irregular":
+        if tree is not None:
+            raise ValueError("blocking='irregular' derives its own tree; "
+                             "an explicit tree= cannot be combined with it")
+        from repro.symbolic.blocking import BlockingOptions, \
+            irregular_blocking, uniform_cap_split
+        base = nested_dissection(A, geometry, leaf_size=leaf_size,
+                                 method=method, max_block=None)
+        opts = blocking_options or BlockingOptions(max_block=max_block)
+        irr_tree, info = irregular_blocking(A, base, opts)
+        uni_tree = uniform_cap_split(base, max_block)
+        irr = _build_on(A, irr_tree)
+        uni = _build_on(A, uni_tree)
+        # Uniform floor: filled factor words are the storage/traffic proxy
+        # every ledger prices off — ship the irregular tree only when it
+        # strictly saves words (ties go to the simpler uniform blocking).
+        info["words_irregular"] = irr[2].total_words
+        info["words_uniform"] = uni[2].total_words
+        if irr[2].total_words < uni[2].total_words:
+            chosen_tree, (A_perm, fill, costs) = irr_tree, irr
+            info["chose"] = "irregular"
+        else:
+            chosen_tree, (A_perm, fill, costs) = uni_tree, uni
+            info["chose"] = "uniform"
+        return SymbolicFactorization(A_perm, chosen_tree, fill, costs,
+                                     blocking_info=info)
     if tree is None:
         tree = nested_dissection(A, geometry, leaf_size=leaf_size,
                                  method=method, max_block=max_block)
-    A_perm = tree.perm.apply_matrix(A)
-    fill = block_fill(A_perm, tree.layout, tree_parent=tree.parent)
-    costs = _compute_costs(tree.layout, fill)
+    A_perm, fill, costs = _build_on(A, tree)
     return SymbolicFactorization(A_perm, tree, fill, costs)

@@ -157,19 +157,22 @@ class Evaluator:
         self._bundles: dict[TuneCandidate, object] = {}
         self.runs = 0
 
-    def sf_for(self, max_block: int | None):
+    def sf_for(self, max_block: int | None, blocking: str = "uniform"):
         cap = self.default_max_block if max_block is None else max_block
-        if cap not in self._sf:
-            self._sf[cap] = symbolic_factorize(
+        key = (cap, blocking)
+        if key not in self._sf:
+            self._sf[key] = symbolic_factorize(
                 self.A, self.geometry, leaf_size=self.leaf_size,
-                max_block=cap)
-        return self._sf[cap]
+                max_block=cap, blocking=blocking)
+        return self._sf[key]
 
-    def tf_for(self, max_block: int | None, pz: int):
+    def tf_for(self, max_block: int | None, pz: int,
+               blocking: str = "uniform"):
         cap = self.default_max_block if max_block is None else max_block
-        key = (cap, pz)
+        key = (cap, blocking, pz)
         if key not in self._tf:
-            self._tf[key] = greedy_partition(self.sf_for(max_block), pz)
+            self._tf[key] = greedy_partition(
+                self.sf_for(max_block, blocking), pz)
         return self._tf[key]
 
     def measure(self, cand: TuneCandidate) -> FactorizationMetrics:
@@ -178,10 +181,11 @@ class Evaluator:
             raise ValueError(f"candidate {cand.label} is not executable "
                              "(Pz must be a power of two); it can only be "
                              "model-scored")
-        sf = self.sf_for(cand.max_block)
-        tf = self.tf_for(cand.max_block, cand.pz)
+        sf = self.sf_for(cand.max_block, cand.blocking)
+        tf = self.tf_for(cand.max_block, cand.pz, cand.blocking)
         grid3 = ProcessGrid3D(cand.px, cand.py, cand.pz)
-        opts = replace(self.options, ancestor_replication=cand.c)
+        opts = replace(self.options, ancestor_replication=cand.c,
+                       blocking=cand.blocking)
         sim = Simulator(grid3.size, self.machine)
         res = factor_3d(sf, tf, grid3, sim, numeric=False, options=opts,
                         cached=self._bundles.get(cand))

@@ -158,12 +158,13 @@ def autotune_grid(A: sp.spmatrix, P: int,
                   leaf_size: int = 64,
                   max_blocks: tuple[int | None, ...] = (None,),
                   c_values: tuple[int, ...] | None = None,
+                  blockings: tuple[str, ...] = ("uniform",),
                   budget: int = 8,
                   machine: Machine | None = None,
                   options: FactorOptions | None = None,
                   cache=None) -> TuneResult:
-    """Search ``(Px, Py, Pz, c, max_block)`` for factoring ``A`` on ``P``
-    ranks; returns the ledger-validated :class:`TuneResult`.
+    """Search ``(Px, Py, Pz, c, max_block, blocking)`` for factoring ``A``
+    on ``P`` ranks; returns the ledger-validated :class:`TuneResult`.
 
     ``budget`` caps the number of cost-only simulator executions (the
     baseline's run is counted inside it; at least 2 are needed to
@@ -184,7 +185,8 @@ def autotune_grid(A: sp.spmatrix, P: int,
 
     results = [ev.score(c, profile)
                for c in enumerate_candidates(P, max_blocks=max_blocks,
-                                             c_values=c_values)]
+                                             c_values=c_values,
+                                             blockings=blockings)]
     results.sort(key=lambda r: r.predicted_words)
 
     # The naive near-square Pz=1 grid: always measured, so improvements

@@ -1,4 +1,5 @@
-"""Configuration search space for the (Px, Py, Pz, c, max_block) tuner.
+"""Configuration search space for the (Px, Py, Pz, c, max_block, blocking)
+tuner.
 
 The paper's evaluation fixes ``P`` and sweeps ``Pz`` over powers of two;
 real allocations are rarely that tidy (``P = 12`` nodes cannot even
@@ -39,12 +40,17 @@ class TuneCandidate:
     #: Supernode cap forwarded to the symbolic phase; ``None`` keeps the
     #: matrix's default.
     max_block: int | None = None
+    #: Blocking strategy forwarded to the symbolic phase
+    #: (``FactorOptions.blocking``): ``'uniform'`` or ``'irregular'``.
+    blocking: str = "uniform"
 
     def __post_init__(self):
         for name in ("px", "py", "pz", "c"):
             check_positive_int(getattr(self, name), name)
         if self.c > self.pz:
             raise ValueError(f"c={self.c} exceeds pz={self.pz}")
+        if self.blocking not in ("uniform", "irregular"):
+            raise ValueError(f"unknown blocking strategy {self.blocking!r}")
 
     @property
     def pxy(self) -> int:
@@ -65,18 +71,20 @@ class TuneCandidate:
     def label(self) -> str:
         tail = f" c={self.c}" if self.c > 1 else ""
         cap = f" cap={self.max_block}" if self.max_block is not None else ""
-        return f"{self.px}x{self.py}x{self.pz}{tail}{cap}"
+        blk = " irregular" if self.blocking != "uniform" else ""
+        return f"{self.px}x{self.py}x{self.pz}{tail}{cap}{blk}"
 
     def to_dict(self) -> dict:
         return {"px": self.px, "py": self.py, "pz": self.pz, "c": self.c,
-                "max_block": self.max_block}
+                "max_block": self.max_block, "blocking": self.blocking}
 
     @classmethod
     def from_dict(cls, d: dict) -> "TuneCandidate":
         return cls(px=int(d["px"]), py=int(d["py"]), pz=int(d["pz"]),
                    c=int(d.get("c", 1)),
                    max_block=None if d.get("max_block") is None
-                   else int(d["max_block"]))
+                   else int(d["max_block"]),
+                   blocking=str(d.get("blocking", "uniform")))
 
 
 def divisors(P: int) -> list[int]:
@@ -117,6 +125,7 @@ def _pow2_upto(limit: int) -> list[int]:
 def enumerate_candidates(P: int, *,
                          max_blocks: tuple[int | None, ...] = (None,),
                          c_values: tuple[int, ...] | None = None,
+                         blockings: tuple[str, ...] = ("uniform",),
                          executable_only: bool = False
                          ) -> list[TuneCandidate]:
     """The full candidate list for ``P`` total ranks.
@@ -126,11 +135,17 @@ def enumerate_candidates(P: int, *,
     Section VII sweep); passing an explicit tuple restricts it (values
     exceeding a shape's ``Pz`` are skipped, and non-power-of-two values
     are rejected — the replication group walk halves per level).
+    ``blockings`` crosses in the supernode-boundary strategy (pass
+    ``("uniform", "irregular")`` to let the tuner weigh the
+    structure-aware blocking against the default per matrix).
     """
     if c_values is not None:
         for c in c_values:
             if not is_power_of_two(check_positive_int(c, "c")):
                 raise ValueError(f"c={c} is not a power of two")
+    for b in blockings:
+        if b not in ("uniform", "irregular"):
+            raise ValueError(f"unknown blocking strategy {b!r}")
     out: list[TuneCandidate] = []
     for px, py, pz in factor_triples(P):
         if executable_only and not is_power_of_two(pz):
@@ -139,6 +154,7 @@ def enumerate_candidates(P: int, *,
             else [c for c in c_values if c <= pz]
         for c in cs:
             for mb in max_blocks:
-                out.append(TuneCandidate(px=px, py=py, pz=pz, c=c,
-                                         max_block=mb))
+                for b in blockings:
+                    out.append(TuneCandidate(px=px, py=py, pz=pz, c=c,
+                                             max_block=mb, blocking=b))
     return out

@@ -50,20 +50,22 @@ if st is not None:
     _SETUPS = [(8, 8, 1), (10, 8, 2), (12, 16, 2), (12, 16, 4)]
     _sym_cache: dict = {}
 
-    def _symbolic(nx, leaf, spd):
+    def _symbolic(nx, leaf, spd, blocking="uniform"):
         """Memoized symbolic factorization (hypothesis re-draws heavily)."""
         import scipy.sparse as sp
 
         from repro.symbolic import symbolic_factorize
 
-        key = (nx, leaf, spd)
+        key = (nx, leaf, spd, blocking)
         if key not in _sym_cache:
             A, geom = grid2d_5pt(nx)
             if spd:
                 S = (A + A.T) * 0.5
                 A = (S + sp.eye(A.shape[0])
                      * (abs(S).sum(axis=1).max() + 1.0)).tocsr()
-            _sym_cache[key] = symbolic_factorize(A, geom, leaf_size=leaf)
+            _sym_cache[key] = symbolic_factorize(
+                A, geom, leaf_size=leaf, blocking=blocking,
+                max_block=32 if blocking == "irregular" else None)
         return _sym_cache[key]
 
     @st.composite
@@ -79,12 +81,14 @@ if st is not None:
 
         nx, leaf, pz = draw(st.sampled_from(_SETUPS))
         backend = draw(st.sampled_from(["lu", "cholesky"]))
-        sf = _symbolic(nx, leaf, backend == "cholesky")
+        blocking = draw(st.sampled_from(["uniform", "irregular"]))
+        sf = _symbolic(nx, leaf, backend == "cholesky", blocking)
         merged = backend == "lu" and pz > 1 and draw(st.booleans())
         opts = FactorOptions(
             lookahead=draw(st.integers(min_value=0, max_value=2)),
             sparse_bcast=(backend == "lu" and draw(st.booleans())),
-            batched_schur=draw(st.booleans()))
+            batched_schur=draw(st.booleans()),
+            blocking=blocking)
         px = draw(st.integers(min_value=1, max_value=3))
         py = draw(st.integers(min_value=1, max_value=3))
         tf = greedy_partition(sf, pz) if pz > 1 else None

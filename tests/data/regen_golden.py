@@ -41,7 +41,7 @@ from repro.lu2d.factor2d import FactorOptions, factor_2d
 from repro.lu3d import factor_3d
 from repro.lu3d.merged import factor_3d_merged
 from repro.resilience import Fault, FaultPlan
-from repro.sparse import grid2d_5pt, grid3d_7pt
+from repro.sparse import arrowhead, grid2d_5pt, grid3d_7pt, power_law_laplacian
 from repro.symbolic import symbolic_factorize
 from repro.tree import greedy_partition
 
@@ -55,7 +55,13 @@ README = ("Golden per-rank simulator ledgers; regenerate with "
           "the repo root, and only when a PR intentionally changes the "
           "emitted event schedule. Cases ending in _fault_* pin the "
           "resilience engine: the 'rec' phase ledgers and checkpoint "
-          "I/O charges under a deterministic grid crash.")
+          "I/O charges under a deterministic grid crash. Cases ending in "
+          "_irregular pin blocking='irregular' (dense-row snapping + "
+          "similarity amalgamation, repro.symbolic.blocking) end to end "
+          "on generators.arrowhead(96, border=5) [geometric 1D ordering] "
+          "and generators.power_law_laplacian(150, seed=0) [graph "
+          "ordering] — matrices whose irregular blockings beat the "
+          "uniform cap.")
 
 
 def ledger_dict(sim: Simulator) -> dict:
@@ -151,6 +157,25 @@ def main(compact: bool = False) -> None:
     ress = factor_chol_3d(sfs, tfs, g3s, simsn, numeric=True, options=O())
     cases["chol_pz2_numeric"] = ledger_dict(simsn)
     cases["chol_pz2_numeric"]["factor_checksum"] = factor_checksum(ress)
+
+    # -- irregular blocking: adversarial generators pinned end-to-end -----
+    # Both cases choose the irregular candidate (snapping fires; the
+    # uniform floor keeps them honest) — so these ledgers freeze the
+    # whole snap/amalgamate/floor pipeline, not just the uniform
+    # degenerate path.
+    for label, (Ai, gi) in (
+            ("arrowhead", arrowhead(96, border=5)),
+            ("powerlaw", (power_law_laplacian(150, seed=0)[0], None))):
+        sfi = symbolic_factorize(Ai, gi, leaf_size=24, max_block=32,
+                                 blocking="irregular")
+        assert sfi.blocking_info["chose"] == "irregular", label
+        tfi = greedy_partition(sfi, 2)
+        g3i = ProcessGrid3D(2, 2, 2)
+        simi = Simulator(g3i.size, Machine.edison_like())
+        resi = factor_3d(sfi, tfi, g3i, simi, numeric=True,
+                         options=O(blocking="irregular"))
+        case = cases[f"lu3d_{label}_irregular"] = ledger_dict(simi)
+        case["factor_checksum"] = factor_checksum(resi)
 
     # -- resilience: deterministic grid crash, both recovery policies ----
     # Pins the 'rec' phase ledgers (replay compute/comm) and the
